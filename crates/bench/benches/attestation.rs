@@ -1,0 +1,42 @@
+//! §5.4: attestation and attested-channel overhead. The paper's claim is
+//! that conclave overheads are nominal next to Tor circuit latency; the
+//! `page_load` bench provides the circuit-side number to compare with.
+
+use conclave::attest::Ias;
+use conclave::channel::AttestedChannel;
+use conclave::enclave::Enclave;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench_attestation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut ias = Ias::new([1u8; 32], 3);
+    let platform = ias.provision_platform(1, &mut rng);
+    let enclave = Enclave::create(1, b"bento image", 24 << 20, 3);
+
+    c.bench_function("attest/quote", |b| {
+        b.iter(|| platform.quote(black_box(&enclave), [7u8; 32]))
+    });
+    let quote = platform.quote(&enclave, [7u8; 32]);
+    c.bench_function("attest/ias_verify_and_sign", |b| {
+        b.iter(|| ias.verify_quote(black_box(&quote)).unwrap())
+    });
+    let report = ias.verify_quote(&quote).unwrap();
+    let vk = ias.verify_key();
+    c.bench_function("attest/client_verify_report", |b| {
+        b.iter(|| report.verify(black_box(&vk), black_box(&quote)).unwrap())
+    });
+    c.bench_function("attest/full_channel_establishment", |b| {
+        b.iter(|| {
+            let (state, hello) = AttestedChannel::client_hello(&mut rng);
+            let (reply, _srv) = AttestedChannel::server_respond(
+                &mut rng, &enclave, &platform, &mut ias, &hello,
+            )
+            .unwrap();
+            AttestedChannel::client_finish(&state, &reply, &vk, &enclave.measurement).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Cell codec and onion-layer throughput: the per-cell cost of a relay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use onion_crypto::ntor::CircuitKeys;
+use tor_net::cell::{Cell, CellCmd, RelayCell, RelayCmd};
+use tor_net::relay_crypto::{CircuitCrypto, LayerCrypto};
+
+fn keys(tag: u8) -> CircuitKeys {
+    CircuitKeys {
+        kf: [tag; 32],
+        kb: [tag ^ 0xFF; 32],
+        df: [tag.wrapping_add(1); 32],
+        db: [tag.wrapping_add(2); 32],
+        nf: [tag; 12],
+        nb: [tag ^ 0xFF; 12],
+    }
+}
+
+fn bench_cell_codec(c: &mut Criterion) {
+    let cell = Cell::with_payload(7, CellCmd::Relay, &[0xAB; 300]);
+    let wire = cell.encode();
+    let mut g = c.benchmark_group("cell");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&cell).encode()));
+    g.bench_function("decode", |b| b.iter(|| Cell::decode(black_box(&wire))));
+    g.finish();
+}
+
+fn bench_onion_layers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onion");
+    g.throughput(Throughput::Bytes(509));
+    // Client-side: seal for hop 2 of a 3-hop circuit (3 cipher passes).
+    g.bench_function("seal_3hops", |b| {
+        let mut crypto = CircuitCrypto::new();
+        for t in [1u8, 2, 3] {
+            crypto.push_hop(LayerCrypto::client_side(&keys(t)));
+        }
+        let rc = RelayCell::new(RelayCmd::Data, 1, vec![0u8; 400]);
+        b.iter(|| {
+            let mut payload = rc.encode_payload();
+            crypto.seal_for_hop(2, &mut payload);
+            payload
+        })
+    });
+    // Relay-side: one unseal (decrypt + digest check attempt).
+    g.bench_function("relay_unseal", |b| {
+        // The relay never recognizes (middle hop): steady-state cost.
+        let mut client = LayerCrypto::client_side(&keys(9));
+        let mut relay = LayerCrypto::relay_side(&keys(8));
+        let rc = RelayCell::new(RelayCmd::Data, 1, vec![0u8; 400]);
+        b.iter(|| {
+            let mut payload = rc.encode_payload();
+            client.seal(&mut payload); // wrong layer: never recognized
+            relay.unseal(&mut payload)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cell_codec, bench_onion_layers);
+criterion_main!(benches);

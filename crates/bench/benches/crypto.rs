@@ -1,0 +1,80 @@
+//! Microbenchmarks of the crypto substrate: these set the per-cell and
+//! per-handshake cost floor for everything in the reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use onion_crypto::chacha20::ChaCha20;
+use onion_crypto::hashsig::MerkleSigner;
+use onion_crypto::hmac::hmac_sha256;
+use onion_crypto::ntor;
+use onion_crypto::sha256::sha256;
+use onion_crypto::x25519::{x25519_base, StaticSecret};
+use rand::SeedableRng;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    g.bench_function("hmac_sha256/512", |b| {
+        let data = vec![1u8; 512];
+        b.iter(|| hmac_sha256(b"key", black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20");
+    for size in [514usize, 16 * 1024, 256 * 1024] {
+        let mut data = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("apply/{size}"), |b| {
+            let mut cipher = ChaCha20::new(&[7; 32], &[9; 12]);
+            b.iter(|| cipher.apply(black_box(&mut data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    c.bench_function("x25519/base_mult", |b| {
+        b.iter(|| x25519_base(black_box([5u8; 32])))
+    });
+}
+
+fn bench_ntor(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let identity = StaticSecret::random(&mut rng);
+    let node_id = [1u8; 20];
+    c.bench_function("ntor/full_handshake", |b| {
+        b.iter(|| {
+            let (state, onionskin) =
+                ntor::client_begin(&mut rng, node_id, identity.public_key());
+            let (reply, _server_keys) =
+                ntor::server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
+            ntor::client_finish(&state, &reply).unwrap()
+        })
+    });
+}
+
+fn bench_hashsig(c: &mut Criterion) {
+    let mut signer = MerkleSigner::generate([3u8; 32], 8);
+    let vk = signer.verify_key();
+    let sig = signer.sign(b"benchmark message").unwrap();
+    c.bench_function("hashsig/verify", |b| {
+        b.iter(|| vk.verify(black_box(b"benchmark message"), black_box(&sig)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_cipher,
+    bench_x25519,
+    bench_ntor,
+    bench_hashsig
+);
+criterion_main!(benches);

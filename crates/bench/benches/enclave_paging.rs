@@ -1,0 +1,29 @@
+//! EPC paging cost under over-commitment (§7.3's "enclaves could be paged
+//! out if they are not currently being invoked").
+
+use conclave::epc::Epc;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_paging(c: &mut Criterion) {
+    let footprint = bento::server::BentoServer::enclave_footprint(0);
+    c.bench_function("epc/touch_resident", |b| {
+        let mut epc = Epc::default();
+        epc.register(1, footprint);
+        epc.touch(1);
+        b.iter(|| epc.touch(1))
+    });
+    c.bench_function("epc/touch_thrash_8_enclaves", |b| {
+        let mut epc = Epc::default();
+        for id in 0..8 {
+            epc.register(id, footprint);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            epc.touch(i)
+        })
+    });
+}
+
+criterion_group!(benches, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shard's erasure-code throughput (encode/decode across k, N).
+
+use bento_functions::erasure::{decode, encode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_erasure(c: &mut Criterion) {
+    let file = vec![0xC3u8; 1 << 20];
+    let mut g = c.benchmark_group("erasure");
+    g.throughput(Throughput::Bytes(file.len() as u64));
+    for (k, n) in [(2u8, 4u8), (3, 7), (5, 8)] {
+        g.bench_function(format!("encode/k{k}_n{n}"), |b| {
+            b.iter(|| encode(black_box(&file), k, n))
+        });
+        let shards = encode(&file, k, n);
+        // Worst case: reconstruct from parity-only shards.
+        let parity: Vec<_> = shards[k as usize..2 * k as usize].to_vec();
+        g.bench_function(format!("decode_parity/k{k}_n{n}"), |b| {
+            b.iter(|| decode(black_box(&parity)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_erasure);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Whole-system simulation throughput: one standard-Tor page load and one
+//! Browser-function page load, end to end. (Also yields the circuit-build
+//! time the attestation bench compares against.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bento_functions::web::SiteModel;
+use simnet::{Iface, SimDuration, SimTime};
+use wfp::browse::BrowseNode;
+
+fn bench_page_load(c: &mut Criterion) {
+    // Each iteration runs a whole network simulation; cap the sample count
+    // so the bench finishes in seconds, not hours.
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.bench_function("standard_tor_page_load", |b| {
+        b.iter(|| {
+            let site = SiteModel::generate(0, 77);
+            let mut net = tor_net::netbuild::NetworkBuilder::new()
+                .seed(1)
+                .middles(4)
+                .exits(2)
+                .build();
+            let server = net.add_web_server("web", site.server_pages());
+            let client = net.sim.add_node(
+                "alice",
+                Iface::residential(),
+                Box::new(BrowseNode::new(net.authority, net.authority_key)),
+            );
+            net.sim
+                .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
+                n.start_visit(ctx, server, &site.html_path());
+            });
+            net.sim
+                .run_until(SimTime::ZERO + SimDuration::from_secs(120));
+            net.sim
+                .with_node::<BrowseNode, _>(client, |n, _| assert_eq!(n.visits_done, 1));
+        })
+    });
+    g.bench_function("circuit_build", |b| {
+        b.iter(|| {
+            let mut net = tor_net::netbuild::NetworkBuilder::new()
+                .seed(2)
+                .middles(4)
+                .exits(2)
+                .build();
+            let client = net.add_client("alice");
+            net.sim
+                .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            net.sim
+                .with_node::<tor_net::netbuild::TestClientNode, _>(client, |n, ctx| {
+                    let path = n
+                        .tor
+                        .select_path(ctx, tor_net::client::TerminalReq::Any)
+                        .unwrap();
+                    n.tor.build_circuit(ctx, path).unwrap()
+                });
+            net.sim
+                .run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_page_load);
+criterion_main!(benches);

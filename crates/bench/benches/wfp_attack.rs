@@ -1,0 +1,40 @@
+//! Classifier fit/predict cost on a synthetic closed world.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wfp::features::extract;
+use wfp::knn::Knn;
+use wfp::trace::{Packet, Trace};
+
+fn synthetic_corpus(n_labels: usize, visits: usize) -> Vec<Trace> {
+    let mut out = Vec::new();
+    for v in 0..visits {
+        for l in 0..n_labels {
+            let n = 50 + l * 11 + v;
+            let packets = (0..n)
+                .map(|i| Packet {
+                    t: i as f64 * 0.01,
+                    signed_size: if i % (l + 2) == 0 { 514.0 } else { -498.0 },
+                })
+                .collect();
+            out.push(Trace { label: l, packets });
+        }
+    }
+    out
+}
+
+fn bench_attack(c: &mut Criterion) {
+    let corpus = synthetic_corpus(50, 8);
+    let x: Vec<Vec<f64>> = corpus.iter().map(extract).collect();
+    let y: Vec<usize> = corpus.iter().map(|t| t.label).collect();
+    c.bench_function("wfp/feature_extract", |b| {
+        b.iter(|| extract(black_box(&corpus[0])))
+    });
+    c.bench_function("wfp/knn_fit_400", |b| b.iter(|| Knn::fit(3, &x, &y)));
+    let model = Knn::fit(3, &x, &y);
+    c.bench_function("wfp/knn_predict", |b| {
+        b.iter(|| model.predict(black_box(&x[17])))
+    });
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

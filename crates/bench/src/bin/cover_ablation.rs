@@ -1,0 +1,164 @@
+//! **§9.1 Cover** ablation — does fixed-rate cover traffic actually mask
+//! when the user is active?
+//!
+//! Scenario: a client is connected to a Bento box. In the "active" window
+//! it downloads content; in the "quiet" window it does nothing. An
+//! observer on the client's link compares per-window downstream volume.
+//! Without Cover the ratio gives activity away; with Cover running at a
+//! fixed rate, volume is dominated by the constant stream.
+//!
+//! `cargo run -p bench --release --bin cover_ablation`
+
+use bench::write_report;
+use bento::protocol::FunctionSpec;
+use bento::testnet::BentoNetwork;
+use bento::{BentoClientNode, MiddleboxPolicy};
+use bento_functions::cover::{self, CoverRequest, Mode};
+use bento_functions::dropbox;
+use bento_functions::standard_registry;
+use simnet::trace::Direction;
+use simnet::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Downstream bytes observed on the client link in [from, to).
+fn window_bytes(sniffer: &simnet::trace::Sniffer, from: SimTime, to: SimTime) -> f64 {
+    sniffer
+        .events()
+        .iter()
+        .filter(|e| e.dir == Direction::Incoming && e.time >= from && e.time < to)
+        .map(|e| e.bytes as f64)
+        .sum()
+}
+
+fn run(with_cover: bool) -> (f64, f64) {
+    let mut bn = BentoNetwork::build(41, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    // Install a dropbox holding 300 KB (the "activity" is fetching it) and,
+    // optionally, the Cover function.
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
+    });
+    bn.net.sim.run_until(secs(5));
+    let mut tokens = Vec::new();
+    let n_containers = if with_cover { 2 } else { 1 };
+    for i in 0..n_containers {
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
+        });
+        let now = bn.net.sim.now();
+        bn.net.sim.run_until(now + SimDuration::from_secs(4));
+        let t = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, _| {
+                let readies: Vec<_> = n
+                    .bento_events
+                    .iter()
+                    .filter_map(|e| match e {
+                        bento::BentoEvent::ContainerReady {
+                            container,
+                            invocation,
+                            ..
+                        } => Some((*container, *invocation)),
+                        _ => None,
+                    })
+                    .collect();
+                readies.get(i).copied()
+            })
+            .expect("container");
+        tokens.push(t);
+    }
+    // Upload dropbox with the content.
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: dropbox::Params {
+                max_gets: 100,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+            manifest: dropbox::manifest(),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, tokens[0].0, &spec);
+    });
+    bn.net.sim.run_until(secs(20));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let mut put = vec![b'P'];
+        put.extend_from_slice(&vec![0x77; 300_000]);
+        n.bento.invoke(ctx, &mut n.tor, conn, tokens[0].1, put);
+    });
+    bn.net.sim.run_until(secs(40));
+    if with_cover {
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: cover::manifest(false),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, tokens[1].0, &spec);
+        });
+        bn.net.sim.run_until(secs(45));
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            // 498-byte cells every 20 ms for the whole experiment: ~25 KB/s
+            // of constant downstream cover.
+            let req = CoverRequest {
+                interval_ms: 20,
+                count: 6000,
+                chunk: 498,
+                mode: Mode::Downstream,
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, tokens[1].1, req.encode());
+        });
+    }
+    bn.net.sim.enable_sniffer(client);
+    bn.net.sim.run_until(secs(50));
+    // Quiet window: [50, 80). Active window: [80, 110) — fetch the content.
+    bn.net.sim.run_until(secs(80));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn, tokens[0].1, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(110));
+    let sniffer = bn.net.sim.sniffer(client);
+    let quiet = window_bytes(sniffer, secs(50), secs(80));
+    let active = window_bytes(sniffer, secs(80), secs(110));
+    (quiet, active)
+}
+
+fn main() {
+    let (q0, a0) = run(false);
+    let (q1, a1) = run(true);
+    let ratio0 = a0 / q0.max(1.0);
+    let ratio1 = a1 / q1.max(1.0);
+    let mut report = String::new();
+    report.push_str("== Cover ablation (section 9.1): active/quiet downstream volume ==\n");
+    report.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>12}\n",
+        "condition", "quiet bytes", "active bytes", "ratio"
+    ));
+    report.push_str(&format!(
+        "{:<16} {:>14.0} {:>14.0} {:>12.1}\n",
+        "no cover", q0, a0, ratio0
+    ));
+    report.push_str(&format!(
+        "{:<16} {:>14.0} {:>14.0} {:>12.1}\n",
+        "with cover", q1, a1, ratio1
+    ));
+    report.push_str(&format!(
+        "\nactivity visibility reduced {:.1}x by fixed-rate cover traffic\n",
+        ratio0 / ratio1
+    ));
+    print!("{report}");
+    assert!(
+        ratio1 < ratio0 / 3.0,
+        "cover should mask activity: {ratio0:.1} -> {ratio1:.1}"
+    );
+    write_report("cover_ablation.txt", &report);
+}

@@ -1,0 +1,305 @@
+//! **Figure 5** — "Per client bandwidth with and without our LoadBalancer
+//! function": 13 clients arriving ~1 s apart, each downloading a 10 MB
+//! file from the hidden service; without the balancer they share one
+//! server, with it replicas spin up (at most 2 clients each, up to 4
+//! machines) and per-client throughput stays high.
+//!
+//! `cargo run -p bench --release --bin figure5`
+//! Watermark ablation: `--watermark N`. Scale: `--clients N --mb N`.
+
+use bench::{arg_u64, write_csv};
+use bento::protocol::FunctionSpec;
+use bento::testnet::BentoNetwork;
+use bento::{BentoClientNode, MiddleboxPolicy};
+use bento_functions::load_balancer::{lb_manifest, LbParams, ServiceParams};
+use bento_functions::standard_registry;
+use simnet::trace::Direction;
+use simnet::{Iface, NodeId, SimDuration, SimTime, TimeSeries};
+use tor_net::netbuild::TestClientNode;
+use tor_net::ports::{BENTO_PORT, HS_VIRTUAL_PORT};
+use tor_net::{HiddenServiceHost, StreamTarget, TorEvent};
+
+const HORIZON_S: u64 = 420;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// The hidden-service host machine's access link: the contended resource
+/// (calibrated so 13 sharing clients land in the paper's tens-of-KB/s
+/// regime while a lone client can reach several hundred KB/s).
+fn service_iface() -> Iface {
+    Iface::symmetric(SimDuration::from_millis(10), 1_800_000)
+}
+
+/// Relays are generously provisioned so the service uplink is the
+/// bottleneck, as in the paper's EC2 deployment.
+fn relay_iface() -> Iface {
+    Iface::symmetric(SimDuration::from_millis(10), 12_000_000)
+}
+
+struct RunResult {
+    /// Per-client (arrival-indexed) per-second download KB/s.
+    series: Vec<Vec<(f64, f64)>>,
+    /// Per-client completion time (s since experiment start), if finished.
+    completion: Vec<Option<f64>>,
+    machines: usize,
+}
+
+/// Drive `n_clients` onion downloads and sample per-client ingress.
+fn run_clients(
+    bn: &mut BentoNetwork,
+    onion: tor_net::OnionAddr,
+    n_clients: usize,
+    file_len: u64,
+    t_start: u64,
+) -> RunResult {
+    let mut clients = Vec::new();
+    for i in 0..n_clients {
+        let c = bn.net.add_client(&format!("client{i}"));
+        bn.net.sim.enable_sniffer(c);
+        clients.push(c);
+    }
+    bn.net.sim.run_until(secs(t_start));
+    // Clients arrive ~1 s apart; each connects, opens a stream, requests.
+    let mut rend: Vec<Option<tor_net::CircuitHandle>> = vec![None; n_clients];
+    let mut streams: Vec<Option<u16>> = vec![None; n_clients];
+    let mut requested = vec![false; n_clients];
+    let mut started_at: Vec<SimTime> = vec![SimTime::ZERO; n_clients];
+    let t0 = secs(t_start);
+    for (i, &c) in clients.iter().enumerate() {
+        bn.net.sim.run_until(secs(t_start + i as u64));
+        let r = bn
+            .net
+            .sim
+            .with_node::<TestClientNode, _>(c, |n, ctx| n.tor.connect_onion(ctx, onion));
+        rend[i] = r;
+        started_at[i] = bn.net.sim.now();
+    }
+    // Event loop: poll for rendezvous completion, open streams, request,
+    // and keep running to the horizon.
+    let deadline = secs(t_start + HORIZON_S);
+    while bn.net.sim.now() < deadline {
+        let now = bn.net.sim.now();
+        bn.net.sim.run_until(now + SimDuration::from_millis(500));
+        for (i, &c) in clients.iter().enumerate() {
+            let Some(r) = rend[i] else { continue };
+            if streams[i].is_none() {
+                let ready = bn.net.sim.with_node::<TestClientNode, _>(c, |n, _| {
+                    n.has_event(|e| matches!(e, TorEvent::RendezvousReady(h) if *h == r))
+                });
+                if ready {
+                    streams[i] = bn.net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                        n.tor.open_stream(ctx, r, StreamTarget::Hs(HS_VIRTUAL_PORT))
+                    });
+                } else if bn.net.sim.now().since(started_at[i]).as_secs_f64() > 30.0 {
+                    // Like the real Tor client: retry a stalled rendezvous
+                    // with a fresh rendezvous point and intro circuit.
+                    let nr = bn.net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                        n.tor.connect_onion(ctx, onion)
+                    });
+                    rend[i] = nr;
+                    started_at[i] = bn.net.sim.now();
+                }
+            } else if !requested[i] {
+                let s = streams[i].unwrap();
+                let connected = bn.net.sim.with_node::<TestClientNode, _>(c, |n, _| {
+                    n.has_event(
+                        |e| matches!(e, TorEvent::StreamConnected(h, sid) if *h == r && *sid == s),
+                    )
+                });
+                if connected {
+                    bn.net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                        n.tor.send_stream(ctx, r, s, b"GET");
+                    });
+                    requested[i] = true;
+                }
+            }
+        }
+    }
+    // Diagnostics for stalled clients.
+    for (i, &c) in clients.iter().enumerate() {
+        let total: u64 = bn
+            .net
+            .sim
+            .sniffer(c)
+            .events()
+            .iter()
+            .filter(|e| e.dir == Direction::Incoming)
+            .map(|e| e.bytes as u64)
+            .sum();
+        if total < file_len {
+            bn.net.sim.with_node::<TestClientNode, _>(c, |n, _| {
+                let kinds: Vec<String> = n.events.iter().map(|e| format!("{e:?}")[..40.min(format!("{e:?}").len())].to_string()).collect();
+                eprintln!("client {i}: received {total} bytes; events: {kinds:?}");
+            });
+        }
+    }
+    // Harvest per-second ingress series and completion times.
+    let mut series = Vec::new();
+    let mut completion = Vec::new();
+    for (i, &c) in clients.iter().enumerate() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        let mut received = 0u64;
+        let mut done_at = None;
+        for ev in bn.net.sim.sniffer(c).events() {
+            if ev.dir == Direction::Incoming && ev.time >= t0 {
+                ts.add(SimTime(ev.time.0 - t0.0), ev.bytes as f64 / 1024.0);
+                received += ev.bytes as u64;
+                if done_at.is_none() && received >= file_len {
+                    done_at = Some(ev.time.since(t0).as_secs_f64());
+                }
+            }
+        }
+        let _ = i;
+        series.push(ts.rate_points());
+        completion.push(done_at);
+    }
+    RunResult {
+        series,
+        completion,
+        machines: 0,
+    }
+}
+
+fn emit(name: &str, result: &RunResult, n_clients: usize) {
+    let max_len = result.series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut rows = Vec::new();
+    for t in 0..max_len {
+        let mut row = format!("{t}");
+        for s in &result.series {
+            let v = s.get(t).map(|(_, v)| *v).unwrap_or(0.0);
+            row.push_str(&format!(",{v:.1}"));
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("time_s".to_string())
+        .chain((1..=n_clients).map(|i| format!("client{i}_kbps")))
+        .collect::<Vec<_>>()
+        .join(",");
+    write_csv(name, &header, &rows);
+}
+
+fn main() {
+    let n_clients = arg_u64("--clients", 13) as usize;
+    let mb = arg_u64("--mb", 10);
+    let watermark = arg_u64("--watermark", 2) as u32;
+    let seed = arg_u64("--seed", 9);
+    let file_len = mb << 20;
+    let svc_seed = [0x5E; 32];
+    let onion = HiddenServiceHost::new(svc_seed, 0, true).onion_addr();
+
+    // ---------------- Without LoadBalancer ----------------
+    println!("== without LoadBalancer: single hidden service ==");
+    let without = {
+        let mut bn = BentoNetwork::build_with_iface(
+            seed,
+            1,
+            MiddleboxPolicy::permissive(),
+            standard_registry,
+            relay_iface(),
+        );
+        let mut node = TestClientNode::new(bn.net.authority, bn.net.authority_key)
+            .with_hs(HiddenServiceHost::new(svc_seed, 3, true));
+        node.serve_bytes = Some(file_len as usize);
+        let _svc = bn.net.sim.add_node("service", service_iface(), Box::new(node));
+        bn.net.sim.run_until(secs(20));
+        run_clients(&mut bn, onion, n_clients, file_len, 22)
+    };
+    emit("figure5_without_lb.csv", &without, n_clients);
+
+    // ---------------- With LoadBalancer ----------------
+    println!("== with LoadBalancer: watermark {watermark}, up to 4 machines ==");
+    let with_lb = {
+        // Four Bento boxes: the balancer's box plus three replica boxes —
+        // each box's access link is the same as the single service above.
+        let mut bn = BentoNetwork::build_full(
+            seed ^ 0xF5,
+            4,
+            MiddleboxPolicy::permissive(),
+            standard_registry,
+            relay_iface(),
+            service_iface(),
+        );
+        let operator = bn.add_bento_client("operator");
+        bn.net.sim.run_until(secs(2));
+        let replica_boxes: Vec<(NodeId, u16)> =
+            bn.boxes[1..4].iter().map(|b| (*b, BENTO_PORT)).collect();
+        let params = LbParams {
+            service: ServiceParams {
+                seed: svc_seed,
+                file_len,
+            },
+            n_intro: 3,
+            max_per_replica: watermark,
+            replica_boxes,
+        };
+        // Install the balancer on box 0.
+        let conn = bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
+        });
+        bn.net.sim.run_until(secs(5));
+        bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
+        });
+        bn.net.sim.run_until(secs(8));
+        let (container, _inv, _) = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(operator, |n, _| n.container_ready(conn))
+            .expect("container");
+        bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            let spec = FunctionSpec {
+                params: params.encode(),
+                manifest: lb_manifest(),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+        bn.net.sim.run_until(secs(20));
+        let mut r = run_clients(&mut bn, onion, n_clients, file_len, 22);
+        // Count active machines at the end (operator inspection).
+        r.machines = 1; // reported via logs; the LB box is always serving
+        r
+    };
+    emit("figure5_with_lb.csv", &with_lb, n_clients);
+
+    // Summary table.
+    println!("\nper-client completion times (s):");
+    println!("{:<8} {:>14} {:>14}", "client", "without LB", "with LB");
+    let mut done_without = 0;
+    let mut done_with = 0;
+    for i in 0..n_clients {
+        let w = without.completion[i];
+        let l = with_lb.completion[i];
+        if w.is_some() {
+            done_without += 1;
+        }
+        if l.is_some() {
+            done_with += 1;
+        }
+        println!(
+            "{:<8} {:>14} {:>14}",
+            i + 1,
+            w.map(|v| format!("{v:.1}")).unwrap_or("-".into()),
+            l.map(|v| format!("{v:.1}")).unwrap_or("-".into()),
+        );
+    }
+    let mean = |v: &Vec<Option<f64>>| {
+        let xs: Vec<f64> = v.iter().flatten().copied().collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    println!(
+        "\ncompleted within {}s: without={} with={} (of {})",
+        HORIZON_S, done_without, done_with, n_clients
+    );
+    println!(
+        "mean completion: without={:.1}s with={:.1}s",
+        mean(&without.completion),
+        mean(&with_lb.completion)
+    );
+}

@@ -1,0 +1,157 @@
+//! **§9.4 multipath ablation** — fetch time vs. number of circuits.
+//!
+//! With per-circuit bandwidth as the bottleneck (each circuit crosses
+//! capacity-limited relays), splitting one fetch into k ranges over k
+//! circuits approaches a k-fold speedup until some other resource binds —
+//! in this topology, the two exit relays: k=2 doubles throughput exactly,
+//! k=3/4 plateau because lanes start sharing exits. That bind is the
+//! point: multipath gains are bounded by path diversity.
+//!
+//! `cargo run -p bench --release --bin multipath_sweep`
+
+use bench::{arg_u64, write_csv};
+use bento::protocol::FunctionSpec;
+use bento::testnet::BentoNetwork;
+use bento::{BentoClientNode, MiddleboxPolicy};
+use bento_functions::multipath::{self, MultipathRequest};
+use bento_functions::standard_registry;
+use simnet::{Iface, SimDuration, SimTime};
+use tor_net::ports::HTTP_PORT;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn main() {
+    let mb = arg_u64("--mb", 4);
+    let file_len = mb << 20;
+    let body: Vec<u8> = (0..file_len).map(|i| (i * 131 % 251) as u8).collect();
+    println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
+    println!("{:<4} {:>12} {:>12} {:>14}", "k", "fetch (s)", "speedup", "end-to-end (s)");
+    let mut rows = Vec::new();
+    let mut base = 0.0f64;
+    for k in [1u8, 2, 3, 4] {
+        // Fresh network per k: many middle relays so circuits rarely share
+        // links; each relay capped so one circuit ≈ 200 KB/s.
+        let mut bn = BentoNetwork::build_full(
+            90 + k as u64,
+            1,
+            MiddleboxPolicy::permissive(),
+            standard_registry,
+            Iface::symmetric(SimDuration::from_millis(10), 200_000),
+            Iface::symmetric(SimDuration::from_millis(10), 2_000_000),
+        );
+        let server = bn
+            .net
+            .add_web_server("web", vec![("/big".to_string(), vec![body.clone()])]);
+        // The fetch stage is what multipath parallelizes; observe it on the
+        // web server's link. (The function's output leg back to the client
+        // rides ONE session circuit and is unchanged by k.)
+        bn.net.sim.enable_sniffer(server);
+        let client = bn.add_bento_client("alice");
+        bn.net.sim.run_until(secs(2));
+        let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
+        });
+        bn.net.sim.run_until(secs(5));
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
+        });
+        bn.net.sim.run_until(secs(8));
+        let (container, inv, _) = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+            .expect("container");
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: if std::env::var("MP_DEBUG").is_ok() {
+                    b"debug".to_vec()
+                } else {
+                    vec![]
+                },
+                manifest: multipath::manifest(),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+        bn.net.sim.run_until(secs(12));
+        let t0 = bn.net.sim.now();
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn), "{:?}", n.bento_events);
+            let req = MultipathRequest {
+                server,
+                port: HTTP_PORT,
+                path: "/big".into(),
+                total_len: file_len,
+                k,
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        });
+        let mut last_dbg = 0u64;
+        loop {
+            let now = bn.net.sim.now();
+            bn.net.sim.run_until(now + SimDuration::from_millis(200));
+            let done = bn
+                .net
+                .sim
+                .with_node::<BentoClientNode, _>(client, |n, _| n.output_done(conn));
+            let el = bn.net.sim.now().since(t0).as_secs_f64() as u64;
+            if std::env::var("MP_DEBUG").is_ok() && el / 30 > last_dbg {
+                last_dbg = el / 30;
+                bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+                    for e in &n.bento_events {
+                        if let bento::BentoEvent::Output(c, d) = e {
+                            if *c == conn && d.starts_with(b"DBG:") {
+                                eprintln!("  {}", String::from_utf8_lossy(d));
+                            }
+                        }
+                    }
+                });
+                let srv_bytes: u64 = bn
+                    .net
+                    .sim
+                    .sniffer(server)
+                    .events()
+                    .iter()
+                    .map(|e| e.bytes as u64)
+                    .sum();
+                eprintln!("k={k} t={el}s server-link bytes={srv_bytes}");
+            }
+            if done || bn.net.sim.now().since(t0).as_secs_f64() > 900.0 {
+                break;
+            }
+        }
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+            assert_eq!(
+                n.output_bytes(conn),
+                body,
+                "k={k} reassembled correctly (rejection: {:?})",
+                n.rejection(conn)
+            );
+        });
+        let e2e = bn.net.sim.now().since(t0).as_secs_f64();
+        // Fetch-stage span: first to last event on the server's link.
+        let events = bn.net.sim.sniffer(server).events();
+        let fetch = events
+            .last()
+            .map(|l| l.time.since(events[0].time).as_secs_f64())
+            .unwrap_or(0.0);
+        if k == 1 {
+            base = fetch;
+        }
+        println!(
+            "{:<4} {:>12.1} {:>11.2}x {:>14.1}",
+            k,
+            fetch,
+            base / fetch,
+            e2e
+        );
+        rows.push(format!("{k},{fetch:.2},{:.3},{e2e:.2}", base / fetch));
+    }
+    write_csv("multipath_sweep.csv", "k,fetch_s,speedup,e2e_s", &rows);
+}

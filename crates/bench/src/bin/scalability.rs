@@ -1,0 +1,199 @@
+//! **§7.3 scalability** — memory footprints and the SGX EPC constraint:
+//! "The maximum memory usage of a Bento server and Browser is roughly
+//! 16–20 MB ... add the estimated 7.3 MB required for conclaves ... SGX
+//! provides 128MB of protected memory, with only 93MB usable ... enclaves
+//! could be paged out if they are not currently being invoked."
+//!
+//! `cargo run -p bench --release --bin scalability`
+
+use bench::{arg_u64, write_report};
+use bento::protocol::FunctionSpec;
+use bento::server::{CONCLAVE_OVERHEAD, FN_BASE_MEMORY};
+use bento::testnet::BentoNetwork;
+use bento::{BentoBoxNode, BentoClientNode, BentoServer, MiddleboxPolicy};
+use bento_functions::standard_registry;
+use conclave::epc::{Epc, EPC_TOTAL_BYTES, EPC_USABLE_BYTES};
+use simnet::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn main() {
+    let mut report = String::new();
+    let mb = |b: u64| b as f64 / (1 << 20) as f64;
+
+    // ---- Static accounting (the paper's arithmetic). ----
+    let footprint = BentoServer::enclave_footprint(0);
+    report.push_str("== SGX memory accounting (paper section 7.3) ==\n");
+    report.push_str(&format!(
+        "EPC total                        {:>8.1} MB (paper: 128 MB)\n",
+        mb(EPC_TOTAL_BYTES)
+    ));
+    report.push_str(&format!(
+        "EPC usable by applications       {:>8.1} MB (paper: 93 MB)\n",
+        mb(EPC_USABLE_BYTES)
+    ));
+    report.push_str(&format!(
+        "Bento server + Browser footprint {:>8.1} MB (paper: 16-20 MB)\n",
+        mb(FN_BASE_MEMORY)
+    ));
+    report.push_str(&format!(
+        "Conclave overhead                {:>8.1} MB (paper: 7.3 MB)\n",
+        mb(CONCLAVE_OVERHEAD)
+    ));
+    report.push_str(&format!(
+        "Per-function enclave footprint   {:>8.1} MB\n",
+        mb(footprint)
+    ));
+    let epc = Epc::default();
+    report.push_str(&format!(
+        "Fully-resident concurrent functions: {}\n\n",
+        epc.capacity_for(footprint)
+    ));
+
+    // ---- Paging model: more loaded functions than fit, invoked round-robin.
+    report.push_str("== EPC paging: N loaded conclaves, round-robin invocation ==\n");
+    report.push_str("loaded   invocations   pages_in   pages_out   evictions   paging_cost\n");
+    for n in [2u64, 3, 4, 6, 8, 12] {
+        let mut epc = Epc::default();
+        for id in 0..n {
+            epc.register(id, footprint);
+        }
+        let rounds = 50;
+        for r in 0..rounds {
+            for id in 0..n {
+                let _ = r;
+                epc.touch(id);
+            }
+        }
+        let s = epc.stats();
+        report.push_str(&format!(
+            "{:<8} {:<13} {:<10} {:<11} {:<11} {:>8} us\n",
+            n,
+            rounds * n,
+            s.pages_in,
+            s.pages_out,
+            s.evictions,
+            s.cost_micros()
+        ));
+    }
+    report.push('\n');
+
+    // ---- Live check: load functions on one box until it refuses. ----
+    let limit = arg_u64("--max-functions", 16) as usize;
+    report.push_str("== live box: loading echo-like functions until refusal ==\n");
+    let mut policy = MiddleboxPolicy::permissive();
+    policy.max_functions = limit as u32;
+    let mut bn = BentoNetwork::build(31, 1, policy, standard_registry);
+    let client = bn.add_bento_client("loader");
+    bn.net.sim.run_until(secs(2));
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
+    });
+    bn.net.sim.run_until(secs(5));
+    let mut loaded = 0usize;
+    for i in 0..limit + 3 {
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+        });
+        let deadline = bn.net.sim.now() + SimDuration::from_secs(15);
+        let mut got = None;
+        while bn.net.sim.now() < deadline {
+            let now = bn.net.sim.now();
+            bn.net.sim.run_until(now + SimDuration::from_millis(250));
+            got = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+                let readies = n
+                    .bento_events
+                    .iter()
+                    .filter(|e| matches!(e, bento::BentoEvent::ContainerReady { .. }))
+                    .count();
+                let rejects = n
+                    .bento_events
+                    .iter()
+                    .filter(|e| matches!(e, bento::BentoEvent::Rejected(..)))
+                    .count();
+                if readies > loaded {
+                    Some(true)
+                } else if rejects > 0 {
+                    Some(false)
+                } else {
+                    None
+                }
+            });
+            if got.is_some() {
+                break;
+            }
+        }
+        match got {
+            Some(true) => {
+                loaded += 1;
+                // Upload a minimal function so the container counts as live.
+                let ready = bn
+                    .net
+                    .sim
+                    .with_node::<BentoClientNode, _>(client, |n, _| {
+                        n.bento_events.iter().rev().find_map(|e| match e {
+                            bento::BentoEvent::ContainerReady { container, .. } => {
+                                Some(*container)
+                            }
+                            _ => None,
+                        })
+                    })
+                    .expect("container id");
+                bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+                    let spec = FunctionSpec {
+                        params: bento_functions::dropbox::Params {
+                            max_gets: 1,
+                            expiry_ms: 0,
+                            max_bytes: 0,
+                        }
+                        .encode(),
+                        manifest: bento_functions::dropbox::manifest_sgx(),
+                    };
+                    n.bento.upload(ctx, &mut n.tor, conn, ready, &spec);
+                });
+                let now = bn.net.sim.now();
+                bn.net.sim.run_until(now + SimDuration::from_secs(8));
+            }
+            Some(false) => {
+                report.push_str(&format!(
+                    "refused at request #{} (policy max_functions = {})\n",
+                    i + 1,
+                    limit
+                ));
+                break;
+            }
+            None => {
+                report.push_str(&format!("request #{} timed out\n", i + 1));
+                break;
+            }
+        }
+    }
+    let bx = bn.boxes[0];
+    bn.net.sim.with_node::<BentoBoxNode, _>(bx, |n, _| {
+        let usage = n.bento.aggregate_usage();
+        let epc_stats = n.bento.epc_stats();
+        report.push_str(&format!("functions loaded: {loaded}\n"));
+        report.push_str(&format!(
+            "aggregate function memory: {:.1} MB (cap respected)\n",
+            mb(usage.memory)
+        ));
+        report.push_str(&format!(
+            "EPC resident: {:.1} MB of {:.1} MB usable; paging: {} in / {} out ({} evictions)\n",
+            mb(n.bento.epc().resident()),
+            mb(n.bento.epc().usable()),
+            epc_stats.pages_in,
+            epc_stats.pages_out,
+            epc_stats.evictions,
+        ));
+    });
+
+    print!("{report}");
+    write_report("scalability.txt", &report);
+}

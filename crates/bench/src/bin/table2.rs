@@ -1,0 +1,223 @@
+//! **Table 2** — "Download times (in seconds)" for five domains under
+//! standard Tor and Browser with 0/1/7 MB padding.
+//!
+//! The paper's shape: 0MB is comparable to (sometimes faster than)
+//! standard Tor; padding adds time proportional to the padding quantum at
+//! the circuit's effective bandwidth (~85 KB/s in the paper's runs —
+//! the direct consequence of the anonymity trilemma it illustrates).
+//!
+//! `cargo run -p bench --release --bin table2`
+
+use bench::{arg_u64, write_csv};
+use bento::protocol::FunctionSpec;
+use bento::testnet::BentoNetwork;
+use bento::{BentoClientNode, MiddleboxPolicy};
+use bento_functions::browser::{self, BrowseRequest};
+use bento_functions::standard_registry;
+use bento_functions::web::SiteModel;
+use simnet::{Iface, NodeId, SimDuration, SimTime};
+use tor_net::ports::HTTP_PORT;
+use wfp::browse::BrowseNode;
+
+/// The five Table 2 domains, with page compositions scaled to the paper's
+/// standard-Tor download times.
+fn domains(seed: u64) -> Vec<SiteModel> {
+    vec![
+        SiteModel::custom(
+            "indiatoday-in",
+            &[120_000, 90_000, 70_000, 50_000, 40_000, 30_000, 25_000, 20_000],
+            30_000,
+            seed ^ 1,
+        ),
+        SiteModel::custom(
+            "yahoo-com",
+            &[250_000, 180_000, 120_000, 90_000, 60_000, 40_000],
+            40_000,
+            seed ^ 2,
+        ),
+        SiteModel::custom(
+            "netflix-com",
+            &[400_000, 300_000, 200_000, 150_000, 100_000],
+            35_000,
+            seed ^ 3,
+        ),
+        SiteModel::custom(
+            "ebay-com",
+            &[200_000, 150_000, 100_000, 80_000, 60_000, 40_000, 30_000],
+            30_000,
+            seed ^ 4,
+        ),
+        SiteModel::custom("aliexpress-com", &[80_000, 60_000, 40_000, 30_000], 20_000, seed ^ 5),
+    ]
+}
+
+/// Per-circuit effective bandwidth model: a busy volunteer relay's share.
+fn relay_iface() -> Iface {
+    Iface::symmetric(SimDuration::from_millis(15), 110_000)
+}
+
+fn main() {
+    let seed = arg_u64("--seed", 3);
+    let sites = domains(77);
+    let paddings = [0u64, 1 << 20, 7 << 20];
+
+    // Standard Tor times.
+    let standard: Vec<f64> = {
+        let mut net = tor_net::netbuild::NetworkBuilder::new()
+            .seed(seed)
+            .middles(6)
+            .exits(3)
+            .relay_iface(relay_iface())
+            .build();
+        let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
+        let server = net.add_web_server("web", pages);
+        let client = net.sim.add_node(
+            "alice",
+            Iface::residential(),
+            Box::new(BrowseNode::new(net.authority, net.authority_key)),
+        );
+        net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        sites
+            .iter()
+            .map(|site| {
+                let t0 = net.sim.now();
+                let before = net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
+                    let d = n.visits_done;
+                    n.start_visit(ctx, server, &site.html_path());
+                    d
+                });
+                loop {
+                    let now = net.sim.now();
+                    net.sim.run_until(now + SimDuration::from_millis(100));
+                    let done =
+                        net.sim.with_node::<BrowseNode, _>(client, |n, _| n.visits_done);
+                    if done > before || net.sim.now().since(t0).as_secs_f64() > 600.0 {
+                        break;
+                    }
+                }
+                net.sim.now().since(t0).as_secs_f64()
+            })
+            .collect()
+    };
+
+    // Browser times per padding level.
+    let mut browser_times: Vec<Vec<f64>> = vec![Vec::new(); paddings.len()];
+    for (pi, padding) in paddings.iter().enumerate() {
+        let mut bn = BentoNetwork::build_with_iface(
+            seed ^ (pi as u64 + 1),
+            1,
+            MiddleboxPolicy::permissive(),
+            standard_registry,
+            relay_iface(),
+        );
+        let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
+        let server: NodeId = bn.net.add_web_server("web", pages);
+        let client = bn.add_bento_client("alice");
+        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
+        });
+        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+        });
+        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let (container, inv, _) = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+            .expect("container");
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: browser::manifest(false),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(15));
+        let ends = |n: &BentoClientNode| {
+            n.bento_events
+                .iter()
+                .filter(|e| matches!(e, bento::BentoEvent::OutputEnd(_)))
+                .count()
+        };
+        for site in &sites {
+            let t0 = bn.net.sim.now();
+            let before = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let e = ends(n);
+                let req = BrowseRequest {
+                    server,
+                    port: HTTP_PORT,
+                    path: site.html_path(),
+                    padding: *padding,
+                    dropbox_on: None,
+                };
+                n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+                e
+            });
+            loop {
+                let now = bn.net.sim.now();
+                bn.net.sim.run_until(now + SimDuration::from_millis(100));
+                let e = bn
+                    .net
+                    .sim
+                    .with_node::<BentoClientNode, _>(client, |n, _| ends(n));
+                if e > before || bn.net.sim.now().since(t0).as_secs_f64() > 600.0 {
+                    break;
+                }
+            }
+            browser_times[pi].push(bn.net.sim.now().since(t0).as_secs_f64());
+        }
+    }
+
+    // Paper's Table 2 for reference.
+    let paper: [[f64; 4]; 5] = [
+        [5.0, 6.4, 34.9, 86.0],
+        [6.7, 6.3, 21.2, 87.4],
+        [8.5, 8.1, 28.4, 86.3],
+        [6.1, 7.0, 22.3, 81.8],
+        [3.1, 5.9, 37.7, 91.9],
+    ];
+    println!("Table 2: download times in seconds (ours | paper)");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14} {:>14}",
+        "Domain", "standard Tor", "Browser 0MB", "Browser 1MB", "Browser 7MB"
+    );
+    let mut rows = Vec::new();
+    for (i, site) in sites.iter().enumerate() {
+        println!(
+            "{:<18} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1}",
+            site.name,
+            standard[i],
+            paper[i][0],
+            browser_times[0][i],
+            paper[i][1],
+            browser_times[1][i],
+            paper[i][2],
+            browser_times[2][i],
+            paper[i][3],
+        );
+        rows.push(format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{},{},{},{}",
+            site.name,
+            standard[i],
+            browser_times[0][i],
+            browser_times[1][i],
+            browser_times[2][i],
+            paper[i][0],
+            paper[i][1],
+            paper[i][2],
+            paper[i][3],
+        ));
+    }
+    write_csv(
+        "table2.csv",
+        "domain,standard_s,browser0_s,browser1mb_s,browser7mb_s,paper_standard,paper_0mb,paper_1mb,paper_7mb",
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! # bench — experiment harness regenerating the paper's tables and figures
+//!
+//! One binary per experiment (see DESIGN.md's per-experiment index):
+//!
+//! | paper artifact | binary | output |
+//! |---|---|---|
+//! | Table 1 (WF attack accuracy) | `table1` | `results/table1.csv` |
+//! | Table 2 (download times)     | `table2` | `results/table2.csv` |
+//! | Figure 5 (LoadBalancer)      | `figure5`| `results/figure5_{with,without}_lb.csv` |
+//! | §7.3 scalability             | `scalability` | `results/scalability.txt` |
+//! | §9.3 Shard property          | `shard_recovery` | `results/shard_recovery.txt` |
+//! | §9.1 Cover ablation          | `cover_ablation` | `results/cover_ablation.txt` |
+//!
+//! Criterion microbenches live in `benches/` (crypto, cells, erasure,
+//! classifiers, attestation, EPC paging).
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Write rows as CSV into `results/<name>` (creating the directory), and
+/// echo the path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Write a free-form text report into `results/<name>`.
+pub fn write_report(name: &str, body: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, body).expect("write report");
+    println!("wrote {}", path.display());
+}
+
+/// Parse `--key value` style args with a default.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare flag is present.
+pub fn arg_flag(key: &str) -> bool {
+    std::env::args().any(|a| a == key)
+}

@@ -1,0 +1,176 @@
+//! FS Protect: the encrypted, integrity-protected filesystem inside the
+//! conclave (§5.4).
+//!
+//! "FS Protect generates an ephemeral encryption key when the filesystem is
+//! launched in an enclave; the container ensures that the enclaved
+//! filesystem is the only writable filesystem available to the function,
+//! and therefore that all filesystem writes are encrypted." The ephemeral
+//! key never leaves the enclave, so the operator only ever sees ciphertext
+//! — which is also the paper's plausible-deniability argument (§6.2).
+
+use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::sha256::sha256;
+use std::collections::BTreeMap;
+
+/// The enclaved filesystem.
+pub struct FsProtect {
+    /// Ephemeral key, generated at launch; dropped with the enclave.
+    key: AeadKey,
+    /// path-hash -> (nonce counter at write time, ciphertext).
+    store: BTreeMap<[u8; 32], (u64, Vec<u8>)>,
+    nonce_counter: u64,
+    /// Plaintext bytes stored (for capacity accounting).
+    plain_bytes: u64,
+}
+
+impl FsProtect {
+    /// Launch with a fresh ephemeral key.
+    pub fn launch(rng: &mut impl rand::Rng) -> FsProtect {
+        FsProtect {
+            key: AeadKey::random(rng),
+            store: BTreeMap::new(),
+            nonce_counter: 1,
+            plain_bytes: 0,
+        }
+    }
+
+    fn nonce(counter: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[4..].copy_from_slice(&counter.to_be_bytes());
+        n
+    }
+
+    /// Write a file; contents are encrypted and the path is hashed, so the
+    /// operator view leaks neither names nor contents.
+    pub fn write(&mut self, path: &str, data: &[u8]) {
+        let id = sha256(path.as_bytes());
+        if let Some((_, old)) = self.store.get(&id) {
+            // Ciphertext length = plaintext length + tag.
+            self.plain_bytes -= (old.len() - 32) as u64;
+        }
+        let counter = self.nonce_counter;
+        self.nonce_counter += 1;
+        let ct = seal(&self.key, &Self::nonce(counter), &id, data);
+        self.plain_bytes += data.len() as u64;
+        self.store.insert(id, (counter, ct));
+    }
+
+    /// Read a file back (inside the enclave).
+    pub fn read(&self, path: &str) -> Option<Vec<u8>> {
+        let id = sha256(path.as_bytes());
+        let (counter, ct) = self.store.get(&id)?;
+        open(&self.key, &Self::nonce(*counter), &id, ct).ok()
+    }
+
+    /// Delete a file.
+    pub fn unlink(&mut self, path: &str) -> bool {
+        let id = sha256(path.as_bytes());
+        match self.store.remove(&id) {
+            Some((_, ct)) => {
+                self.plain_bytes -= (ct.len() - 32) as u64;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.store.contains_key(&sha256(path.as_bytes()))
+    }
+
+    /// Plaintext bytes stored.
+    pub fn bytes_used(&self) -> u64 {
+        self.plain_bytes
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// What the *operator* can see: opaque ids and ciphertext. Used by the
+    /// abusive-content tests to prove the operator learns nothing.
+    pub fn operator_view(&self) -> Vec<([u8; 32], &[u8])> {
+        self.store
+            .iter()
+            .map(|(id, (_, ct))| (*id, ct.as_slice()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fs() -> FsProtect {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        FsProtect::launch(&mut rng)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut f = fs();
+        f.write("function.py", b"def browser(url): ...");
+        assert_eq!(f.read("function.py").unwrap(), b"def browser(url): ...");
+        assert_eq!(f.bytes_used(), 21);
+        assert_eq!(f.file_count(), 1);
+    }
+
+    #[test]
+    fn operator_sees_only_ciphertext() {
+        let mut f = fs();
+        let secret = b"the onion address is xyz.onion";
+        f.write("notes.txt", secret);
+        for (id, ct) in f.operator_view() {
+            assert_ne!(&id[..], b"notes.txt".as_slice());
+            // The plaintext must not appear anywhere in the ciphertext.
+            assert!(!ct
+                .windows(secret.len())
+                .any(|w| w == secret.as_slice()));
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_and_reaccounts() {
+        let mut f = fs();
+        f.write("a", b"0123456789");
+        f.write("a", b"xyz");
+        assert_eq!(f.read("a").unwrap(), b"xyz");
+        assert_eq!(f.bytes_used(), 3);
+        assert_eq!(f.file_count(), 1);
+    }
+
+    #[test]
+    fn unlink_removes() {
+        let mut f = fs();
+        f.write("a", b"data");
+        assert!(f.unlink("a"));
+        assert!(!f.unlink("a"));
+        assert!(f.read("a").is_none());
+        assert_eq!(f.bytes_used(), 0);
+    }
+
+    #[test]
+    fn keys_are_ephemeral_across_launches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut f1 = FsProtect::launch(&mut rng);
+        let mut f2 = FsProtect::launch(&mut rng);
+        f1.write("a", b"same plaintext");
+        f2.write("a", b"same plaintext");
+        let v1 = f1.operator_view()[0].1.to_vec();
+        let v2 = f2.operator_view()[0].1.to_vec();
+        assert_ne!(v1, v2, "different launches encrypt differently");
+    }
+
+    #[test]
+    fn rewrites_use_fresh_nonces() {
+        let mut f = fs();
+        f.write("a", b"same plaintext");
+        let v1 = f.operator_view()[0].1.to_vec();
+        f.write("a", b"same plaintext");
+        let v2 = f.operator_view()[0].1.to_vec();
+        assert_ne!(v1, v2, "nonce reuse would leak plaintext equality");
+    }
+}

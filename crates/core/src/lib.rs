@@ -1,0 +1,53 @@
+//! # bento — safely bringing network function virtualization to Tor
+//!
+//! This crate is the paper's contribution: an architecture that lets Tor
+//! clients install and run "functions" on willing Tor relays, protecting
+//! the *functions from the middleboxes* (conclaves: attestation, FS
+//! Protect) and the *middleboxes from the functions* (containers, seccomp,
+//! middlebox node policies, manifests, the Stem firewall).
+//!
+//! Component map (Figure 3 of the paper):
+//!
+//! * [`server::BentoServer`] — runs next to an unmodified Tor relay
+//!   ([`tor_net::RelayCore`]) and is reached through the relay's own exit
+//!   path to "localhost"; spawns a container per client function, issues
+//!   invocation/shutdown tokens, negotiates manifests against the node
+//!   policy, and executes functions.
+//! * [`node::BentoBoxNode`] — the host machine: relay + Bento server + an
+//!   onion proxy ([`tor_net::TorClient`]) for the functions' own Tor use
+//!   (circuits, hidden services) mediated by the [`stem::StemFirewall`].
+//! * [`client::BentoClient`] — the user side: discover Bento boxes in the
+//!   consensus, fetch their policies, attest the conclave, upload over the
+//!   attested channel, invoke, compose, shut down.
+//! * [`function::Function`] — the function programming model. The paper's
+//!   functions are "a few lines of Python"; here they are small Rust types
+//!   behind the same mediated API (see DESIGN.md for the substitution
+//!   argument), registered in a [`function::FunctionRegistry`] that stands
+//!   in for shipping source code.
+//!
+//! Bento requires **no modifications to Tor**: everything in this crate
+//! sits strictly on top of the `tor-net` substrate's public interfaces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod function;
+pub mod manifest;
+pub mod node;
+pub mod policy;
+pub mod protocol;
+pub mod server;
+pub mod stem;
+pub mod testnet;
+pub mod tokens;
+
+pub use client::{BentoClient, BentoClientNode, BentoEvent, BoxConn};
+pub use function::{FnAction, Function, FunctionApi, FunctionRegistry};
+pub use manifest::Manifest;
+pub use node::BentoBoxNode;
+pub use policy::MiddleboxPolicy;
+pub use protocol::{BentoMsg, ImageKind};
+pub use server::BentoServer;
+pub use stem::{StemCall, StemFirewall};
+pub use tokens::Token;

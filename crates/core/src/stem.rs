@@ -1,0 +1,239 @@
+//! The Stem firewall (§5.3): mediated access to the co-resident Tor
+//! instance.
+//!
+//! Functions "must connect (via a local socket) to issue all Stem
+//! invocations. The firewall maintains state about the circuits each
+//! function is allowed to access, and the Stem routines the function may
+//! invoke." Here the firewall is a policy gate plus an ownership table:
+//! which Stem calls a function may make, and which circuits/hidden services
+//! it may touch (a function can never act on another function's circuits).
+
+use std::collections::{HashMap, HashSet};
+
+/// Stem (Tor control) routines a function can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StemCall {
+    /// Build a new circuit.
+    NewCircuit,
+    /// Open a stream on an owned circuit.
+    OpenStream,
+    /// Send data on an owned stream.
+    SendStream,
+    /// Send cover (DROP) cells on an owned circuit.
+    SendDrop,
+    /// Connect to an onion service.
+    ConnectOnion,
+    /// Launch a hidden service (a dedicated onion proxy, §5.4).
+    CreateHiddenService,
+    /// Read the consensus (relay listing).
+    ReadConsensus,
+}
+
+impl StemCall {
+    /// Every call, for exhaustive policies.
+    pub const ALL: [StemCall; 7] = [
+        StemCall::NewCircuit,
+        StemCall::OpenStream,
+        StemCall::SendStream,
+        StemCall::SendDrop,
+        StemCall::ConnectOnion,
+        StemCall::CreateHiddenService,
+        StemCall::ReadConsensus,
+    ];
+
+    /// Stable wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            StemCall::NewCircuit => 0,
+            StemCall::OpenStream => 1,
+            StemCall::SendStream => 2,
+            StemCall::SendDrop => 3,
+            StemCall::ConnectOnion => 4,
+            StemCall::CreateHiddenService => 5,
+            StemCall::ReadConsensus => 6,
+        }
+    }
+
+    /// Parse a stable wire id.
+    pub fn from_id(id: u8) -> Option<StemCall> {
+        StemCall::ALL.iter().copied().find(|c| c.id() == id)
+    }
+
+    /// Stable name for policy documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            StemCall::NewCircuit => "new_circuit",
+            StemCall::OpenStream => "open_stream",
+            StemCall::SendStream => "send_stream",
+            StemCall::SendDrop => "send_drop",
+            StemCall::ConnectOnion => "connect_onion",
+            StemCall::CreateHiddenService => "create_hidden_service",
+            StemCall::ReadConsensus => "read_consensus",
+        }
+    }
+}
+
+/// Why the firewall refused a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StemDenied {
+    /// The function's negotiated permissions do not include this routine.
+    NotPermitted(StemCall),
+    /// The circuit/service is not owned by this function.
+    NotOwner,
+}
+
+impl std::fmt::Display for StemDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StemDenied::NotPermitted(c) => write!(f, "stem call {} not permitted", c.name()),
+            StemDenied::NotOwner => write!(f, "circuit not owned by this function"),
+        }
+    }
+}
+
+/// Per-function firewall state on one Bento box.
+#[derive(Debug, Default)]
+pub struct StemFirewall {
+    /// function id -> allowed routines (from the approved manifest).
+    allowed: HashMap<u64, HashSet<StemCall>>,
+    /// circuit slot -> owning function.
+    circuit_owner: HashMap<usize, u64>,
+    /// hidden service id -> owning function.
+    hs_owner: HashMap<u64, u64>,
+    /// Denied attempts, for operator inspection.
+    violations: Vec<(u64, StemDenied)>,
+}
+
+impl StemFirewall {
+    /// Empty firewall.
+    pub fn new() -> StemFirewall {
+        StemFirewall::default()
+    }
+
+    /// Register a function's permitted routines.
+    pub fn register_function(&mut self, function: u64, calls: impl IntoIterator<Item = StemCall>) {
+        self.allowed.insert(function, calls.into_iter().collect());
+    }
+
+    /// Remove a function and all its ownership records.
+    pub fn remove_function(&mut self, function: u64) {
+        self.allowed.remove(&function);
+        self.circuit_owner.retain(|_, f| *f != function);
+        self.hs_owner.retain(|_, f| *f != function);
+    }
+
+    /// Gate a routine with no object (NewCircuit, ConnectOnion, ...).
+    pub fn check(&mut self, function: u64, call: StemCall) -> Result<(), StemDenied> {
+        let ok = self
+            .allowed
+            .get(&function)
+            .map(|s| s.contains(&call))
+            .unwrap_or(false);
+        if ok {
+            Ok(())
+        } else {
+            let d = StemDenied::NotPermitted(call);
+            self.violations.push((function, d));
+            Err(d)
+        }
+    }
+
+    /// Record that `function` now owns `circuit`.
+    pub fn grant_circuit(&mut self, function: u64, circuit: usize) {
+        self.circuit_owner.insert(circuit, function);
+    }
+
+    /// Record that `function` now owns hidden service `hs`.
+    pub fn grant_hs(&mut self, function: u64, hs: u64) {
+        self.hs_owner.insert(hs, function);
+    }
+
+    /// Who owns a circuit.
+    pub fn circuit_owner(&self, circuit: usize) -> Option<u64> {
+        self.circuit_owner.get(&circuit).copied()
+    }
+
+    /// Who owns a hidden service.
+    pub fn hs_owner(&self, hs: u64) -> Option<u64> {
+        self.hs_owner.get(&hs).copied()
+    }
+
+    /// Gate a routine acting on an owned circuit.
+    pub fn check_circuit(
+        &mut self,
+        function: u64,
+        call: StemCall,
+        circuit: usize,
+    ) -> Result<(), StemDenied> {
+        self.check(function, call)?;
+        if self.circuit_owner.get(&circuit) == Some(&function) {
+            Ok(())
+        } else {
+            self.violations.push((function, StemDenied::NotOwner));
+            Err(StemDenied::NotOwner)
+        }
+    }
+
+    /// Denied attempts so far.
+    pub fn violations(&self) -> &[(u64, StemDenied)] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_function_denied_everything() {
+        let mut fw = StemFirewall::new();
+        assert!(fw.check(1, StemCall::NewCircuit).is_err());
+        assert_eq!(fw.violations().len(), 1);
+    }
+
+    #[test]
+    fn permitted_calls_pass() {
+        let mut fw = StemFirewall::new();
+        fw.register_function(1, [StemCall::NewCircuit, StemCall::OpenStream]);
+        assert!(fw.check(1, StemCall::NewCircuit).is_ok());
+        assert!(fw.check(1, StemCall::OpenStream).is_ok());
+        assert_eq!(
+            fw.check(1, StemCall::CreateHiddenService),
+            Err(StemDenied::NotPermitted(StemCall::CreateHiddenService))
+        );
+    }
+
+    #[test]
+    fn circuit_ownership_isolates_functions() {
+        let mut fw = StemFirewall::new();
+        fw.register_function(1, StemCall::ALL);
+        fw.register_function(2, StemCall::ALL);
+        fw.grant_circuit(1, 10);
+        assert!(fw.check_circuit(1, StemCall::SendStream, 10).is_ok());
+        // Function 2 may call SendStream in general, but not on circuit 10.
+        assert_eq!(
+            fw.check_circuit(2, StemCall::SendStream, 10),
+            Err(StemDenied::NotOwner)
+        );
+    }
+
+    #[test]
+    fn remove_function_revokes_ownership() {
+        let mut fw = StemFirewall::new();
+        fw.register_function(1, StemCall::ALL);
+        fw.grant_circuit(1, 5);
+        fw.grant_hs(1, 7);
+        fw.remove_function(1);
+        assert_eq!(fw.circuit_owner(5), None);
+        assert_eq!(fw.hs_owner(7), None);
+        assert!(fw.check(1, StemCall::NewCircuit).is_err());
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for c in StemCall::ALL {
+            assert_eq!(StemCall::from_id(c.id()), Some(c));
+        }
+        assert_eq!(StemCall::from_id(99), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Stand up a Tor network with Bento boxes in a few lines — used by the
+//! integration tests, the examples, and every benchmark.
+
+use crate::client::{BentoClient, BentoClientNode};
+use crate::function::FunctionRegistry;
+use crate::node::BentoBoxNode;
+use crate::policy::MiddleboxPolicy;
+use crate::server::BentoServer;
+use conclave::attest::Ias;
+use conclave::enclave::Enclave;
+use onion_crypto::hashsig::MerkleVerifyKey;
+use simnet::{Iface, NodeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tor_net::client::TorClient;
+use tor_net::dir::{ExitPolicy, RelayFlags};
+use tor_net::netbuild::{NetworkBuilder, TorNetwork};
+use tor_net::ports::BENTO_PORT;
+use tor_net::relay::{RelayConfig, RelayCore};
+
+/// The canonical conclave image every Bento box runs (measured; clients pin
+/// its measurement).
+pub const ENCLAVE_IMAGE: &[u8] = b"bento-conclave-image: python runtime + function loader v1";
+
+/// Measurement of [`ENCLAVE_IMAGE`].
+pub fn enclave_measurement() -> [u8; 32] {
+    onion_crypto::sha256::sha256(ENCLAVE_IMAGE)
+}
+
+/// A Tor network plus Bento infrastructure.
+pub struct BentoNetwork {
+    /// The underlying Tor network (owns the simulator).
+    pub net: TorNetwork,
+    /// Addresses of the Bento boxes.
+    pub boxes: Vec<NodeId>,
+    /// The shared (simulated) Intel Attestation Service.
+    pub ias: Rc<RefCell<Ias>>,
+    /// The IAS verification key clients pin.
+    pub ias_key: MerkleVerifyKey,
+}
+
+impl BentoNetwork {
+    /// Build a network with `n_boxes` Bento boxes, each running `policy`
+    /// and instantiating functions from `make_registry()`.
+    pub fn build(
+        seed: u64,
+        n_boxes: usize,
+        policy: MiddleboxPolicy,
+        make_registry: fn() -> FunctionRegistry,
+    ) -> BentoNetwork {
+        Self::build_with_iface(seed, n_boxes, policy, make_registry, Iface::tor_relay())
+    }
+
+    /// Like [`BentoNetwork::build`], with an explicit relay access interface
+    /// (experiments calibrate per-circuit bandwidth through it).
+    pub fn build_with_iface(
+        seed: u64,
+        n_boxes: usize,
+        policy: MiddleboxPolicy,
+        make_registry: fn() -> FunctionRegistry,
+        relay_iface: Iface,
+    ) -> BentoNetwork {
+        Self::build_full(seed, n_boxes, policy, make_registry, relay_iface, relay_iface)
+    }
+
+    /// Fully explicit construction: separate interfaces for the plain
+    /// relays and for the Bento box machines (Figure 5 contends on the box
+    /// uplinks while the relay fabric is generously provisioned).
+    pub fn build_full(
+        seed: u64,
+        n_boxes: usize,
+        policy: MiddleboxPolicy,
+        make_registry: fn() -> FunctionRegistry,
+        relay_iface: Iface,
+        box_iface: Iface,
+    ) -> BentoNetwork {
+        let mut net = NetworkBuilder::new()
+            .seed(seed)
+            .middles(6)
+            .exits(2)
+            .hsdirs(2)
+            .relay_iface(relay_iface)
+            .build();
+        let ias = Rc::new(RefCell::new(Ias::new([0xC0; 32], 5)));
+        let ias_key = ias.borrow().verify_key();
+
+        let mut boxes = Vec::new();
+        for i in 0..n_boxes {
+            let mut cfg = RelayConfig::middle(&format!("bento{i}"), [0xB0 + i as u8; 32]);
+            cfg.flags = RelayFlags::default().with(
+                RelayFlags::EXIT | RelayFlags::FAST | RelayFlags::BENTO | RelayFlags::GUARD,
+            );
+            cfg.exit_policy = ExitPolicy::web_only();
+            cfg.bento_port = Some(BENTO_PORT);
+            cfg.authority_addr = Some(net.authority);
+            let relay = RelayCore::new(cfg);
+            let fp = relay.fingerprint();
+            let tor = TorClient::new(net.authority, net.authority_key);
+            let platform = {
+                let mut ias_mut = ias.borrow_mut();
+                // Deterministic per-box platform keys via a seeded RNG.
+                let mut rng: rand::rngs::StdRng =
+                    rand::SeedableRng::seed_from_u64(seed ^ (i as u64) << 8 | 0xF00D);
+                ias_mut.provision_platform(1000 + i as u64, &mut rng)
+            };
+            let bento = BentoServer::new(
+                policy.clone(),
+                make_registry(),
+                ExitPolicy::web_only(),
+                ENCLAVE_IMAGE.to_vec(),
+                ias.clone(),
+                platform,
+                seed.wrapping_add(i as u64),
+            );
+            let node = BentoBoxNode::new(relay, tor, bento);
+            let addr = net
+                .sim
+                .add_node(format!("bento{i}"), box_iface, Box::new(node));
+            net.relays.push((addr, fp));
+            boxes.push(addr);
+        }
+        BentoNetwork {
+            net,
+            boxes,
+            ias,
+            ias_key,
+        }
+    }
+
+    /// Attach a Bento-capable client node.
+    pub fn add_bento_client(&mut self, name: &str) -> NodeId {
+        let tor = TorClient::new(self.net.authority, self.net.authority_key);
+        let bento = BentoClient::new(self.ias_key, enclave_measurement());
+        let node = BentoClientNode::new(tor, bento);
+        self.net
+            .sim
+            .add_node(name, Iface::residential(), Box::new(node))
+    }
+
+    /// A freshly measured conclave [`Enclave`] (for direct conclave tests).
+    pub fn reference_enclave(&self) -> Enclave {
+        Enclave::create(0, ENCLAVE_IMAGE, 24 << 20, 5)
+    }
+}

@@ -1,0 +1,71 @@
+//! Invocation and shutdown tokens (§5.3).
+//!
+//! When a Bento server spawns a container it returns two capabilities: an
+//! *invocation token* (required on every message to the function — this is
+//! also what stops an attacker injecting packets into someone else's
+//! function, §6.1) and a *shutdown token* (required to terminate it). The
+//! split lets a client share use of a function while retaining exclusive
+//! shutdown rights.
+
+use onion_crypto::hmac::ct_eq;
+use rand::Rng;
+
+/// A 32-byte bearer capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub [u8; 32]);
+
+impl Token {
+    /// Generate a fresh random token.
+    pub fn random(rng: &mut impl Rng) -> Token {
+        let mut t = [0u8; 32];
+        rng.fill(&mut t);
+        Token(t)
+    }
+
+    /// Constant-time comparison against presented bytes.
+    pub fn matches(&self, presented: &[u8]) -> bool {
+        ct_eq(&self.0, presented)
+    }
+
+    /// Parse from exactly 32 bytes.
+    pub fn from_bytes(b: &[u8]) -> Option<Token> {
+        if b.len() != 32 {
+            return None;
+        }
+        let mut t = [0u8; 32];
+        t.copy_from_slice(b);
+        Some(Token(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tokens_are_distinct_and_match_themselves() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Token::random(&mut rng);
+        let b = Token::random(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.matches(&a.0));
+        assert!(!a.matches(&b.0));
+    }
+
+    #[test]
+    fn wrong_length_never_matches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Token::random(&mut rng);
+        assert!(!a.matches(&a.0[..31]));
+        assert!(!a.matches(&[]));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Token::random(&mut rng);
+        assert_eq!(Token::from_bytes(&a.0), Some(a));
+        assert_eq!(Token::from_bytes(&a.0[..10]), None);
+    }
+}

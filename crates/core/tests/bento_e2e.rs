@@ -1,0 +1,612 @@
+//! End-to-end Bento tests on the simulated Tor network: the full life
+//! cycle of §5 (policy fetch, attestation, upload over the attested
+//! channel, invocation, token checks, shutdown) and the security
+//! properties of §6.
+
+use bento::function::{Function, FunctionApi, FunctionRegistry};
+use bento::manifest::Manifest;
+use bento::protocol::{FunctionSpec, ImageKind};
+
+use bento::testnet::BentoNetwork;
+use bento::tokens::Token;
+use bento::{BentoClientNode, BentoEvent, MiddleboxPolicy};
+use sandbox::seccomp::SyscallClass;
+use simnet::{SimDuration, SimTime};
+
+/// Test function: echoes its input back, optionally storing it first.
+struct EchoFn {
+    stored: bool,
+}
+impl Function for EchoFn {
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, input: Vec<u8>) {
+        if self.stored {
+            api.fs_write("last-input", &input).expect("fs allowed");
+        }
+        api.output(input);
+        api.output_end();
+    }
+}
+
+/// Test function: floods its invoker with output until the network budget
+/// kills it.
+struct FlooderFn;
+impl Function for FlooderFn {
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {
+        // Tries to emit 100 MB; far beyond its budget.
+        for _ in 0..200 {
+            api.output(vec![0xEE; 512 * 1024]);
+        }
+        api.output_end();
+    }
+}
+
+/// Test function: burns CPU until the cgroup kills it (§6.2 resource
+/// exhaustion).
+struct HogFn;
+impl Function for HogFn {
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {
+        // The policy CPU budget is finite; this loop must be stopped by
+        // the container, not by cooperation.
+        loop {
+            if api.cpu(60_000).is_err() {
+                // The container is already dead; nothing we output matters.
+                api.output(b"still alive?!".to_vec());
+                return;
+            }
+        }
+    }
+}
+
+/// Test function: tries forbidden things and reports what happened.
+struct ProbeFn;
+impl Function for ProbeFn {
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {
+        let mut report = Vec::new();
+        // The manifest didn't request Write: must be refused.
+        report.push(match api.fs_write("x", b"y") {
+            Err(_) => b'W',
+            Ok(_) => b'!',
+        });
+        // Port 22 isn't in the web-only exit policy: must be refused.
+        report.push(match api.connect(simnet::NodeId(0), 22) {
+            Err(_) => b'C',
+            Ok(_) => b'!',
+        });
+        api.output(report);
+        api.output_end();
+    }
+}
+
+fn registry() -> FunctionRegistry {
+    fn make_echo(_p: &[u8]) -> Box<dyn Function> {
+        Box::new(EchoFn { stored: false })
+    }
+    fn make_echo_store(_p: &[u8]) -> Box<dyn Function> {
+        Box::new(EchoFn { stored: true })
+    }
+    fn make_probe(_p: &[u8]) -> Box<dyn Function> {
+        Box::new(ProbeFn)
+    }
+    fn make_hog(_p: &[u8]) -> Box<dyn Function> {
+        Box::new(HogFn)
+    }
+    fn make_flooder(_p: &[u8]) -> Box<dyn Function> {
+        Box::new(FlooderFn)
+    }
+    let mut r = FunctionRegistry::new();
+    r.register("echo", make_echo);
+    r.register("echo-store", make_echo_store);
+    r.register("probe", make_probe);
+    r.register("hog", make_hog);
+    r.register("flooder", make_flooder);
+    r
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Drive a full session up to ContainerReady; returns (client node id,
+/// box conn, container id, tokens).
+fn establish(
+    bn: &mut BentoNetwork,
+    image: ImageKind,
+) -> (simnet::NodeId, bento::BoxConn, u64, Token, Token) {
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        assert!(!boxes.is_empty(), "bento boxes in consensus");
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+    });
+    bn.net.sim.run_until(secs(5));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(
+            n.bento_events
+                .iter()
+                .any(|e| matches!(e, BentoEvent::Connected(c) if *c == conn)),
+            "bento stream connected; events: {:?}",
+            n.bento_events
+        );
+        n.bento.request_container(ctx, &mut n.tor, conn, image);
+    });
+    bn.net.sim.run_until(secs(8));
+    let (container, inv, shut) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+        .unwrap_or_else(|| panic!("container ready"));
+    (client, conn, container, inv, shut)
+}
+
+#[test]
+fn full_lifecycle_plain_image() {
+    let mut bn = BentoNetwork::build(101, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, shut) = establish(&mut bn, ImageKind::Plain);
+    // Upload echo.
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, inv, b"hello bento".to_vec());
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert_eq!(n.output_bytes(conn), b"hello bento");
+        assert!(n.output_done(conn));
+        n.bento.shutdown(ctx, &mut n.tor, conn, shut);
+    });
+    bn.net.sim.run_until(secs(17));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n
+            .bento_events
+            .iter()
+            .any(|e| matches!(e, BentoEvent::ShutdownAck(c) if *c == conn)));
+    });
+    // The box no longer runs the function.
+    let bx = bn.boxes[0];
+    bn.net
+        .sim
+        .with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+            assert_eq!(n.bento.live_functions(), 0);
+        });
+}
+
+#[test]
+fn sgx_image_attests_and_uploads_sealed() {
+    let mut bn = BentoNetwork::build(102, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Sgx);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        // No attestation failure events.
+        assert!(!n
+            .bento_events
+            .iter()
+            .any(|e| matches!(e, BentoEvent::AttestationFailed(..))));
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo-store")
+                .with_disk(1 << 20)
+                .with_sgx(),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn), "sealed upload accepted: {:?}", n.bento_events);
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, inv, b"secret payload".to_vec());
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.output_bytes(conn), b"secret payload");
+    });
+}
+
+#[test]
+fn wrong_invocation_token_rejected() {
+    let mut bn = BentoNetwork::build(103, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        // An attacker without the token cannot inject input (§6.1).
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, Token([0xEE; 32]), b"inject".to_vec());
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_bytes(conn).is_empty(), "no output for bad token");
+        assert_eq!(n.rejection(conn), Some("bad invocation token"));
+    });
+}
+
+#[test]
+fn invocation_token_cannot_shut_down() {
+    let mut bn = BentoNetwork::build(104, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        // Presenting the invocation token as a shutdown token must fail —
+        // the §5.3 sharing model depends on it.
+        n.bento.shutdown(ctx, &mut n.tor, conn, inv);
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.rejection(conn), Some("bad shutdown token"));
+    });
+    let bx = bn.boxes[0];
+    bn.net
+        .sim
+        .with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+            assert_eq!(n.bento.live_functions(), 1, "function still running");
+        });
+}
+
+#[test]
+fn manifest_exceeding_policy_rejected() {
+    // A no-storage node must refuse a function whose manifest wants disk.
+    let mut bn = BentoNetwork::build(105, 1, MiddleboxPolicy::no_storage(), registry);
+    let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo-store").with_disk(1 << 20),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(!n.upload_ok(conn));
+        assert!(n.rejection(conn).unwrap().contains("not offered"));
+    });
+}
+
+#[test]
+fn unknown_function_rejected() {
+    let mut bn = BentoNetwork::build(106, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("not-in-registry"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.rejection(conn).unwrap().contains("unknown function"));
+    });
+}
+
+#[test]
+fn sandbox_enforces_manifest_at_runtime() {
+    let mut bn = BentoNetwork::build(107, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        // The probe asks only for Connect; not Write.
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("probe").with_syscalls([SyscallClass::Connect]),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn), "{:?}", n.bento_events);
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        // 'W' = write refused by seccomp; 'C' = connect refused by the
+        // exit-policy-derived net rules.
+        assert_eq!(n.output_bytes(conn), b"WC");
+    });
+}
+
+#[test]
+fn policy_query_returns_node_policy() {
+    let mut bn = BentoNetwork::build(108, 1, MiddleboxPolicy::no_storage(), registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        let c = n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap();
+        n.bento.get_policy(ctx, &mut n.tor, c);
+        c
+    });
+    bn.net.sim.run_until(secs(6));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        let got = n.bento_events.iter().find_map(|e| match e {
+            BentoEvent::Policy(c, p) if *c == conn => Some(p.clone()),
+            _ => None,
+        });
+        let p = got.expect("policy received");
+        assert_eq!(p, MiddleboxPolicy::no_storage());
+        assert!(!p.syscalls.contains(&SyscallClass::Write));
+    });
+}
+
+#[test]
+fn invocation_token_shareable_across_clients() {
+    let mut bn = BentoNetwork::build(109, 1, MiddleboxPolicy::permissive(), registry);
+    let (alice, conn_a, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn_a, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    // Bob receives the invocation token out of band and uses the function.
+    let bob = bn.add_bento_client("bob");
+    bn.net.sim.run_until(secs(13));
+    let conn_b = bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap()
+    });
+    bn.net.sim.run_until(secs(16));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        n.bento
+            .invoke(ctx, &mut n.tor, conn_b, inv, b"from bob".to_vec());
+    });
+    bn.net.sim.run_until(secs(20));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, _| {
+        assert_eq!(n.output_bytes(conn_b), b"from bob");
+    });
+}
+
+#[test]
+fn function_limit_enforced() {
+    let mut policy = MiddleboxPolicy::permissive();
+    policy.max_functions = 1;
+    let mut bn = BentoNetwork::build(110, 1, policy, registry);
+    let (client, conn, _c1, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    // A second container request must be refused.
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.rejection(conn), Some("function limit reached"));
+    });
+}
+
+#[test]
+fn second_upload_to_same_container_rejected() {
+    let mut bn = BentoNetwork::build(111, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn));
+        // A second upload (e.g. trying to swap the code under the same
+        // tokens) must be refused.
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("probe"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.rejection(conn), Some("container not accepting uploads"));
+    });
+}
+
+#[test]
+fn cross_client_sealed_upload_rejected() {
+    // Bob opens his own attested channel to the same box, then tries to
+    // install code into *Alice's* container: his payload is sealed under
+    // the wrong channel and the conclave refuses it.
+    let mut bn = BentoNetwork::build(112, 1, MiddleboxPolicy::permissive(), registry);
+    let (_alice, _conn_a, alice_container, _inv, _shut) = establish(&mut bn, ImageKind::Sgx);
+    let bob = bn.add_bento_client("bob");
+    bn.net.sim.run_until(secs(10));
+    let conn_b = bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap()
+    });
+    bn.net.sim.run_until(secs(13));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        n.bento
+            .request_container(ctx, &mut n.tor, conn_b, ImageKind::Sgx);
+    });
+    bn.net.sim.run_until(secs(17));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        assert!(n.container_ready(conn_b).is_some(), "bob has his own channel");
+        // Target Alice's container with Bob's channel.
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo").with_sgx(),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn_b, alice_container, &spec);
+    });
+    bn.net.sim.run_until(secs(21));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, _| {
+        assert_eq!(n.rejection(conn_b), Some("sealed payload failed to open"));
+    });
+}
+
+#[test]
+fn outputs_route_to_most_recent_invoker() {
+    // Two clients share an invocation token; outputs follow whoever invoked
+    // last (§5.3's sharing semantics).
+    let mut bn = BentoNetwork::build(113, 1, MiddleboxPolicy::permissive(), registry);
+    let (alice, conn_a, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn_a, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    let bob = bn.add_bento_client("bob");
+    bn.net.sim.run_until(secs(13));
+    let conn_b = bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap()
+    });
+    bn.net.sim.run_until(secs(16));
+    // Alice invokes, then Bob invokes: each gets their own output.
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn_a, inv, b"for alice".to_vec());
+    });
+    bn.net.sim.run_until(secs(19));
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn_b, inv, b"for bob".to_vec());
+    });
+    bn.net.sim.run_until(secs(24));
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, _| {
+        assert_eq!(n.output_bytes(conn_a), b"for alice");
+    });
+    bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, _| {
+        assert_eq!(n.output_bytes(conn_b), b"for bob");
+    });
+}
+
+
+#[test]
+fn resource_exhaustion_kills_function_not_box() {
+    let mut bn = BentoNetwork::build(114, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("hog"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn));
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+    });
+    bn.net.sim.run_until(secs(14));
+    // The hog's container was OOM/CPU-killed; its output never escaped.
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_bytes(conn).is_empty(), "killed function emits nothing");
+    });
+    let bx = bn.boxes[0];
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 0, "container torn down");
+    });
+    // The box still serves new work: the same client installs echo.
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+    });
+    bn.net.sim.run_until(secs(18));
+    let (c2, inv2, _s2) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| {
+            n.bento_events.iter().rev().find_map(|e| match e {
+                BentoEvent::ContainerReady {
+                    container,
+                    invocation,
+                    shutdown,
+                    ..
+                } => Some((*container, *invocation, *shutdown)),
+                _ => None,
+            })
+        })
+        .expect("fresh container after the kill");
+    assert_ne!(c2, container);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("echo"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, c2, &spec);
+    });
+    bn.net.sim.run_until(secs(22));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn, inv2, b"box is fine".to_vec());
+    });
+    bn.net.sim.run_until(secs(26));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.output_bytes(conn), b"box is fine");
+    });
+}
+
+
+#[test]
+fn network_budget_kills_flooder() {
+    // Outputs travel on the client's session; charge_network must stop the
+    // function once its cgroup network budget is gone.
+    let mut bn = BentoNetwork::build(115, 1, MiddleboxPolicy::permissive(), registry);
+    // The operator caps each function at 1 MB of cumulative traffic.
+    let bx0 = bn.boxes[0];
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx0, |n, _| {
+        n.bento.set_function_network_budget(1 << 20);
+    });
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: vec![],
+            manifest: Manifest::minimal("flooder"),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(11));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn));
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+    });
+    // Note: applying actions stops as soon as the container dies, so only
+    // the data within budget ever leaves the box.
+    bn.net.sim.run_until(secs(40));
+    let bx = bn.boxes[0];
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 0, "flooder killed");
+    });
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        let got = n.output_bytes(conn).len() as u64;
+        // Budget 1 MB; attempted 100 MB. At most ~budget + one action's
+        // worth escaped before the kill.
+        assert!(got <= (1 << 20) + 512 * 1024, "flood truncated, got {got}");
+    });
+}

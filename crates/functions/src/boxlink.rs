@@ -1,0 +1,181 @@
+//! Function composition: a Bento client *inside a function*.
+//!
+//! Figure 2 of the paper composes functions — Browser deploys a Dropbox on
+//! a different box and delivers the page there. [`RemoteBox`] is the state
+//! machine that makes that possible: it speaks the Bento protocol over a
+//! Stem-mediated Tor circuit that terminates at another Bento box, driven
+//! entirely from [`bento::Function`] callbacks.
+
+use bento::function::{FnStreamTarget, FunctionApi};
+use bento::protocol::BentoMsg;
+use simnet::NodeId;
+use tor_net::stream_frame::{encode_frame, FrameAssembler};
+
+/// Connection state to one remote Bento box.
+pub struct RemoteBox {
+    circ: u64,
+    stream: Option<u64>,
+    box_addr: NodeId,
+    box_port: u16,
+    assembler: FrameAssembler,
+    connected: bool,
+    queued: Vec<Vec<u8>>,
+}
+
+impl RemoteBox {
+    /// Begin connecting: builds a circuit that exits at the box itself.
+    pub fn connect(api: &mut FunctionApi<'_>, box_addr: NodeId, box_port: u16) -> RemoteBox {
+        let circ = api.build_circuit(Some((box_addr, box_port)));
+        RemoteBox {
+            circ,
+            stream: None,
+            box_addr,
+            box_port,
+            assembler: FrameAssembler::new(),
+            connected: false,
+            queued: Vec::new(),
+        }
+    }
+
+    /// The box this link targets.
+    pub fn box_addr(&self) -> NodeId {
+        self.box_addr
+    }
+
+    /// Whether the protocol stream is up.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Does `circ` belong to this link?
+    pub fn owns_circuit(&self, circ: u64) -> bool {
+        self.circ == circ
+    }
+
+    /// Does (`circ`, `stream`) belong to this link?
+    pub fn owns_stream(&self, circ: u64, stream: u64) -> bool {
+        self.circ == circ && self.stream == Some(stream)
+    }
+
+    /// Feed `on_circuit_ready`; returns true if consumed.
+    pub fn on_circuit_ready(&mut self, api: &mut FunctionApi<'_>, circ: u64) -> bool {
+        if circ != self.circ || self.stream.is_some() {
+            return false;
+        }
+        let s = api.open_stream(self.circ, FnStreamTarget::Node(self.box_addr, self.box_port));
+        self.stream = Some(s);
+        true
+    }
+
+    /// Feed `on_stream_connected`; returns true if consumed.
+    pub fn on_stream_connected(&mut self, api: &mut FunctionApi<'_>, circ: u64, stream: u64) -> bool {
+        if !self.owns_stream(circ, stream) {
+            return false;
+        }
+        self.connected = true;
+        for frame in std::mem::take(&mut self.queued) {
+            api.stream_send(self.circ, stream, frame);
+        }
+        true
+    }
+
+    /// Feed `on_stream_data`; returns decoded Bento messages if the stream
+    /// is this link's (empty vec possible), or `None` if not ours.
+    pub fn on_stream_data(
+        &mut self,
+        _api: &mut FunctionApi<'_>,
+        circ: u64,
+        stream: u64,
+        data: &[u8],
+    ) -> Option<Vec<BentoMsg>> {
+        if !self.owns_stream(circ, stream) {
+            return None;
+        }
+        self.assembler.push(data);
+        let msgs = self
+            .assembler
+            .drain_frames()
+            .into_iter()
+            .filter_map(|f| BentoMsg::decode(&f).ok())
+            .collect();
+        Some(msgs)
+    }
+
+    /// Send a Bento message to the remote box (queued until connected).
+    pub fn send(&mut self, api: &mut FunctionApi<'_>, msg: &BentoMsg) {
+        let frame = encode_frame(&msg.encode());
+        match (self.connected, self.stream) {
+            (true, Some(stream)) => api.stream_send(self.circ, stream, frame),
+            _ => self.queued.push(frame),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bento::function::FnAction;
+    use bento::function::ContainerRuntime;
+    use bento::protocol::ImageKind;
+    use sandbox::cgroup::ResourceLimits;
+    use sandbox::container::Container;
+    use sandbox::netrules::NetRules;
+    use sandbox::seccomp::SeccompFilter;
+
+    fn runtime() -> ContainerRuntime {
+        ContainerRuntime {
+            container: Container::new(
+                1,
+                ResourceLimits::default_function(),
+                SeccompFilter::allow_all(),
+                NetRules::deny_all(),
+                1 << 20,
+                16,
+            ),
+            fsp: None,
+            image: ImageKind::Plain,
+        }
+    }
+
+    fn api(rt: &mut ContainerRuntime) -> FunctionApi<'_> {
+        FunctionApi::for_testing(rt, 1)
+    }
+
+    #[test]
+    fn lifecycle_produces_expected_actions() {
+        let mut rt = runtime();
+        let mut a = api(&mut rt);
+        let mut link = RemoteBox::connect(&mut a, NodeId(9), 5005);
+        assert!(matches!(
+            a.actions()[0],
+            FnAction::BuildCircuit { exit_to: Some((NodeId(9), 5005)), .. }
+        ));
+        // Messages before connection are queued.
+        link.send(&mut a, &BentoMsg::GetPolicy);
+        assert_eq!(a.actions().len(), 1);
+        // Circuit ready -> stream opens.
+        let circ = match a.actions()[0] {
+            FnAction::BuildCircuit { circ, .. } => circ,
+            _ => unreachable!(),
+        };
+        assert!(link.on_circuit_ready(&mut a, circ));
+        assert!(!link.on_circuit_ready(&mut a, circ + 999));
+        let stream = match a.actions()[1] {
+            FnAction::OpenStream { stream, .. } => stream,
+            ref other => panic!("expected OpenStream, got {other:?}"),
+        };
+        // Stream connected -> queued frame flushes.
+        assert!(link.on_stream_connected(&mut a, circ, stream));
+        assert!(link.is_connected());
+        assert!(matches!(a.actions()[2], FnAction::StreamSend { .. }));
+        // Inbound data decodes to messages across split boundaries.
+        let frame = encode_frame(&BentoMsg::ShutdownAck.encode());
+        let (head, tail) = frame.split_at(frame.len() / 2);
+        let m1 = link.on_stream_data(&mut a, circ, stream, head).unwrap();
+        assert!(m1.is_empty());
+        let m2 = link.on_stream_data(&mut a, circ, stream, tail).unwrap();
+        assert_eq!(m2, vec![BentoMsg::ShutdownAck]);
+        // Foreign streams are not consumed.
+        assert!(link.on_stream_data(&mut a, circ, stream + 1, b"x").is_none());
+    }
+}

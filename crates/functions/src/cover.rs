@@ -1,0 +1,267 @@
+//! The Cover function (§9.1): fixed-rate cover traffic.
+//!
+//! "Cover instructs a Bento box to ensure that a given circuit always
+//! transmits at a fixed rate, sending junk traffic if it has no legitimate
+//! traffic to send." Two modes:
+//!
+//! * **Downstream** — emit cell-sized junk back to the invoking client at
+//!   a fixed rate, masking when (and whether) real content flows on the
+//!   client↔box path. This is the composition §9.1 sketches with Browser.
+//! * **Circuit drops** — build a circuit of its own and emit long-range
+//!   DROP cells into the network at a fixed rate.
+
+use bento::function::{Function, FunctionApi};
+use bento::manifest::Manifest;
+use bento::stem::StemCall;
+use rand::Rng;
+use simnet::wire::{Reader, Writer};
+use simnet::SimDuration;
+
+/// Cover mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Junk frames to the invoking client.
+    Downstream,
+    /// DROP cells on a fresh circuit.
+    CircuitDrops,
+}
+
+/// One Cover request (the invoke input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverRequest {
+    /// Gap between emissions.
+    pub interval_ms: u64,
+    /// Total emissions before the function finishes the invocation.
+    pub count: u32,
+    /// Bytes per downstream emission (one cell's worth by default).
+    pub chunk: u16,
+    /// Mode.
+    pub mode: Mode,
+}
+
+impl CoverRequest {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.interval_ms);
+        w.u32(self.count);
+        w.u16(self.chunk);
+        w.u8(match self.mode {
+            Mode::Downstream => 0,
+            Mode::CircuitDrops => 1,
+        });
+        w.into_bytes()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Option<CoverRequest> {
+        let mut r = Reader::new(buf);
+        let interval_ms = r.u64().ok()?;
+        let count = r.u32().ok()?;
+        let chunk = r.u16().ok()?;
+        let mode = match r.u8().ok()? {
+            0 => Mode::Downstream,
+            1 => Mode::CircuitDrops,
+            _ => return None,
+        };
+        Some(CoverRequest {
+            interval_ms,
+            count,
+            chunk,
+            mode,
+        })
+    }
+}
+
+/// Cover's manifest: timers always; Stem only for the drop mode.
+pub fn manifest(circuit_mode: bool) -> Manifest {
+    let m = Manifest::minimal("cover");
+    if circuit_mode {
+        m.with_stem([StemCall::NewCircuit, StemCall::SendDrop])
+    } else {
+        m
+    }
+}
+
+const TICK: u64 = 2;
+
+/// The Cover function.
+pub struct Cover {
+    req: Option<CoverRequest>,
+    remaining: u32,
+    circ: Option<u64>,
+    /// Emissions made (inspection).
+    pub emitted: u64,
+}
+
+impl Cover {
+    /// Construct (no parameters).
+    pub fn new(_params: &[u8]) -> Cover {
+        Cover {
+            req: None,
+            remaining: 0,
+            circ: None,
+            emitted: 0,
+        }
+    }
+
+    fn tick(&mut self, api: &mut FunctionApi<'_>) {
+        let Some(req) = self.req else { return };
+        if self.remaining == 0 {
+            api.output_end();
+            return;
+        }
+        self.remaining -= 1;
+        self.emitted += 1;
+        match req.mode {
+            Mode::Downstream => {
+                let mut junk = vec![0u8; req.chunk as usize];
+                api.rng().fill(&mut junk[..]);
+                api.output(junk);
+            }
+            Mode::CircuitDrops => {
+                if let Some(circ) = self.circ {
+                    api.send_drop(circ);
+                }
+            }
+        }
+        api.set_timer(SimDuration::from_millis(req.interval_ms), TICK);
+    }
+}
+
+impl Function for Cover {
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, input: Vec<u8>) {
+        let Some(req) = CoverRequest::decode(&input) else {
+            api.output(b"ERR:bad request".to_vec());
+            api.output_end();
+            return;
+        };
+        self.remaining = req.count;
+        self.req = Some(req);
+        match req.mode {
+            Mode::Downstream => self.tick(api),
+            Mode::CircuitDrops => {
+                self.circ = Some(api.build_circuit(None));
+            }
+        }
+    }
+
+    fn on_circuit_ready(&mut self, api: &mut FunctionApi<'_>, circ: u64) {
+        if Some(circ) == self.circ {
+            self.tick(api);
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut FunctionApi<'_>, tag: u64) {
+        if tag == TICK {
+            self.tick(api);
+        }
+    }
+}
+
+/// Registry constructor.
+pub fn make(params: &[u8]) -> Box<dyn Function> {
+    Box::new(Cover::new(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bento::function::{ContainerRuntime, FnAction};
+    use bento::protocol::ImageKind;
+    use sandbox::cgroup::ResourceLimits;
+    use sandbox::container::Container;
+    use sandbox::netrules::NetRules;
+    use sandbox::seccomp::SeccompFilter;
+
+    fn runtime() -> ContainerRuntime {
+        ContainerRuntime {
+            container: Container::new(
+                1,
+                ResourceLimits::default_function(),
+                SeccompFilter::allow_all(),
+                NetRules::deny_all(),
+                1024,
+                4,
+            ),
+            fsp: None,
+            image: ImageKind::Plain,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for mode in [Mode::Downstream, Mode::CircuitDrops] {
+            let r = CoverRequest {
+                interval_ms: 50,
+                count: 100,
+                chunk: 498,
+                mode,
+            };
+            assert_eq!(CoverRequest::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(CoverRequest::decode(b"x").is_none());
+    }
+
+    #[test]
+    fn downstream_emits_fixed_rate_junk() {
+        let mut rt = runtime();
+        let mut f = Cover::new(b"");
+        let req = CoverRequest {
+            interval_ms: 10,
+            count: 3,
+            chunk: 498,
+            mode: Mode::Downstream,
+        };
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, req.encode());
+        // First emission immediately + a timer for the next.
+        let acts = api.take_actions();
+        assert!(matches!(&acts[0], FnAction::Output(d) if d.len() == 498));
+        assert!(matches!(acts[1], FnAction::SetTimer { tag: TICK, .. }));
+        // Tick through the rest.
+        for _ in 0..2 {
+            let mut api = FunctionApi::for_testing(&mut rt, 2);
+            f.on_timer(&mut api, TICK);
+            assert!(matches!(&api.actions()[0], FnAction::Output(d) if d.len() == 498));
+        }
+        // Final tick ends the output.
+        let mut api = FunctionApi::for_testing(&mut rt, 3);
+        f.on_timer(&mut api, TICK);
+        assert!(matches!(api.actions()[0], FnAction::OutputEnd));
+        assert_eq!(f.emitted, 3);
+    }
+
+    #[test]
+    fn circuit_mode_builds_then_drops() {
+        let mut rt = runtime();
+        let mut f = Cover::new(b"");
+        let req = CoverRequest {
+            interval_ms: 5,
+            count: 2,
+            chunk: 0,
+            mode: Mode::CircuitDrops,
+        };
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, req.encode());
+        let circ = match api.actions()[0] {
+            FnAction::BuildCircuit { circ, exit_to: None } => circ,
+            ref other => panic!("expected BuildCircuit, got {other:?}"),
+        };
+        let mut api = FunctionApi::for_testing(&mut rt, 2);
+        f.on_circuit_ready(&mut api, circ);
+        assert!(api
+            .actions()
+            .iter()
+            .any(|a| matches!(a, FnAction::SendDrop { circ: c } if *c == circ)));
+    }
+
+    #[test]
+    fn bad_request_errors_cleanly() {
+        let mut rt = runtime();
+        let mut f = Cover::new(b"");
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, b"garbage".to_vec());
+        assert!(matches!(&api.actions()[0], FnAction::Output(d) if d.starts_with(b"ERR")));
+    }
+}

@@ -1,0 +1,258 @@
+//! The Dropbox function (§9.2): ephemeral in-network storage.
+//!
+//! "The first phase accepts a put request, along with the invocation
+//! token, which serves as a capability permitting access to that dropbox.
+//! ... The second phase permits get requests with the same invocation
+//! token, up to either some maximum amount of bandwidth, number of
+//! requests, or expiry time, after which the function deletes the file and
+//! terminates." The invocation-token capability is enforced by the Bento
+//! server; this function enforces the get limit and expiry.
+
+use bento::function::{Function, FunctionApi};
+use bento::manifest::Manifest;
+use bento::protocol::ImageKind;
+use simnet::wire::{Reader, Writer};
+use simnet::SimDuration;
+
+/// Dropbox parameters (fixed at upload). §9.2 allows limiting by "some
+/// maximum amount of bandwidth, number of requests, or expiry time" — all
+/// three are here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of gets before self-destruction.
+    pub max_gets: u32,
+    /// Lifetime in milliseconds (0 = no expiry).
+    pub expiry_ms: u64,
+    /// Total bytes that may be served before self-destruction
+    /// (0 = unlimited).
+    pub max_bytes: u64,
+}
+
+impl Params {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.max_gets);
+        w.u64(self.expiry_ms);
+        w.u64(self.max_bytes);
+        w.into_bytes()
+    }
+
+    /// Decode (defaults on malformed/short input, for compatibility with
+    /// two-field encodings).
+    pub fn decode(buf: &[u8]) -> Params {
+        let mut r = Reader::new(buf);
+        let max_gets = r.u32().unwrap_or(4);
+        let expiry_ms = r.u64().unwrap_or(600_000);
+        let max_bytes = r.u64().unwrap_or(0);
+        Params {
+            max_gets,
+            expiry_ms,
+            max_bytes,
+        }
+    }
+}
+
+/// The manifest a Dropbox ships: storage plus nothing else.
+pub fn manifest() -> Manifest {
+    let mut m = Manifest::minimal("dropbox").with_disk(16 << 20);
+    m.image = ImageKind::Plain;
+    m
+}
+
+/// The manifest for a conclave-backed Dropbox (encrypted at rest; the
+/// operator sees only FS Protect ciphertext).
+pub fn manifest_sgx() -> Manifest {
+    manifest().with_sgx()
+}
+
+const EXPIRY_TAG: u64 = 1;
+
+/// The Dropbox function.
+pub struct Dropbox {
+    params: Params,
+    gets_remaining: u32,
+    bytes_served: u64,
+    has_data: bool,
+}
+
+impl Dropbox {
+    /// Construct from encoded [`Params`].
+    pub fn new(params: &[u8]) -> Dropbox {
+        let params = Params::decode(params);
+        Dropbox {
+            params,
+            gets_remaining: params.max_gets,
+            bytes_served: 0,
+            has_data: false,
+        }
+    }
+
+    fn self_destruct(&mut self, api: &mut FunctionApi<'_>) {
+        let _ = api.fs_unlink("drop/data");
+        self.has_data = false;
+        api.terminate();
+    }
+}
+
+impl Function for Dropbox {
+    fn on_install(&mut self, api: &mut FunctionApi<'_>) {
+        if self.params.expiry_ms > 0 {
+            api.set_timer(SimDuration::from_millis(self.params.expiry_ms), EXPIRY_TAG);
+        }
+    }
+
+    fn on_invoke(&mut self, api: &mut FunctionApi<'_>, input: Vec<u8>) {
+        match input.first() {
+            Some(b'P') => {
+                match api.fs_write("drop/data", &input[1..]) {
+                    Ok(()) => {
+                        self.has_data = true;
+                        api.output(b"OK".to_vec());
+                    }
+                    Err(e) => api.output(format!("ERR:{e}").into_bytes()),
+                }
+                api.output_end();
+            }
+            Some(b'G') => {
+                if !self.has_data {
+                    api.output(b"ERR:empty".to_vec());
+                    api.output_end();
+                    return;
+                }
+                match api.fs_read("drop/data") {
+                    Ok(data) => {
+                        self.bytes_served += data.len() as u64;
+                        api.output(data);
+                        api.output_end();
+                        self.gets_remaining = self.gets_remaining.saturating_sub(1);
+                        let bandwidth_spent =
+                            self.params.max_bytes > 0 && self.bytes_served >= self.params.max_bytes;
+                        if self.gets_remaining == 0 || bandwidth_spent {
+                            self.self_destruct(api);
+                        }
+                    }
+                    Err(e) => {
+                        api.output(format!("ERR:{e}").into_bytes());
+                        api.output_end();
+                    }
+                }
+            }
+            _ => {
+                api.output(b"ERR:bad command".to_vec());
+                api.output_end();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut FunctionApi<'_>, tag: u64) {
+        if tag == EXPIRY_TAG {
+            self.self_destruct(api);
+        }
+    }
+}
+
+/// Registry constructor.
+pub fn make(params: &[u8]) -> Box<dyn Function> {
+    Box::new(Dropbox::new(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bento::function::{ContainerRuntime, FnAction};
+    use sandbox::cgroup::ResourceLimits;
+    use sandbox::container::Container;
+    use sandbox::netrules::NetRules;
+
+    fn runtime() -> ContainerRuntime {
+        ContainerRuntime {
+            container: Container::new(
+                1,
+                ResourceLimits::default_function(),
+                manifest().to_seccomp(),
+                NetRules::deny_all(),
+                16 << 20,
+                16,
+            ),
+            fsp: None,
+            image: ImageKind::Plain,
+        }
+    }
+
+    fn outputs(actions: &[FnAction]) -> Vec<Vec<u8>> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                FnAction::Output(d) => Some(d.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut rt = runtime();
+        let mut f = Dropbox::new(&Params { max_gets: 2, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, b"Pdata bytes".to_vec());
+        assert_eq!(outputs(api.actions()), vec![b"OK".to_vec()]);
+        let mut api = FunctionApi::for_testing(&mut rt, 2);
+        f.on_invoke(&mut api, b"G".to_vec());
+        assert_eq!(outputs(api.actions()), vec![b"data bytes".to_vec()]);
+    }
+
+    #[test]
+    fn get_limit_triggers_self_destruct() {
+        let mut rt = runtime();
+        let mut f = Dropbox::new(&Params { max_gets: 1, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, b"PX".to_vec());
+        let mut api = FunctionApi::for_testing(&mut rt, 2);
+        f.on_invoke(&mut api, b"G".to_vec());
+        assert!(
+            api.actions().iter().any(|a| matches!(a, FnAction::Terminate)),
+            "after the last get, the dropbox terminates"
+        );
+        assert!(!api.fs_exists("drop/data"), "data deleted");
+    }
+
+    #[test]
+    fn expiry_timer_set_and_destructs() {
+        let mut rt = runtime();
+        let mut f = Dropbox::new(&Params { max_gets: 4, expiry_ms: 1234, max_bytes: 0 }.encode());
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_install(&mut api);
+        assert!(api
+            .actions()
+            .iter()
+            .any(|a| matches!(a, FnAction::SetTimer { delay, tag: 1 }
+                if delay.as_millis() == 1234)));
+        let mut api = FunctionApi::for_testing(&mut rt, 2);
+        f.on_invoke(&mut api, b"Psecret".to_vec());
+        let mut api = FunctionApi::for_testing(&mut rt, 3);
+        f.on_timer(&mut api, EXPIRY_TAG);
+        assert!(api.actions().iter().any(|a| matches!(a, FnAction::Terminate)));
+        assert!(!api.fs_exists("drop/data"));
+    }
+
+    #[test]
+    fn get_before_put_and_bad_commands_error() {
+        let mut rt = runtime();
+        let mut f = Dropbox::new(&Params { max_gets: 1, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut api = FunctionApi::for_testing(&mut rt, 1);
+        f.on_invoke(&mut api, b"G".to_vec());
+        assert_eq!(outputs(api.actions()), vec![b"ERR:empty".to_vec()]);
+        let mut api = FunctionApi::for_testing(&mut rt, 2);
+        f.on_invoke(&mut api, b"Zwhat".to_vec());
+        assert_eq!(outputs(api.actions()), vec![b"ERR:bad command".to_vec()]);
+    }
+
+    #[test]
+    fn params_roundtrip_and_defaults() {
+        let p = Params { max_gets: 7, expiry_ms: 9999, max_bytes: 0 };
+        assert_eq!(Params::decode(&p.encode()), p);
+        let d = Params::decode(b"");
+        assert_eq!(d.max_gets, 4);
+    }
+}

@@ -1,0 +1,266 @@
+//! Systematic erasure coding for Shard (§9.3): "standard linear encoding
+//! techniques to ensure that retrieving any k of the N shards suffices to
+//! reconstruct the file" — a Reed–Solomon code with a systematic
+//! Vandermonde-derived generator over GF(256).
+
+use crate::gf256::{invert_matrix, mul, mul_acc, pow};
+
+/// One encoded shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPiece {
+    /// Row index in the generator matrix (0..k are systematic).
+    pub index: u8,
+    /// `k` as encoded (needed to reconstruct).
+    pub k: u8,
+    /// Original file length (strip padding on decode).
+    pub file_len: u64,
+    /// Shard payload.
+    pub data: Vec<u8>,
+}
+
+impl ShardPiece {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() + 10);
+        out.push(self.index);
+        out.push(self.k);
+        out.extend_from_slice(&self.file_len.to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(b: &[u8]) -> Option<ShardPiece> {
+        if b.len() < 10 {
+            return None;
+        }
+        Some(ShardPiece {
+            index: b[0],
+            k: b[1],
+            file_len: u64::from_be_bytes(b[2..10].try_into().ok()?),
+            data: b[10..].to_vec(),
+        })
+    }
+}
+
+/// Row `r` of the n×k Vandermonde matrix with distinct evaluation points
+/// α_r = r + 1.
+fn vandermonde_row(r: u8, k: u8) -> Vec<u8> {
+    let alpha = r.wrapping_add(1);
+    (0..k).map(|j| pow(alpha, j as u32)).collect()
+}
+
+/// The generator row for output shard `row` with data width `k`.
+///
+/// The generator is G = V · V_top⁻¹ where V is Vandermonde with distinct
+/// points: the top k rows of G are the identity (systematic), and **any**
+/// k rows of G are invertible, because any k rows of V are (distinct
+/// evaluation points) and right-multiplying by the fixed invertible
+/// V_top⁻¹ preserves that. A naive identity-plus-Vandermonde stack does
+/// *not* have this property.
+fn generator_row(row: u8, k: u8) -> Vec<u8> {
+    let kk = k as usize;
+    if row < k {
+        let mut r = vec![0u8; kk];
+        r[row as usize] = 1;
+        return r;
+    }
+    let v_top: Vec<Vec<u8>> = (0..k).map(|i| vandermonde_row(i, k)).collect();
+    let v_top_inv = invert_matrix(&v_top).expect("Vandermonde top is invertible");
+    let v_row = vandermonde_row(row, k);
+    (0..kk)
+        .map(|j| {
+            let mut s = 0u8;
+            for i in 0..kk {
+                s ^= mul(v_row[i], v_top_inv[i][j]);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Encode `file` into `n` shards, any `k` of which reconstruct it.
+///
+/// ```
+/// use bento_functions::erasure::{encode, decode};
+/// let file = b"the dissident mailing list".to_vec();
+/// let shards = encode(&file, 2, 5);
+/// // Any two shards suffice — here the two parity-most ones.
+/// assert_eq!(decode(&shards[3..5]).unwrap(), file);
+/// // One alone does not.
+/// assert!(decode(&shards[..1]).is_none());
+/// ```
+///
+/// # Panics
+/// If `k == 0`, `n < k`, or `n > 255`.
+pub fn encode(file: &[u8], k: u8, n: u8) -> Vec<ShardPiece> {
+    assert!(k >= 1 && n >= k, "need 1 <= k <= n");
+    let k_us = k as usize;
+    let shard_len = file.len().div_ceil(k_us).max(1);
+    // Split (zero-padded) into k data shards.
+    let mut data: Vec<Vec<u8>> = Vec::with_capacity(k_us);
+    for i in 0..k_us {
+        let mut s = vec![0u8; shard_len];
+        let start = i * shard_len;
+        if start < file.len() {
+            let end = (start + shard_len).min(file.len());
+            s[..end - start].copy_from_slice(&file[start..end]);
+        }
+        data.push(s);
+    }
+    (0..n)
+        .map(|row| {
+            let coeffs = generator_row(row, k);
+            let mut out = vec![0u8; shard_len];
+            for (j, c) in coeffs.iter().enumerate() {
+                mul_acc(&mut out, *c, &data[j]);
+            }
+            ShardPiece {
+                index: row,
+                k,
+                file_len: file.len() as u64,
+                data: out,
+            }
+        })
+        .collect()
+}
+
+/// Reconstruct the file from any `k` distinct shards. `None` if there are
+/// fewer than `k` distinct shards or they are inconsistent.
+pub fn decode(shards: &[ShardPiece]) -> Option<Vec<u8>> {
+    let first = shards.first()?;
+    let k = first.k as usize;
+    let file_len = first.file_len as usize;
+    let shard_len = first.data.len();
+    // Collect k distinct indices.
+    let mut chosen: Vec<&ShardPiece> = Vec::with_capacity(k);
+    for s in shards {
+        if s.k as usize != k || s.data.len() != shard_len || s.file_len as usize != file_len {
+            return None;
+        }
+        if chosen.iter().all(|c| c.index != s.index) {
+            chosen.push(s);
+            if chosen.len() == k {
+                break;
+            }
+        }
+    }
+    if chosen.len() < k {
+        return None;
+    }
+    // Invert the k×k generator submatrix.
+    let m: Vec<Vec<u8>> = chosen
+        .iter()
+        .map(|s| generator_row(s.index, k as u8))
+        .collect();
+    let mi = invert_matrix(&m)?;
+    // data[j] = sum_i mi[j][i] * chosen[i]
+    let mut file = Vec::with_capacity(k * shard_len);
+    for row in mi.iter().take(k) {
+        let mut out = vec![0u8; shard_len];
+        for (i, c) in row.iter().enumerate() {
+            if *c != 0 {
+                for (o, s) in out.iter_mut().zip(chosen[i].data.iter()) {
+                    *o ^= mul(*c, *s);
+                }
+            }
+        }
+        file.extend_from_slice(&out);
+    }
+    file.truncate(file_len);
+    Some(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_file(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn any_k_of_n_reconstructs() {
+        let file = sample_file(10_000, 1);
+        let shards = encode(&file, 3, 7);
+        assert_eq!(shards.len(), 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let mut pick: Vec<ShardPiece> = shards.clone();
+            pick.shuffle(&mut rng);
+            pick.truncate(3);
+            assert_eq!(decode(&pick).unwrap(), file);
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_fails() {
+        let file = sample_file(1000, 3);
+        let shards = encode(&file, 4, 8);
+        assert!(decode(&shards[..3]).is_none());
+        // Duplicate indices don't count toward k.
+        let dup = vec![shards[0].clone(), shards[0].clone(), shards[0].clone(), shards[0].clone()];
+        assert!(decode(&dup).is_none());
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_file() {
+        let file = sample_file(900, 4);
+        let shards = encode(&file, 3, 5);
+        let mut joined = Vec::new();
+        for s in &shards[..3] {
+            joined.extend_from_slice(&s.data);
+        }
+        joined.truncate(file.len());
+        assert_eq!(joined, file);
+    }
+
+    #[test]
+    fn replication_case_k1() {
+        let file = sample_file(500, 5);
+        let shards = encode(&file, 1, 4);
+        for s in &shards {
+            assert_eq!(decode(std::slice::from_ref(s)).unwrap(), file);
+        }
+    }
+
+    #[test]
+    fn parity_only_reconstruction() {
+        // Reconstruct using exclusively non-systematic shards.
+        let file = sample_file(4096, 6);
+        let shards = encode(&file, 4, 10);
+        let parity: Vec<ShardPiece> = shards[4..8].to_vec();
+        assert_eq!(decode(&parity).unwrap(), file);
+    }
+
+    #[test]
+    fn uneven_lengths_pad_correctly() {
+        for len in [1usize, 2, 3, 499, 500, 501, 1000] {
+            let file = sample_file(len, 7 + len as u64);
+            let shards = encode(&file, 3, 5);
+            assert_eq!(decode(&shards[1..4]).unwrap(), file, "len {len}");
+        }
+    }
+
+    #[test]
+    fn shard_serialization_roundtrip() {
+        let file = sample_file(256, 8);
+        let shards = encode(&file, 2, 3);
+        for s in &shards {
+            let back = ShardPiece::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(&back, s);
+        }
+        assert!(ShardPiece::from_bytes(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn inconsistent_shards_rejected() {
+        let file = sample_file(100, 9);
+        let mut shards = encode(&file, 2, 4);
+        shards[1].k = 3; // claims a different k
+        assert!(decode(&shards[..2]).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! The standard function registry a Bento box offers.
+
+use bento::function::FunctionRegistry;
+
+/// All of the paper's functions, registered under their canonical names.
+pub fn standard_registry() -> FunctionRegistry {
+    let mut r = FunctionRegistry::new();
+    r.register("browser", crate::browser::make);
+    r.register("cover", crate::cover::make);
+    r.register("dropbox", crate::dropbox::make);
+    r.register("shard", crate::shard::make);
+    r.register("load-balancer", crate::load_balancer::make_lb);
+    r.register("multipath", crate::multipath::make);
+    r.register("hs-replica", crate::load_balancer::make_replica);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_functions_registered() {
+        let r = standard_registry();
+        assert_eq!(
+            r.names(),
+            vec![
+                "browser",
+                "cover",
+                "dropbox",
+                "hs-replica",
+                "load-balancer",
+                "multipath",
+                "shard"
+            ]
+        );
+        for name in r.names() {
+            assert!(r.instantiate(name, b"").is_some(), "{name} constructs");
+        }
+    }
+}

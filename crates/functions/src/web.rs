@@ -1,0 +1,328 @@
+//! The web page model shared by the Browser function, the baseline Tor
+//! browsing client, and the fingerprinting corpus.
+//!
+//! A site is an HTML document plus assets. The HTML (one frame) lists the
+//! asset paths and sizes; a web client fetches the HTML, parses it, and
+//! fetches every asset. Asset *content* is generated deterministically
+//! from the site seed with tunable redundancy, so compression behaves like
+//! it does on real pages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::wire::{Reader, Writer};
+
+/// A parsed HTML document: the asset list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlDoc {
+    /// Site identifier.
+    pub site: String,
+    /// (path, size) of each referenced asset.
+    pub assets: Vec<(String, u32)>,
+    /// Inline body padding (the HTML's own text content).
+    pub inline_len: u32,
+}
+
+impl HtmlDoc {
+    /// Encode into the on-the-wire HTML frame (a header plus filler text).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.site);
+        w.varu64(self.assets.len() as u64);
+        for (p, s) in &self.assets {
+            w.str(p);
+            w.u32(*s);
+        }
+        w.u32(self.inline_len);
+        let mut out = w.into_bytes();
+        // Filler standing in for markup: repetitive, hence compressible.
+        let filler = b"<div class=\"row\"><a href=\"#\">item</a></div>\n";
+        while out.len() < self.inline_len as usize {
+            let take = filler.len().min(self.inline_len as usize - out.len());
+            out.extend_from_slice(&filler[..take]);
+        }
+        out
+    }
+
+    /// Parse an HTML frame.
+    pub fn decode(buf: &[u8]) -> Option<HtmlDoc> {
+        let mut r = Reader::new(buf);
+        let site = r.str("site").ok()?;
+        let n = r.varu64().ok()?;
+        if n > 256 {
+            return None;
+        }
+        let mut assets = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let p = r.str("asset path").ok()?;
+            let s = r.u32().ok()?;
+            assets.push((p, s));
+        }
+        let inline_len = r.u32().ok()?;
+        Some(HtmlDoc {
+            site,
+            assets,
+            inline_len,
+        })
+    }
+}
+
+/// A synthetic website: deterministic structure and content from a seed.
+#[derive(Debug, Clone)]
+pub struct SiteModel {
+    /// Site name ("site042").
+    pub name: String,
+    /// The HTML document.
+    pub html: HtmlDoc,
+    seed: u64,
+}
+
+impl SiteModel {
+    /// A hand-specified site (the Table 2 domains): explicit asset sizes.
+    pub fn custom(name: &str, asset_sizes: &[u32], inline_len: u32, seed: u64) -> SiteModel {
+        let assets = asset_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("/{name}/a{i}"), *s))
+            .collect();
+        SiteModel {
+            html: HtmlDoc {
+                site: name.to_string(),
+                assets,
+                inline_len,
+            },
+            name: name.to_string(),
+            seed,
+        }
+    }
+
+    /// Generate site `index` of a corpus. Sites differ in asset count,
+    /// sizes and ordering — the structure a fingerprinting attack feeds on.
+    pub fn generate(index: u32, seed: u64) -> SiteModel {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x517E_0000 + index as u64));
+        let name = format!("site{index:03}");
+        // Page weight: log-uniform between ~60 KB and ~4 MB, site-specific.
+        let total_weight = (60_000.0 * (1.0 + rng.gen::<f64>() * 64.0)) as u32;
+        let n_assets = rng.gen_range(3..=24usize);
+        let mut assets = Vec::with_capacity(n_assets);
+        let mut remaining = total_weight;
+        for i in 0..n_assets {
+            let share = if i == n_assets - 1 {
+                remaining
+            } else {
+                let s = (remaining as f64 * rng.gen_range(0.05..0.5)) as u32;
+                remaining -= s;
+                s
+            };
+            assets.push((format!("/{name}/a{i}"), share.max(100)));
+        }
+        let inline_len = rng.gen_range(2_000..30_000u32);
+        SiteModel {
+            html: HtmlDoc {
+                site: name.clone(),
+                assets,
+                inline_len,
+            },
+            name,
+            seed,
+        }
+    }
+
+    /// Total page weight (HTML + assets) in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.html.inline_len as u64
+            + self
+                .html
+                .assets
+                .iter()
+                .map(|(_, s)| *s as u64)
+                .sum::<u64>()
+    }
+
+    /// The HTML path of this site.
+    pub fn html_path(&self) -> String {
+        format!("/{}/index", self.name)
+    }
+
+    /// Deterministic asset content: a mix of repeated motifs (compressible)
+    /// and noise, site- and asset-specific.
+    pub fn asset_content(&self, asset_index: usize, size: u32) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((asset_index as u64) << 32) ^ 0xA55E7);
+        let mut out = Vec::with_capacity(size as usize);
+        let motif: Vec<u8> = (0..rng.gen_range(8..64)).map(|_| rng.gen()).collect();
+        while out.len() < size as usize {
+            if rng.gen_bool(0.6) {
+                let take = motif.len().min(size as usize - out.len());
+                out.extend_from_slice(&motif[..take]);
+            } else {
+                let n = rng.gen_range(1..128).min(size as usize - out.len());
+                out.extend((0..n).map(|_| rng.gen::<u8>()));
+            }
+        }
+        out
+    }
+
+    /// The (path, content) pairs to install on a web server for this site.
+    pub fn server_pages(&self) -> Vec<(String, Vec<Vec<u8>>)> {
+        let mut pages = vec![(self.html_path(), vec![self.html.encode()])];
+        for (i, (path, size)) in self.html.assets.iter().enumerate() {
+            pages.push((path.clone(), vec![self.asset_content(i, *size)]));
+        }
+        pages
+    }
+
+    /// The HTML path of visit-variant `v` of this site.
+    pub fn html_path_variant(&self, v: u32) -> String {
+        format!("/{}/index@{v}", self.name)
+    }
+
+    /// The site as it looks on visit `v`: real pages change between visits
+    /// (ads, dynamic content), so each variant jitters every asset size by
+    /// up to ±`jitter_pct`% (deterministically from the site seed and `v`).
+    /// Variant 0 is the canonical page.
+    pub fn variant(&self, v: u32, jitter_pct: u32) -> HtmlDoc {
+        if v == 0 || jitter_pct == 0 {
+            let mut doc = self.html.clone();
+            doc.site = format!("{}@{v}", self.name);
+            return doc;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((v as u64) << 40) ^ 0x7A21);
+        let assets = self
+            .html
+            .assets
+            .iter()
+            .enumerate()
+            .map(|(i, (_, size))| {
+                let span = (*size as u64 * jitter_pct as u64 / 100).max(1) as i64;
+                let delta = rng.gen_range(-span..=span);
+                let jittered = (*size as i64 + delta).max(100) as u32;
+                (format!("/{}/a{i}@{v}", self.name), jittered)
+            })
+            .collect();
+        let inline_span = (self.html.inline_len / 20).max(1);
+        let inline_len = self.html.inline_len + rng.gen_range(0..=inline_span);
+        HtmlDoc {
+            site: format!("{}@{v}", self.name),
+            assets,
+            inline_len,
+        }
+    }
+
+    /// Server pages for visits `0..n_visits`, with per-visit size jitter.
+    pub fn server_pages_variants(
+        &self,
+        n_visits: u32,
+        jitter_pct: u32,
+    ) -> Vec<(String, Vec<Vec<u8>>)> {
+        let mut pages = Vec::new();
+        for v in 0..n_visits {
+            let doc = self.variant(v, jitter_pct);
+            pages.push((self.html_path_variant(v), vec![doc.encode()]));
+            for (i, (path, size)) in doc.assets.iter().enumerate() {
+                pages.push((path.clone(), vec![self.asset_content(i, *size)]));
+            }
+        }
+        pages
+    }
+}
+
+/// Generate a closed-world corpus of `n` sites.
+pub fn corpus(n: u32, seed: u64) -> Vec<SiteModel> {
+    (0..n).map(|i| SiteModel::generate(i, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_roundtrip() {
+        let site = SiteModel::generate(7, 99);
+        let enc = site.html.encode();
+        let back = HtmlDoc::decode(&enc).unwrap();
+        assert_eq!(back, site.html);
+        assert!(enc.len() >= site.html.inline_len as usize);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SiteModel::generate(3, 42);
+        let b = SiteModel::generate(3, 42);
+        assert_eq!(a.html, b.html);
+        assert_eq!(a.asset_content(0, 1000), b.asset_content(0, 1000));
+    }
+
+    #[test]
+    fn sites_differ() {
+        let a = SiteModel::generate(1, 42);
+        let b = SiteModel::generate(2, 42);
+        assert_ne!(a.html.assets, b.html.assets);
+    }
+
+    #[test]
+    fn corpus_has_diverse_weights() {
+        let sites = corpus(50, 7);
+        let weights: Vec<u64> = sites.iter().map(|s| s.total_bytes()).collect();
+        let min = weights.iter().min().unwrap();
+        let max = weights.iter().max().unwrap();
+        assert!(max / min.max(&1) >= 4, "min {min}, max {max}");
+        // All within the intended envelope.
+        assert!(*min >= 50_000);
+        assert!(*max <= 8_000_000);
+    }
+
+    #[test]
+    fn server_pages_cover_all_assets() {
+        let site = SiteModel::generate(5, 11);
+        let pages = site.server_pages();
+        assert_eq!(pages.len(), site.html.assets.len() + 1);
+        for (i, (path, size)) in site.html.assets.iter().enumerate() {
+            let page = pages.iter().find(|(p, _)| p == path).unwrap();
+            assert_eq!(page.1[0].len(), *size as usize);
+            assert_eq!(page.1[0], site.asset_content(i, *size));
+        }
+    }
+
+    #[test]
+    fn asset_content_is_compressible_but_not_trivial() {
+        let site = SiteModel::generate(9, 13);
+        let content = site.asset_content(0, 100_000);
+        let compressed = crate::compress::compress(&content);
+        assert!(compressed.len() < content.len());
+        assert!(compressed.len() > content.len() / 50);
+    }
+
+    #[test]
+    fn variants_jitter_sizes_but_keep_structure() {
+        let site = SiteModel::generate(4, 21);
+        let v0 = site.variant(0, 3);
+        assert_eq!(v0.assets, site.html.assets, "variant 0 is canonical");
+        let v1 = site.variant(1, 3);
+        let v2 = site.variant(2, 3);
+        assert_eq!(v1.assets.len(), site.html.assets.len());
+        assert_ne!(v1.assets, v2.assets, "different visits differ");
+        // Jitter stays within the bound.
+        for ((_, base), (_, j)) in site.html.assets.iter().zip(&v1.assets) {
+            let span = (*base as i64 * 3 / 100).max(1);
+            assert!((*j as i64 - *base as i64).abs() <= span, "{base} -> {j}");
+        }
+        // Determinism.
+        assert_eq!(site.variant(1, 3), v1);
+        // Server pages cover every variant's assets.
+        let pages = site.server_pages_variants(3, 3);
+        for v in 0..3 {
+            let doc_path = site.html_path_variant(v);
+            let html = &pages.iter().find(|(p, _)| *p == doc_path).unwrap().1[0];
+            let doc = HtmlDoc::decode(html).unwrap();
+            for (path, size) in &doc.assets {
+                let page = pages.iter().find(|(p, _)| p == path).unwrap();
+                assert_eq!(page.1[0].len(), *size as usize, "variant {v} asset {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(HtmlDoc::decode(&[]).is_none());
+        assert!(HtmlDoc::decode(&[0xFF; 4]).is_none());
+    }
+}

@@ -1,0 +1,444 @@
+//! End-to-end tests of the paper's functions over the full simulated Tor
+//! network: Browser (§7), Cover (§9.1), Dropbox (§9.2), Shard (§9.3),
+//! LoadBalancer (§8), and the Figure 2 Browser+Dropbox composition.
+
+use bento::protocol::FunctionSpec;
+use bento::testnet::BentoNetwork;
+use bento::tokens::Token;
+use bento::{BentoClientNode, BentoEvent, MiddleboxPolicy};
+use bento_functions::browser::{self, BrowseRequest};
+use bento_functions::cover::{self, CoverRequest, Mode};
+use bento_functions::dropbox;
+use bento_functions::erasure;
+use bento_functions::load_balancer::{LbParams, ServiceParams};
+use bento_functions::shard::{self, decode_locators, ShardRequest};
+use bento_functions::standard_registry;
+use bento_functions::web::SiteModel;
+use simnet::{NodeId, SimDuration, SimTime};
+use tor_net::ports::{BENTO_PORT, HS_VIRTUAL_PORT, HTTP_PORT};
+use tor_net::{HiddenServiceHost, StreamTarget, TorEvent};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Connect a client to box `box_idx`, request a Plain container, upload
+/// `spec`, and return (conn, invocation token, shutdown token).
+fn install(
+    bn: &mut BentoNetwork,
+    client: NodeId,
+    box_idx: usize,
+    spec: FunctionSpec,
+    t0: u64,
+) -> (bento::BoxConn, Token, Token) {
+    let image = spec.manifest.image;
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento
+            .connect_box(ctx, &mut n.tor, &boxes[box_idx])
+            .expect("session")
+    });
+    bn.net.sim.run_until(secs(t0 + 3));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.request_container(ctx, &mut n.tor, conn, image);
+    });
+    bn.net.sim.run_until(secs(t0 + 6));
+    let (container, inv, shut) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+        .expect("container ready");
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(t0 + 9));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
+    });
+    (conn, inv, shut)
+}
+
+#[test]
+fn browser_fetches_compresses_and_pads() {
+    let mut bn = BentoNetwork::build(201, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let site = SiteModel::generate(0, 77);
+    let server = bn.net.add_web_server("web", site.server_pages());
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: vec![],
+            manifest: browser::manifest(false),
+        },
+        2,
+    );
+    let padding = 1 << 20;
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let req = BrowseRequest {
+            server,
+            port: HTTP_PORT,
+            path: site.html_path(),
+            padding,
+            dropbox_on: None,
+        };
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+    });
+    bn.net.sim.run_until(secs(90));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_done(conn), "browse completed: {:?}", n.bento_events.len());
+        // Output 1 = compressed digest, output 2 = padding.
+        let outputs: Vec<&Vec<u8>> = n
+            .bento_events
+            .iter()
+            .filter_map(|e| match e {
+                BentoEvent::Output(c, d) if *c == conn => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outputs.len(), 2, "digest then padding");
+        let digest = bento_functions::compress::decompress(outputs[0]).expect("valid digest");
+        // The digest contains the HTML followed by every asset.
+        let html = site.html.encode();
+        assert_eq!(&digest[..html.len()], &html[..]);
+        assert_eq!(digest.len() as u64, site.total_bytes() + html.len() as u64 - site.html.inline_len as u64);
+        // Total transfer is a multiple of the padding quantum.
+        let total = (outputs[0].len() + outputs[1].len()) as u64;
+        assert_eq!(total % padding, 0, "padded to a multiple of {padding}");
+    });
+}
+
+#[test]
+fn browser_composes_with_dropbox_figure2() {
+    let mut bn = BentoNetwork::build(202, 2, MiddleboxPolicy::permissive(), standard_registry);
+    let site = SiteModel::generate(1, 77);
+    let server = bn.net.add_web_server("web", site.server_pages());
+    let dropbox_box = bn.boxes[1];
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: vec![],
+            manifest: browser::manifest(true),
+        },
+        2,
+    );
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let req = BrowseRequest {
+            server,
+            port: HTTP_PORT,
+            path: site.html_path(),
+            padding: 0,
+            dropbox_on: Some((dropbox_box, BENTO_PORT)),
+        };
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        // Alice "goes offline completely during the website download".
+    });
+    bn.net.sim.run_until(secs(120));
+    // The browser's final output is the dropbox locator.
+    let locator = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_done(conn), "compose finished");
+        n.output_bytes(conn)
+    });
+    assert!(locator.starts_with(b"DROPBOX:"), "locator: {locator:?}");
+    let token = Token::from_bytes(&locator[12..44]).expect("token bytes");
+    // Alice comes back online and fetches from the dropbox directly.
+    let conn2 = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        let info = boxes.iter().find(|b| b.addr == dropbox_box).unwrap();
+        n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
+    });
+    bn.net.sim.run_until(secs(125));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn2, token, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(180));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        let fetched = n.output_bytes(conn2);
+        let digest = bento_functions::compress::decompress(&fetched).expect("digest");
+        let html = site.html.encode();
+        assert_eq!(&digest[..html.len()], &html[..], "page stored via dropbox");
+    });
+}
+
+#[test]
+fn cover_emits_fixed_rate_downstream_junk() {
+    let mut bn = BentoNetwork::build(203, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: vec![],
+            manifest: cover::manifest(false),
+        },
+        2,
+    );
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let req = CoverRequest {
+            interval_ms: 100,
+            count: 20,
+            chunk: 498,
+            mode: Mode::Downstream,
+        };
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+    });
+    bn.net.sim.run_until(secs(30));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        let junk: Vec<usize> = n
+            .bento_events
+            .iter()
+            .filter_map(|e| match e {
+                BentoEvent::Output(c, d) if *c == conn => Some(d.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(junk.len(), 20, "one emission per tick");
+        assert!(junk.iter().all(|&l| l == 498));
+        assert!(n.output_done(conn));
+    });
+}
+
+#[test]
+fn dropbox_over_network_put_get_limit() {
+    let mut bn = BentoNetwork::build(204, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: dropbox::Params {
+                max_gets: 1,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+            manifest: dropbox::manifest(),
+        },
+        2,
+    );
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let mut put = vec![b'P'];
+        put.extend_from_slice(&vec![0xAD; 50_000]);
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, put);
+    });
+    bn.net.sim.run_until(secs(15));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.output_bytes(conn).ends_with(b"OK"));
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(40));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let out = n.output_bytes(conn);
+        assert!(out.len() >= 50_002 && out[2..].iter().all(|&b| b == 0xAD));
+        // max_gets = 1: the dropbox has self-destructed; further gets fail.
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(50));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(
+            n.rejection(conn),
+            Some("bad invocation token"),
+            "terminated dropbox no longer answers its token"
+        );
+    });
+}
+
+#[test]
+fn shard_deploys_and_any_k_reconstruct() {
+    // Box 0 runs Shard; boxes 1..3 receive Dropbox deployments.
+    let mut bn = BentoNetwork::build(205, 4, MiddleboxPolicy::permissive(), standard_registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: vec![],
+            manifest: shard::manifest(),
+        },
+        2,
+    );
+    let file: Vec<u8> = (0..60_000u32).map(|i| (i * 31 % 251) as u8).collect();
+    let targets: Vec<(NodeId, u16)> = bn.boxes[1..4]
+        .iter()
+        .map(|b| (*b, BENTO_PORT))
+        .collect();
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let req = ShardRequest {
+            k: 2,
+            targets,
+            file: file.clone(),
+        };
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+    });
+    bn.net.sim.run_until(secs(120));
+    let locators = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_done(conn), "shard deployment finished");
+        decode_locators(&n.output_bytes(conn)).expect("locator list")
+    });
+    assert_eq!(locators.len(), 3, "one shard per target");
+    // Fetch only k = 2 shards (skip the first) and reconstruct.
+    let mut pieces = Vec::new();
+    for (i, loc) in locators.iter().enumerate().skip(1) {
+        let conn_i = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            let info = boxes.iter().find(|b| b.addr == loc.box_addr).unwrap();
+            n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
+        });
+        bn.net.sim.run_until(secs(125 + i as u64 * 20));
+        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .invoke(ctx, &mut n.tor, conn_i, Token(loc.token), b"G".to_vec());
+        });
+        bn.net.sim.run_until(secs(140 + i as u64 * 20));
+        let bytes = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, _| n.output_bytes(conn_i));
+        let piece = erasure::ShardPiece::from_bytes(&bytes).expect("shard piece");
+        pieces.push(piece);
+    }
+    assert_eq!(erasure::decode(&pieces).expect("reconstruct"), file);
+}
+
+#[test]
+fn load_balancer_serves_and_scales() {
+    // Box 0 runs the LoadBalancer; box 1 hosts a replica.
+    let mut bn = BentoNetwork::build(206, 2, MiddleboxPolicy::permissive(), standard_registry);
+    let operator = bn.add_bento_client("operator");
+    bn.net.sim.run_until(secs(2));
+    let seed = [0x5E; 32];
+    let file_len = 200_000u64;
+    let lb_params = LbParams {
+        service: ServiceParams { seed, file_len },
+        n_intro: 2,
+        max_per_replica: 1,
+        replica_boxes: vec![(bn.boxes[1], BENTO_PORT)],
+    };
+    let (_conn, _inv, _shut) = install(
+        &mut bn,
+        operator,
+        0,
+        FunctionSpec {
+            params: lb_params.encode(),
+            manifest: bento_functions::load_balancer::lb_manifest(),
+        },
+        2,
+    );
+    // Let the service publish its descriptor.
+    bn.net.sim.run_until(secs(25));
+    let onion = HiddenServiceHost::new(seed, 0, true).onion_addr();
+    // Two ordinary Tor clients download concurrently: watermark 1 forces a
+    // replica spawn for the second.
+    let mut client_nodes = Vec::new();
+    for name in ["c1", "c2"] {
+        client_nodes.push(bn.net.add_client(name));
+    }
+    bn.net.sim.run_until(secs(28));
+    let mut rend = Vec::new();
+    for (i, &c) in client_nodes.iter().enumerate() {
+        bn.net.sim.run_until(secs(28 + i as u64));
+        let r = bn
+            .net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                n.tor.connect_onion(ctx, onion).expect("onion connect")
+            });
+        rend.push(r);
+    }
+    bn.net.sim.run_until(secs(45));
+    let mut streams = Vec::new();
+    for (&c, &r) in client_nodes.iter().zip(rend.iter()) {
+        let s = bn
+            .net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                assert!(
+                    n.has_event(|e| matches!(e, TorEvent::RendezvousReady(h) if *h == r)),
+                    "rendezvous ready for client; events: {:?}",
+                    n.events
+                );
+                let s = n
+                    .tor
+                    .open_stream(ctx, r, StreamTarget::Hs(HS_VIRTUAL_PORT))
+                    .expect("stream");
+                s
+            });
+        streams.push(s);
+    }
+    bn.net.sim.run_until(secs(50));
+    for (&c, (&r, &s)) in client_nodes.iter().zip(rend.iter().zip(streams.iter())) {
+        bn.net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                n.tor.send_stream(ctx, r, s, b"GET");
+            });
+    }
+    bn.net.sim.run_until(secs(160));
+    for (&c, (&r, &s)) in client_nodes.iter().zip(rend.iter().zip(streams.iter())) {
+        bn.net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, _| {
+                let got = n.stream_bytes(r, s).len() as u64;
+                assert_eq!(got, file_len, "full file downloaded");
+            });
+    }
+}
+
+#[test]
+fn multipath_fetch_reassembles_over_k_circuits() {
+    use bento_functions::multipath::{self, MultipathRequest};
+    let mut bn = BentoNetwork::build(207, 1, MiddleboxPolicy::permissive(), standard_registry);
+    // A single-part 600 KB resource.
+    let body: Vec<u8> = (0..600_000u32).map(|i| (i % 251) as u8).collect();
+    let server = bn
+        .net
+        .add_web_server("web", vec![("/big".to_string(), vec![body.clone()])]);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let (conn, inv, _shut) = install(
+        &mut bn,
+        client,
+        0,
+        FunctionSpec {
+            params: vec![],
+            manifest: multipath::manifest(),
+        },
+        2,
+    );
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let req = MultipathRequest {
+            server,
+            port: HTTP_PORT,
+            path: "/big".into(),
+            total_len: body.len() as u64,
+            k: 3,
+        };
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+    });
+    bn.net.sim.run_until(secs(90));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert!(n.output_done(conn), "multipath finished");
+        assert_eq!(n.output_bytes(conn), body, "ranges reassembled in order");
+    });
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the function substrates: the erasure code's
+//! defining k-of-N property, the compressor, and the codecs.
+
+use bento_functions::compress::{compress, decompress};
+use bento_functions::erasure::{decode, encode, ShardPiece};
+use bento_functions::shard::{decode_locators, encode_locators, ShardLocator};
+use bento_functions::web::HtmlDoc;
+use proptest::prelude::*;
+use simnet::NodeId;
+
+proptest! {
+    /// THE Shard invariant (§9.3): any k of N shards reconstruct the file.
+    #[test]
+    fn any_k_of_n_reconstructs(file in proptest::collection::vec(any::<u8>(), 1..4096),
+                               k in 1u8..6, extra in 0u8..5,
+                               pick_seed: u64) {
+        let n = k + extra;
+        let shards = encode(&file, k, n);
+        prop_assert_eq!(shards.len(), n as usize);
+        // Choose a pseudo-random k-subset from the seed.
+        let mut indices: Vec<usize> = (0..n as usize).collect();
+        let mut s = pick_seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let picked: Vec<ShardPiece> = indices[..k as usize]
+            .iter()
+            .map(|&i| shards[i].clone())
+            .collect();
+        prop_assert_eq!(decode(&picked).unwrap(), file);
+    }
+
+    /// Fewer than k distinct shards never reconstruct.
+    #[test]
+    fn fewer_than_k_fails(file in proptest::collection::vec(any::<u8>(), 1..1024),
+                          k in 2u8..6, extra in 0u8..4) {
+        let n = k + extra;
+        let shards = encode(&file, k, n);
+        prop_assert!(decode(&shards[..k as usize - 1]).is_none());
+    }
+
+    /// The compressor roundtrips arbitrary data.
+    #[test]
+    fn compress_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Compressing structured (repetitive) data roundtrips too, and the
+    /// decompressor never panics on corruption.
+    #[test]
+    fn compress_repetitive_and_corrupt(motif in proptest::collection::vec(any::<u8>(), 1..32),
+                                       reps in 1usize..200,
+                                       flip in any::<(usize, u8)>()) {
+        let data: Vec<u8> = motif.iter().copied().cycle().take(motif.len() * reps).collect();
+        let mut c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+        if !c.is_empty() {
+            let idx = flip.0 % c.len();
+            c[idx] ^= 1 << (flip.1 % 8);
+            let _ = decompress(&c); // any result is fine; panicking is not
+        }
+    }
+
+    /// Shard wire formats roundtrip and reject garbage without panicking.
+    #[test]
+    fn shard_codecs(idx: u8, k in 1u8..10, file_len: u64,
+                    data in proptest::collection::vec(any::<u8>(), 0..256),
+                    garbage in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let piece = ShardPiece { index: idx, k, file_len, data };
+        prop_assert_eq!(ShardPiece::from_bytes(&piece.to_bytes()).unwrap(), piece);
+        let locs = vec![ShardLocator {
+            index: idx,
+            box_addr: NodeId(7),
+            box_port: 5005,
+            token: [idx; 32],
+        }];
+        prop_assert_eq!(decode_locators(&encode_locators(&locs)).unwrap(), locs);
+        let _ = ShardPiece::from_bytes(&garbage);
+        let _ = decode_locators(&garbage);
+        let _ = HtmlDoc::decode(&garbage);
+    }
+}

@@ -1,0 +1,326 @@
+//! An ntor-style authenticated circuit handshake (after Tor's ntor,
+//! Goldberg–Stebila–Ustaoglu).
+//!
+//! The client knows the relay's identity fingerprint and long-term onion
+//! (X25519) public key from the directory. One round trip establishes
+//! forward/backward keys with server authentication:
+//!
+//! ```text
+//! client: x, X = xG            -->  node_id, B, X          (the "onionskin")
+//! server: y, Y = yG            <--  Y, AUTH
+//! secret_input = X·y (=Y·x) || X·b (=B·x) || ID || B || X || Y || PROTOID
+//! AUTH = HMAC(t_mac, verify || ID || B || Y || X || PROTOID || "Server")
+//! keys = HKDF(secret_input)
+//! ```
+//!
+//! Only a party holding the relay's private identity key can compute `AUTH`,
+//! so a man in the middle who substitutes its own `Y` is detected by the
+//! client (exercised in the tests).
+
+use crate::hmac::{ct_eq, hkdf, hmac_sha256};
+use crate::x25519::{PublicKey, StaticSecret};
+
+const PROTOID: &[u8] = b"bento-ntor-curve25519-sha256-1";
+
+/// Relay identity fingerprint (hash of its identity keys, assigned by the
+/// directory).
+pub type NodeId = [u8; 20];
+
+/// Handshake failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NtorError {
+    /// The onionskin or reply was structurally malformed.
+    Malformed,
+    /// The server's AUTH tag did not verify: wrong relay or active attack.
+    AuthFailed,
+}
+
+impl std::fmt::Display for NtorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NtorError::Malformed => write!(f, "malformed ntor message"),
+            NtorError::AuthFailed => write!(f, "ntor server authentication failed"),
+        }
+    }
+}
+
+impl std::error::Error for NtorError {}
+
+/// The symmetric key material a completed handshake yields: independent
+/// cipher keys, digest seeds, and nonces for each direction.
+#[derive(Clone)]
+#[cfg_attr(test, derive(Debug, PartialEq, Eq))]
+pub struct CircuitKeys {
+    /// Forward (client→relay) cipher key.
+    pub kf: [u8; 32],
+    /// Backward (relay→client) cipher key.
+    pub kb: [u8; 32],
+    /// Forward running-digest seed.
+    pub df: [u8; 32],
+    /// Backward running-digest seed.
+    pub db: [u8; 32],
+    /// Forward cipher nonce.
+    pub nf: [u8; 12],
+    /// Backward cipher nonce.
+    pub nb: [u8; 12],
+}
+
+impl CircuitKeys {
+    fn from_okm(okm: &[u8]) -> CircuitKeys {
+        let mut kf = [0u8; 32];
+        let mut kb = [0u8; 32];
+        let mut df = [0u8; 32];
+        let mut db = [0u8; 32];
+        let mut nf = [0u8; 12];
+        let mut nb = [0u8; 12];
+        kf.copy_from_slice(&okm[0..32]);
+        kb.copy_from_slice(&okm[32..64]);
+        df.copy_from_slice(&okm[64..96]);
+        db.copy_from_slice(&okm[96..128]);
+        nf.copy_from_slice(&okm[128..140]);
+        nb.copy_from_slice(&okm[140..152]);
+        CircuitKeys {
+            kf,
+            kb,
+            df,
+            db,
+            nf,
+            nb,
+        }
+    }
+}
+
+/// Client-side state held between [`client_begin`] and [`client_finish`].
+pub struct ClientHandshake {
+    node_id: NodeId,
+    relay_onion_key: PublicKey,
+    eph: StaticSecret,
+    eph_pub: PublicKey,
+}
+
+/// Size of the onionskin the client sends.
+pub const ONIONSKIN_LEN: usize = 20 + 32 + 32;
+/// Size of the server's reply.
+pub const REPLY_LEN: usize = 32 + 32;
+
+/// Begin a handshake toward a relay with the given identity and onion key.
+/// Returns the state to keep and the onionskin to send.
+pub fn client_begin(
+    rng: &mut impl rand::Rng,
+    node_id: NodeId,
+    relay_onion_key: PublicKey,
+) -> (ClientHandshake, Vec<u8>) {
+    let eph = StaticSecret::random(rng);
+    let eph_pub = eph.public_key();
+    let mut onionskin = Vec::with_capacity(ONIONSKIN_LEN);
+    onionskin.extend_from_slice(&node_id);
+    onionskin.extend_from_slice(relay_onion_key.as_bytes());
+    onionskin.extend_from_slice(eph_pub.as_bytes());
+    (
+        ClientHandshake {
+            node_id,
+            relay_onion_key,
+            eph,
+            eph_pub,
+        },
+        onionskin,
+    )
+}
+
+fn secret_input(
+    xy: &[u8; 32],
+    xb: &[u8; 32],
+    node_id: &NodeId,
+    b: &PublicKey,
+    x: &PublicKey,
+    y: &PublicKey,
+) -> Vec<u8> {
+    let mut s = Vec::with_capacity(32 * 4 + 20 + PROTOID.len());
+    s.extend_from_slice(xy);
+    s.extend_from_slice(xb);
+    s.extend_from_slice(node_id);
+    s.extend_from_slice(b.as_bytes());
+    s.extend_from_slice(x.as_bytes());
+    s.extend_from_slice(y.as_bytes());
+    s.extend_from_slice(PROTOID);
+    s
+}
+
+fn auth_tag(
+    secret: &[u8],
+    node_id: &NodeId,
+    b: &PublicKey,
+    y: &PublicKey,
+    x: &PublicKey,
+) -> [u8; 32] {
+    let verify = hmac_sha256(secret, b"ntor-verify");
+    let mut auth_input = Vec::new();
+    auth_input.extend_from_slice(&verify);
+    auth_input.extend_from_slice(node_id);
+    auth_input.extend_from_slice(b.as_bytes());
+    auth_input.extend_from_slice(y.as_bytes());
+    auth_input.extend_from_slice(x.as_bytes());
+    auth_input.extend_from_slice(PROTOID);
+    auth_input.extend_from_slice(b"Server");
+    hmac_sha256(b"ntor-mac", &auth_input)
+}
+
+fn derive_keys(secret: &[u8]) -> CircuitKeys {
+    let okm = hkdf(b"ntor-key-extract", secret, b"ntor-key-expand", 152);
+    CircuitKeys::from_okm(&okm)
+}
+
+/// Server side: process an onionskin, produce the reply and circuit keys.
+///
+/// `identity` is the relay's long-term onion secret whose public half the
+/// directory advertises.
+pub fn server_respond(
+    rng: &mut impl rand::Rng,
+    node_id: NodeId,
+    identity: &StaticSecret,
+    onionskin: &[u8],
+) -> Result<(Vec<u8>, CircuitKeys), NtorError> {
+    if onionskin.len() != ONIONSKIN_LEN {
+        return Err(NtorError::Malformed);
+    }
+    let mut claimed_id = [0u8; 20];
+    claimed_id.copy_from_slice(&onionskin[..20]);
+    let mut b_bytes = [0u8; 32];
+    b_bytes.copy_from_slice(&onionskin[20..52]);
+    let mut x_bytes = [0u8; 32];
+    x_bytes.copy_from_slice(&onionskin[52..84]);
+    let b_pub = identity.public_key();
+    if claimed_id != node_id || b_bytes != *b_pub.as_bytes() {
+        // The client was aiming at a different relay or stale keys.
+        return Err(NtorError::AuthFailed);
+    }
+    let x = PublicKey(x_bytes);
+    let eph = StaticSecret::random(rng);
+    let y = eph.public_key();
+    let xy = eph.diffie_hellman(&x);
+    let xb = identity.diffie_hellman(&x);
+    let secret = secret_input(&xy, &xb, &node_id, &b_pub, &x, &y);
+    let auth = auth_tag(&secret, &node_id, &b_pub, &y, &x);
+    let mut reply = Vec::with_capacity(REPLY_LEN);
+    reply.extend_from_slice(y.as_bytes());
+    reply.extend_from_slice(&auth);
+    Ok((reply, derive_keys(&secret)))
+}
+
+/// Client side: verify the server's reply and derive circuit keys.
+pub fn client_finish(state: &ClientHandshake, reply: &[u8]) -> Result<CircuitKeys, NtorError> {
+    if reply.len() != REPLY_LEN {
+        return Err(NtorError::Malformed);
+    }
+    let mut y_bytes = [0u8; 32];
+    y_bytes.copy_from_slice(&reply[..32]);
+    let y = PublicKey(y_bytes);
+    let xy = state.eph.diffie_hellman(&y);
+    let xb = state.eph.diffie_hellman(&state.relay_onion_key);
+    let secret = secret_input(
+        &xy,
+        &xb,
+        &state.node_id,
+        &state.relay_onion_key,
+        &state.eph_pub,
+        &y,
+    );
+    let expect = auth_tag(
+        &secret,
+        &state.node_id,
+        &state.relay_onion_key,
+        &y,
+        &state.eph_pub,
+    );
+    if !ct_eq(&expect, &reply[32..]) {
+        return Err(NtorError::AuthFailed);
+    }
+    Ok(derive_keys(&secret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, NodeId, StaticSecret) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let identity = StaticSecret::random(&mut rng);
+        (rng, [5u8; 20], identity)
+    }
+
+    #[test]
+    fn handshake_derives_matching_keys() {
+        let (mut rng, node_id, identity) = setup();
+        let (state, onionskin) = client_begin(&mut rng, node_id, identity.public_key());
+        let (reply, server_keys) =
+            server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
+        let client_keys = client_finish(&state, &reply).unwrap();
+        assert_eq!(client_keys.kf, server_keys.kf);
+        assert_eq!(client_keys.kb, server_keys.kb);
+        assert_eq!(client_keys.df, server_keys.df);
+        assert_eq!(client_keys.db, server_keys.db);
+        assert_eq!(client_keys.nf, server_keys.nf);
+        assert_eq!(client_keys.nb, server_keys.nb);
+        assert_ne!(client_keys.kf, client_keys.kb);
+    }
+
+    #[test]
+    fn mitm_substituting_y_is_detected() {
+        let (mut rng, node_id, identity) = setup();
+        let (state, onionskin) = client_begin(&mut rng, node_id, identity.public_key());
+        let (mut reply, _) = server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
+        // Attacker replaces Y with its own ephemeral key.
+        let mallory = StaticSecret::random(&mut rng);
+        reply[..32].copy_from_slice(mallory.public_key().as_bytes());
+        assert!(matches!(client_finish(&state, &reply), Err(NtorError::AuthFailed)));
+    }
+
+    #[test]
+    fn wrong_identity_key_is_detected() {
+        let (mut rng, node_id, identity) = setup();
+        let imposter = StaticSecret::random(&mut rng);
+        // Client aims at the honest relay's advertised key, but an imposter
+        // without the private key answers: the onionskin names a key the
+        // imposter does not hold, so it cannot accept it.
+        let (_state, onionskin) = client_begin(&mut rng, node_id, identity.public_key());
+        match server_respond(&mut rng, node_id, &imposter, &onionskin) {
+            Err(NtorError::AuthFailed) => {}
+            other => panic!("expected AuthFailed, got {:?}", other.map(|(r, _)| r)),
+        }
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        let (mut rng, node_id, identity) = setup();
+        assert!(matches!(
+            server_respond(&mut rng, node_id, &identity, b"short"),
+            Err(NtorError::Malformed)
+        ));
+        let (state, _skin) = client_begin(&mut rng, node_id, identity.public_key());
+        assert!(matches!(client_finish(&state, b"short"), Err(NtorError::Malformed)));
+    }
+
+    #[test]
+    fn distinct_handshakes_yield_distinct_keys() {
+        let (mut rng, node_id, identity) = setup();
+        let run = |rng: &mut StdRng| {
+            let (state, skin) = client_begin(rng, node_id, identity.public_key());
+            let (reply, _) = server_respond(rng, node_id, &identity, &skin).unwrap();
+            client_finish(&state, &reply).unwrap()
+        };
+        let k1 = run(&mut rng);
+        let k2 = run(&mut rng);
+        assert_ne!(k1.kf, k2.kf);
+    }
+
+    #[test]
+    fn corrupted_auth_rejected() {
+        let (mut rng, node_id, identity) = setup();
+        let (state, onionskin) = client_begin(&mut rng, node_id, identity.public_key());
+        let (mut reply, _) = server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
+        reply[40] ^= 1;
+        assert!(matches!(client_finish(&state, &reply), Err(NtorError::AuthFailed)));
+    }
+}

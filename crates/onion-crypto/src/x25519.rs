@@ -1,0 +1,407 @@
+//! X25519 Diffie–Hellman (RFC 7748): the Montgomery ladder on Curve25519
+//! over GF(2^255 − 19), with field arithmetic in radix-2^51.
+//!
+//! This is the primitive under Tor's ntor handshake: a relay's identity and
+//! onion keys are X25519 keys, and circuit extension is two DH operations.
+//! Verified against the RFC 7748 test vectors.
+
+/// A field element mod 2^255 − 19, five 51-bit limbs, little-endian.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = 0u64;
+            for j in 0..8 {
+                v |= (b[i + j] as u64) << (8 * j);
+            }
+            v
+        };
+        // 255 bits packed in 32 bytes; top bit masked per RFC 7748.
+        let l0 = load(0) & MASK51;
+        let l1 = (load(6) >> 3) & MASK51;
+        let l2 = (load(12) >> 6) & MASK51;
+        let l3 = (load(19) >> 1) & MASK51;
+        let l4 = (load(24) >> 12) & MASK51;
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.carry();
+        // Conditionally subtract p (twice covers any residual excess).
+        for _ in 0..2 {
+            self = self.reduce_once();
+        }
+        let Fe(limbs) = self;
+        let mut out = [0u8; 32];
+        let mut bitpos = 0usize;
+        for &limb in &limbs {
+            for b in 0..51 {
+                if (limb >> b) & 1 == 1 {
+                    out[(bitpos + b) / 8] |= 1 << ((bitpos + b) % 8);
+                }
+            }
+            bitpos += 51;
+        }
+        out
+    }
+
+    /// Subtract p if the value is ≥ p (single pass).
+    fn reduce_once(self) -> Fe {
+        let Fe(l) = self;
+        // Compute l - p with borrow tracking.
+        let mut t = [0i128; 5];
+        t[0] = l[0] as i128 - ((1u64 << 51) - 19) as i128;
+        t[1] = l[1] as i128 - MASK51 as i128;
+        t[2] = l[2] as i128 - MASK51 as i128;
+        t[3] = l[3] as i128 - MASK51 as i128;
+        t[4] = l[4] as i128 - MASK51 as i128;
+        for i in 0..4 {
+            if t[i] < 0 {
+                t[i] += 1 << 51;
+                t[i + 1] -= 1;
+            }
+        }
+        if t[4] < 0 {
+            // value < p: keep original
+            self
+        } else {
+            Fe([
+                t[0] as u64,
+                t[1] as u64,
+                t[2] as u64,
+                t[3] as u64,
+                t[4] as u64,
+            ])
+        }
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+        .carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // a + 2p - b, limbwise; 2p = (2^52-38, 2^52-2, ...).
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + 0xFFFFFFFFFFFDA - b[0],
+            a[1] + 0xFFFFFFFFFFFFE - b[1],
+            a[2] + 0xFFFFFFFFFFFFE - b[2],
+            a[3] + 0xFFFFFFFFFFFFE - b[3],
+            a[4] + 0xFFFFFFFFFFFFE - b[4],
+        ])
+        .carry()
+    }
+
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        for _ in 0..2 {
+            c = l[0] >> 51;
+            l[0] &= MASK51;
+            l[1] += c;
+            c = l[1] >> 51;
+            l[1] &= MASK51;
+            l[2] += c;
+            c = l[2] >> 51;
+            l[2] &= MASK51;
+            l[3] += c;
+            c = l[3] >> 51;
+            l[3] &= MASK51;
+            l[4] += c;
+            c = l[4] >> 51;
+            l[4] &= MASK51;
+            l[0] += c * 19;
+        }
+        Fe(l)
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let mut r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let mut r1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        // Carry chain in u128.
+        let mut c: u128;
+        c = r0 >> 51;
+        r0 &= MASK51 as u128;
+        r1 += c;
+        c = r1 >> 51;
+        r1 &= MASK51 as u128;
+        r2 += c;
+        c = r2 >> 51;
+        r2 &= MASK51 as u128;
+        r3 += c;
+        c = r3 >> 51;
+        r3 &= MASK51 as u128;
+        r4 += c;
+        c = r4 >> 51;
+        r4 &= MASK51 as u128;
+        r0 += c * 19;
+        Fe([r0 as u64, r1 as u64, r2 as u64, r3 as u64, r4 as u64]).carry()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `self^(2^k)` by repeated squaring.
+    fn pow2k(self, k: u32) -> Fe {
+        let mut t = self;
+        for _ in 0..k {
+            t = t.square();
+        }
+        t
+    }
+
+    fn mul_small(self, n: u64) -> Fe {
+        let a = self.0;
+        let m = |x: u64| x as u128 * n as u128;
+        let mut r = [m(a[0]), m(a[1]), m(a[2]), m(a[3]), m(a[4])];
+        let mut c: u128;
+        for i in 0..4 {
+            c = r[i] >> 51;
+            r[i] &= MASK51 as u128;
+            r[i + 1] += c;
+        }
+        c = r[4] >> 51;
+        r[4] &= MASK51 as u128;
+        r[0] += c * 19;
+        Fe([r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64]).carry()
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p-2)` with the ref10 chain.
+    fn invert(self) -> Fe {
+        let z = self;
+        let z2 = z.square(); // 2
+        let z8 = z2.pow2k(2); // 8
+        let z9 = z8.mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z22 = z11.square(); // 22
+        let z_5_0 = z22.mul(z9); // 2^5 - 1
+        let z_10_0 = z_5_0.pow2k(5).mul(z_5_0); // 2^10 - 1
+        let z_20_0 = z_10_0.pow2k(10).mul(z_10_0); // 2^20 - 1
+        let z_40_0 = z_20_0.pow2k(20).mul(z_20_0); // 2^40 - 1
+        let z_50_0 = z_40_0.pow2k(10).mul(z_10_0); // 2^50 - 1
+        let z_100_0 = z_50_0.pow2k(50).mul(z_50_0); // 2^100 - 1
+        let z_200_0 = z_100_0.pow2k(100).mul(z_100_0); // 2^200 - 1
+        let z_250_0 = z_200_0.pow2k(50).mul(z_50_0); // 2^250 - 1
+        z_250_0.pow2k(5).mul(z11) // 2^255 - 21
+    }
+}
+
+/// Clamp a 32-byte scalar per RFC 7748.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// X25519 scalar multiplication: `scalar * u_point`.
+pub fn x25519(scalar: [u8; 32], u_point: [u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(&u_point);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = false;
+    for t in (0..255).rev() {
+        let bit = (k[t / 8] >> (t % 8)) & 1 == 1;
+        if swap != bit {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = bit;
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    if swap {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// X25519 with the standard base point (u = 9): derive a public key.
+pub fn x25519_base(scalar: [u8; 32]) -> [u8; 32] {
+    let mut base = [0u8; 32];
+    base[0] = 9;
+    x25519(scalar, base)
+}
+
+/// A long-term X25519 secret key.
+#[derive(Clone)]
+pub struct StaticSecret([u8; 32]);
+
+/// An X25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl StaticSecret {
+    /// Create from raw bytes (clamped on use).
+    pub fn from_bytes(b: [u8; 32]) -> Self {
+        StaticSecret(b)
+    }
+
+    /// Generate from an RNG.
+    pub fn random(rng: &mut impl rand::Rng) -> Self {
+        let mut b = [0u8; 32];
+        rng.fill(&mut b);
+        StaticSecret(b)
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(x25519_base(self.0))
+    }
+
+    /// Diffie–Hellman with a peer's public key.
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> [u8; 32] {
+        x25519(self.0, peer.0)
+    }
+}
+
+impl PublicKey {
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let k = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(k, u);
+        assert_eq!(
+            out,
+            unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
+    }
+
+    /// RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let k = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(k, u);
+        assert_eq!(
+            out,
+            unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        );
+    }
+
+    /// RFC 7748 §6.1 Diffie–Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let a_priv = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let b_priv = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let a_pub = x25519_base(a_priv);
+        let b_pub = x25519_base(b_priv);
+        assert_eq!(
+            a_pub,
+            unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            b_pub,
+            unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let shared_a = x25519(a_priv, b_pub);
+        let shared_b = x25519(b_priv, a_pub);
+        let expected = unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+        assert_eq!(shared_a, expected);
+        assert_eq!(shared_b, expected);
+    }
+
+    /// RFC 7748 §5.2 iterated test, 1 iteration (k = u = base).
+    #[test]
+    fn rfc7748_iterated_once() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let u = k;
+        let out = x25519(k, u);
+        assert_eq!(
+            out,
+            unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+        );
+    }
+
+    /// RFC 7748 §5.2 iterated test, 1000 iterations (slow but important).
+    #[test]
+    fn rfc7748_iterated_1000() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let mut u = k;
+        for _ in 0..1000 {
+            let out = x25519(k, u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(
+            k,
+            unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+        );
+    }
+
+    #[test]
+    fn static_secret_dh_agrees() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = StaticSecret::random(&mut rng);
+        let b = StaticSecret::random(&mut rng);
+        let s1 = a.diffie_hellman(&b.public_key());
+        let s2 = b.diffie_hellman(&a.public_key());
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0u8; 32]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the crypto substrate.
+
+use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::chacha20::ChaCha20;
+use onion_crypto::hashsig::{MerkleSigner, Signature};
+use onion_crypto::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot for any split.
+    #[test]
+    fn sha256_incremental(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                          split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// ChaCha20 is an involution under the same key/nonce and position.
+    #[test]
+    fn chacha_roundtrip(key in proptest::array::uniform32(any::<u8>()),
+                        nonce in proptest::array::uniform12(any::<u8>()),
+                        data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let ct = ChaCha20::new(&key, &nonce).apply_copy(&data);
+        let pt = ChaCha20::new(&key, &nonce).apply_copy(&ct);
+        prop_assert_eq!(pt, data);
+    }
+
+    /// Streaming in arbitrary chunk sizes equals one-shot encryption.
+    #[test]
+    fn chacha_chunking(data in proptest::collection::vec(any::<u8>(), 1..2048),
+                       chunk in 1usize..257) {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let whole = ChaCha20::new(&key, &nonce).apply_copy(&data);
+        let mut c = ChaCha20::new(&key, &nonce);
+        let mut pieced = Vec::new();
+        for part in data.chunks(chunk) {
+            pieced.extend_from_slice(&c.apply_copy(part));
+        }
+        prop_assert_eq!(pieced, whole);
+    }
+
+    /// AEAD roundtrips; any single-bit flip is rejected.
+    #[test]
+    fn aead_roundtrip_and_tamper(master in proptest::array::uniform32(any::<u8>()),
+                                 nonce in proptest::array::uniform12(any::<u8>()),
+                                 aad in proptest::collection::vec(any::<u8>(), 0..64),
+                                 pt in proptest::collection::vec(any::<u8>(), 0..1024),
+                                 flip_byte in 0usize..1056, flip_bit in 0u8..8) {
+        let key = AeadKey::from_master(&master);
+        let sealed = seal(&key, &nonce, &aad, &pt);
+        prop_assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), pt);
+        let mut bad = sealed.clone();
+        let idx = flip_byte % bad.len();
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(open(&key, &nonce, &aad, &bad).is_err());
+    }
+
+    /// Signature decode never panics, and decode(encode(sig)) is identity.
+    #[test]
+    fn hashsig_codec(msg in proptest::collection::vec(any::<u8>(), 0..256),
+                     garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut signer = MerkleSigner::generate([5u8; 32], 1);
+        let sig = signer.sign(&msg).unwrap();
+        let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &sig);
+        prop_assert!(signer.verify_key().verify(&msg, &back));
+        let _ = Signature::from_bytes(&garbage); // must not panic
+    }
+}

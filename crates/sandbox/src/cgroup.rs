@@ -1,0 +1,279 @@
+//! cgroup-style resource accounting with hard limits.
+//!
+//! Each container charges memory, CPU time, disk and network bytes against
+//! its own [`CGroup`]; the Bento server additionally charges the same usage
+//! against one *aggregate* group so that all functions together can be held
+//! under a machine-wide cap, keeping the co-resident Tor relay responsive
+//! (§5.3, §6.2 of the paper).
+
+/// Hard limits for one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum resident memory, bytes.
+    pub memory: u64,
+    /// Maximum cumulative CPU time, milliseconds.
+    pub cpu_ms: u64,
+    /// Maximum disk bytes written (cumulative).
+    pub disk: u64,
+    /// Maximum network bytes sent+received (cumulative).
+    pub network: u64,
+}
+
+impl ResourceLimits {
+    /// The paper's nominal per-function container: 128 MiB of memory and
+    /// generous cumulative budgets (the network budget must accommodate a
+    /// long-lived function — e.g. a Browser serving a thousand padded page
+    /// loads — while still bounding a deliberate flooder; operators tune it
+    /// with `BentoServer::set_function_network_budget`).
+    pub fn default_function() -> ResourceLimits {
+        ResourceLimits {
+            memory: 128 << 20,
+            cpu_ms: 600_000,
+            disk: 256 << 20,
+            network: 1 << 34,
+        }
+    }
+
+    /// An aggregate cap for all functions on one Bento box.
+    pub fn default_aggregate() -> ResourceLimits {
+        ResourceLimits {
+            memory: 1 << 30,
+            cpu_ms: 3_600_000,
+            disk: 1 << 30,
+            network: 1 << 36,
+        }
+    }
+
+    /// Effectively unlimited.
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits {
+            memory: u64::MAX,
+            cpu_ms: u64::MAX,
+            disk: u64::MAX,
+            network: u64::MAX,
+        }
+    }
+}
+
+/// Current usage of one group.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Resident memory, bytes.
+    pub memory: u64,
+    /// Cumulative CPU milliseconds.
+    pub cpu_ms: u64,
+    /// Cumulative disk bytes written.
+    pub disk: u64,
+    /// Cumulative network bytes.
+    pub network: u64,
+    /// High-water mark of resident memory.
+    pub memory_peak: u64,
+}
+
+/// Which resource a charge exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceError {
+    /// Memory limit hit (the container would be OOM-killed).
+    OutOfMemory,
+    /// CPU budget exhausted.
+    CpuExceeded,
+    /// Disk budget exhausted.
+    DiskExceeded,
+    /// Network budget exhausted.
+    NetworkExceeded,
+}
+
+impl std::fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceError::OutOfMemory => write!(f, "memory limit exceeded (OOM)"),
+            ResourceError::CpuExceeded => write!(f, "CPU budget exhausted"),
+            ResourceError::DiskExceeded => write!(f, "disk budget exhausted"),
+            ResourceError::NetworkExceeded => write!(f, "network budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// One accounting group.
+#[derive(Debug, Clone)]
+pub struct CGroup {
+    limits: ResourceLimits,
+    usage: ResourceUsage,
+}
+
+impl CGroup {
+    /// A group with the given limits.
+    pub fn new(limits: ResourceLimits) -> CGroup {
+        CGroup {
+            limits,
+            usage: ResourceUsage::default(),
+        }
+    }
+
+    /// Current usage.
+    pub fn usage(&self) -> ResourceUsage {
+        self.usage
+    }
+
+    /// The limits.
+    pub fn limits(&self) -> ResourceLimits {
+        self.limits
+    }
+
+    /// Charge `bytes` of additional resident memory.
+    pub fn alloc_memory(&mut self, bytes: u64) -> Result<(), ResourceError> {
+        let new = self.usage.memory.saturating_add(bytes);
+        if new > self.limits.memory {
+            return Err(ResourceError::OutOfMemory);
+        }
+        self.usage.memory = new;
+        self.usage.memory_peak = self.usage.memory_peak.max(new);
+        Ok(())
+    }
+
+    /// Release resident memory.
+    pub fn free_memory(&mut self, bytes: u64) {
+        self.usage.memory = self.usage.memory.saturating_sub(bytes);
+    }
+
+    /// Charge CPU time.
+    pub fn charge_cpu(&mut self, ms: u64) -> Result<(), ResourceError> {
+        let new = self.usage.cpu_ms.saturating_add(ms);
+        if new > self.limits.cpu_ms {
+            return Err(ResourceError::CpuExceeded);
+        }
+        self.usage.cpu_ms = new;
+        Ok(())
+    }
+
+    /// Charge disk bytes.
+    pub fn charge_disk(&mut self, bytes: u64) -> Result<(), ResourceError> {
+        let new = self.usage.disk.saturating_add(bytes);
+        if new > self.limits.disk {
+            return Err(ResourceError::DiskExceeded);
+        }
+        self.usage.disk = new;
+        Ok(())
+    }
+
+    /// Charge network bytes.
+    pub fn charge_network(&mut self, bytes: u64) -> Result<(), ResourceError> {
+        let new = self.usage.network.saturating_add(bytes);
+        if new > self.limits.network {
+            return Err(ResourceError::NetworkExceeded);
+        }
+        self.usage.network = new;
+        Ok(())
+    }
+
+    /// Release all resident memory (container teardown); cumulative
+    /// counters are preserved for reporting.
+    pub fn release_all_memory(&mut self) {
+        self.usage.memory = 0;
+    }
+}
+
+/// Charge the same amount against a container group *and* its aggregate
+/// parent; the charge fails (and is rolled back) if either refuses.
+pub fn charge_both<F>(child: &mut CGroup, parent: &mut CGroup, f: F) -> Result<(), ResourceError>
+where
+    F: Fn(&mut CGroup) -> Result<(), ResourceError>,
+{
+    f(child)?;
+    match f(parent) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Roll back is the caller's concern for memory; cumulative
+            // counters cannot meaningfully roll back, so we simply report.
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_alloc_free_and_peak() {
+        let mut g = CGroup::new(ResourceLimits {
+            memory: 100,
+            ..ResourceLimits::unlimited()
+        });
+        g.alloc_memory(60).unwrap();
+        g.alloc_memory(40).unwrap();
+        assert_eq!(g.usage().memory, 100);
+        assert_eq!(g.alloc_memory(1), Err(ResourceError::OutOfMemory));
+        g.free_memory(50);
+        assert_eq!(g.usage().memory, 50);
+        g.alloc_memory(10).unwrap();
+        assert_eq!(g.usage().memory_peak, 100);
+    }
+
+    #[test]
+    fn cpu_budget_is_cumulative() {
+        let mut g = CGroup::new(ResourceLimits {
+            cpu_ms: 100,
+            ..ResourceLimits::unlimited()
+        });
+        for _ in 0..10 {
+            g.charge_cpu(10).unwrap();
+        }
+        assert_eq!(g.charge_cpu(1), Err(ResourceError::CpuExceeded));
+    }
+
+    #[test]
+    fn disk_and_network_budgets() {
+        let mut g = CGroup::new(ResourceLimits {
+            disk: 10,
+            network: 20,
+            ..ResourceLimits::unlimited()
+        });
+        g.charge_disk(10).unwrap();
+        assert_eq!(g.charge_disk(1), Err(ResourceError::DiskExceeded));
+        g.charge_network(20).unwrap();
+        assert_eq!(g.charge_network(1), Err(ResourceError::NetworkExceeded));
+    }
+
+    #[test]
+    fn aggregate_cap_binds_even_when_child_would_allow() {
+        // §6.2: many functions each within their own limits must still not
+        // starve the machine.
+        let mut parent = CGroup::new(ResourceLimits {
+            memory: 150,
+            ..ResourceLimits::unlimited()
+        });
+        let mut a = CGroup::new(ResourceLimits {
+            memory: 100,
+            ..ResourceLimits::unlimited()
+        });
+        let mut b = CGroup::new(ResourceLimits {
+            memory: 100,
+            ..ResourceLimits::unlimited()
+        });
+        charge_both(&mut a, &mut parent, |g| g.alloc_memory(100)).unwrap();
+        let r = charge_both(&mut b, &mut parent, |g| g.alloc_memory(100));
+        assert_eq!(r, Err(ResourceError::OutOfMemory));
+    }
+
+    #[test]
+    fn saturating_charges_do_not_wrap() {
+        let mut g = CGroup::new(ResourceLimits::unlimited());
+        g.charge_cpu(u64::MAX).unwrap();
+        g.charge_cpu(u64::MAX).unwrap(); // saturates, still within u64::MAX
+        assert_eq!(g.usage().cpu_ms, u64::MAX);
+    }
+
+    #[test]
+    fn release_all_memory_keeps_cumulative_counters() {
+        let mut g = CGroup::new(ResourceLimits::unlimited());
+        g.alloc_memory(100).unwrap();
+        g.charge_cpu(5).unwrap();
+        g.release_all_memory();
+        assert_eq!(g.usage().memory, 0);
+        assert_eq!(g.usage().cpu_ms, 5);
+        assert_eq!(g.usage().memory_peak, 100);
+    }
+}

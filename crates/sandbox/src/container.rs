@@ -1,0 +1,454 @@
+//! The container: a namespace tying together the chroot filesystem, the
+//! cgroup, the seccomp filter and the network rules behind one mediated
+//! syscall surface.
+//!
+//! Every side effect a function can have on its host goes through
+//! [`Container::syscall`] — which is exactly the paper's claim: "Bento does
+//! not seek to limit what a third-party program can do within a container,
+//! but rather what side-effects it can have on the system itself" (§6.2).
+
+use crate::cgroup::{CGroup, ResourceError, ResourceLimits};
+use crate::fs::{FsError, MemFs};
+use crate::netrules::NetRules;
+use crate::seccomp::{SeccompFilter, SyscallClass};
+
+/// Container lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Accepting syscalls.
+    Running,
+    /// Terminated; the reason is recorded.
+    Terminated(String),
+}
+
+/// A mediated system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Syscall {
+    /// Write a file.
+    Write {
+        /// Path inside the chroot.
+        path: String,
+        /// Contents.
+        data: Vec<u8>,
+    },
+    /// Append to a file.
+    Append {
+        /// Path inside the chroot.
+        path: String,
+        /// Contents.
+        data: Vec<u8>,
+    },
+    /// Read a file.
+    Read {
+        /// Path inside the chroot.
+        path: String,
+    },
+    /// Delete a file.
+    Unlink {
+        /// Path inside the chroot.
+        path: String,
+    },
+    /// Request an outbound connection.
+    Connect {
+        /// Destination host id.
+        host: u32,
+        /// Destination port.
+        port: u16,
+    },
+    /// Request a listening socket.
+    Listen {
+        /// Port to listen on.
+        port: u16,
+    },
+    /// Spawn a process.
+    Fork,
+    /// Execute an image.
+    Exec {
+        /// Program name.
+        image: String,
+    },
+    /// Allocate memory.
+    Alloc {
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Free memory.
+    Free {
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Burn CPU.
+    Cpu {
+        /// Milliseconds.
+        ms: u64,
+    },
+}
+
+/// Result of a mediated syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallOutcome {
+    /// Success with no payload.
+    Ok,
+    /// Success with file contents.
+    Data(Vec<u8>),
+    /// Permission to proceed with a connect/listen (the host performs the
+    /// actual network operation).
+    Permitted,
+}
+
+/// Why a syscall failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The seccomp filter denied the class.
+    SeccompDenied(SyscallClass),
+    /// The network rules dropped the destination.
+    NetDenied {
+        /// Destination host.
+        host: u32,
+        /// Destination port.
+        port: u16,
+    },
+    /// Filesystem error.
+    Fs(FsError),
+    /// Resource limit hit; the container is terminated for OOM.
+    Resource(ResourceError),
+    /// The container is no longer running.
+    NotRunning,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::SeccompDenied(c) => write!(f, "seccomp denied {}", c.name()),
+            ContainerError::NetDenied { host, port } => {
+                write!(f, "network policy denied {host}:{port}")
+            }
+            ContainerError::Fs(e) => write!(f, "fs: {e}"),
+            ContainerError::Resource(e) => write!(f, "resource: {e}"),
+            ContainerError::NotRunning => write!(f, "container not running"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// One function's container.
+pub struct Container {
+    /// Namespace id (unique per server).
+    pub id: u64,
+    state: ContainerState,
+    fs: MemFs,
+    cgroup: CGroup,
+    seccomp: SeccompFilter,
+    net: NetRules,
+}
+
+impl Container {
+    /// Create a container with the given isolation configuration.
+    pub fn new(
+        id: u64,
+        limits: ResourceLimits,
+        seccomp: SeccompFilter,
+        net: NetRules,
+        fs_quota_bytes: u64,
+        fs_quota_files: usize,
+    ) -> Container {
+        Container {
+            id,
+            state: ContainerState::Running,
+            fs: MemFs::new(fs_quota_bytes, fs_quota_files),
+            cgroup: CGroup::new(limits),
+            seccomp,
+            net,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &ContainerState {
+        &self.state
+    }
+
+    /// Whether the container accepts syscalls.
+    pub fn is_running(&self) -> bool {
+        self.state == ContainerState::Running
+    }
+
+    /// Terminate with a reason; resident memory is released.
+    pub fn terminate(&mut self, reason: &str) {
+        if self.is_running() {
+            self.state = ContainerState::Terminated(reason.to_string());
+            self.cgroup.release_all_memory();
+        }
+    }
+
+    /// The cgroup (inspection / host-side charging of network bytes).
+    pub fn cgroup_mut(&mut self) -> &mut CGroup {
+        &mut self.cgroup
+    }
+
+    /// The cgroup, read-only.
+    pub fn cgroup(&self) -> &CGroup {
+        &self.cgroup
+    }
+
+    /// The filesystem, read-only (operator inspection — for FS Protect
+    /// containers this only ever shows ciphertext).
+    pub fn fs(&self) -> &MemFs {
+        &self.fs
+    }
+
+    /// Seccomp violations recorded so far.
+    pub fn violations(&self) -> &[SyscallClass] {
+        self.seccomp.violations()
+    }
+
+    fn class_of(call: &Syscall) -> SyscallClass {
+        match call {
+            Syscall::Write { .. } | Syscall::Append { .. } => SyscallClass::Write,
+            Syscall::Read { .. } => SyscallClass::Read,
+            Syscall::Unlink { .. } => SyscallClass::Unlink,
+            Syscall::Connect { .. } => SyscallClass::Connect,
+            Syscall::Listen { .. } => SyscallClass::Listen,
+            Syscall::Fork => SyscallClass::Fork,
+            Syscall::Exec { .. } => SyscallClass::Exec,
+            // Memory/CPU charges are not seccomp-gated; everything may
+            // allocate (subject to the cgroup).
+            Syscall::Alloc { .. } | Syscall::Free { .. } | Syscall::Cpu { .. } => {
+                SyscallClass::GetTime
+            }
+        }
+    }
+
+    /// Gate a syscall class without performing an operation — used by
+    /// runtimes that mediate the operation themselves (e.g. FS Protect
+    /// inside a conclave) but still honor the container's filter.
+    pub fn check_class(&mut self, class: SyscallClass) -> Result<(), ContainerError> {
+        if !self.is_running() {
+            return Err(ContainerError::NotRunning);
+        }
+        if !self.seccomp.check(class) {
+            return Err(ContainerError::SeccompDenied(class));
+        }
+        Ok(())
+    }
+
+    /// Charge disk usage and kill the container on overrun (public for
+    /// mediating runtimes; see [`Container::check_class`]).
+    pub fn charge_disk(&mut self, bytes: u64) -> Result<(), ContainerError> {
+        self.cgroup.charge_disk(bytes).map_err(|e| self.resource_kill(e))
+    }
+
+    /// Charge CPU time and kill the container on overrun.
+    pub fn charge_cpu(&mut self, ms: u64) -> Result<(), ContainerError> {
+        self.cgroup.charge_cpu(ms).map_err(|e| self.resource_kill(e))
+    }
+
+    /// Execute a mediated syscall.
+    pub fn syscall(&mut self, call: Syscall) -> Result<SyscallOutcome, ContainerError> {
+        if !self.is_running() {
+            return Err(ContainerError::NotRunning);
+        }
+        // Seccomp gate (resource charges are exempt; see class_of).
+        let class = Self::class_of(&call);
+        if !matches!(
+            call,
+            Syscall::Alloc { .. } | Syscall::Free { .. } | Syscall::Cpu { .. }
+        ) && !self.seccomp.check(class)
+        {
+            return Err(ContainerError::SeccompDenied(class));
+        }
+        match call {
+            Syscall::Write { path, data } => {
+                self.cgroup
+                    .charge_disk(data.len() as u64)
+                    .map_err(|e| self.resource_kill(e))?;
+                self.fs.write(&path, &data).map_err(ContainerError::Fs)?;
+                Ok(SyscallOutcome::Ok)
+            }
+            Syscall::Append { path, data } => {
+                self.cgroup
+                    .charge_disk(data.len() as u64)
+                    .map_err(|e| self.resource_kill(e))?;
+                self.fs.append(&path, &data).map_err(ContainerError::Fs)?;
+                Ok(SyscallOutcome::Ok)
+            }
+            Syscall::Read { path } => {
+                let data = self.fs.read(&path).map_err(ContainerError::Fs)?.to_vec();
+                Ok(SyscallOutcome::Data(data))
+            }
+            Syscall::Unlink { path } => {
+                self.fs.unlink(&path).map_err(ContainerError::Fs)?;
+                Ok(SyscallOutcome::Ok)
+            }
+            Syscall::Connect { host, port } => {
+                if !self.net.check(host, port) {
+                    return Err(ContainerError::NetDenied { host, port });
+                }
+                Ok(SyscallOutcome::Permitted)
+            }
+            Syscall::Listen { .. } => Ok(SyscallOutcome::Permitted),
+            Syscall::Fork | Syscall::Exec { .. } => Ok(SyscallOutcome::Ok),
+            Syscall::Alloc { bytes } => {
+                self.cgroup
+                    .alloc_memory(bytes)
+                    .map_err(|e| self.resource_kill(e))?;
+                Ok(SyscallOutcome::Ok)
+            }
+            Syscall::Free { bytes } => {
+                self.cgroup.free_memory(bytes);
+                Ok(SyscallOutcome::Ok)
+            }
+            Syscall::Cpu { ms } => {
+                self.cgroup
+                    .charge_cpu(ms)
+                    .map_err(|e| self.resource_kill(e))?;
+                Ok(SyscallOutcome::Ok)
+            }
+        }
+    }
+
+    /// A resource failure kills the container, like the OOM killer.
+    fn resource_kill(&mut self, e: ResourceError) -> ContainerError {
+        self.state = ContainerState::Terminated(format!("resource limit: {e}"));
+        self.cgroup.release_all_memory();
+        ContainerError::Resource(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netrules::NetRule;
+
+    fn container() -> Container {
+        Container::new(
+            1,
+            ResourceLimits {
+                memory: 1000,
+                cpu_ms: 100,
+                disk: 100,
+                network: 1000,
+            },
+            SeccompFilter::function_baseline(),
+            NetRules::from_rules(vec![NetRule {
+                accept: true,
+                host: None,
+                ports: (80, 443),
+            }]),
+            64,
+            4,
+        )
+    }
+
+    #[test]
+    fn file_syscalls_work_within_quota() {
+        let mut c = container();
+        c.syscall(Syscall::Write {
+            path: "out.txt".into(),
+            data: b"result".to_vec(),
+        })
+        .unwrap();
+        let got = c
+            .syscall(Syscall::Read {
+                path: "out.txt".into(),
+            })
+            .unwrap();
+        assert_eq!(got, SyscallOutcome::Data(b"result".to_vec()));
+        c.syscall(Syscall::Unlink {
+            path: "out.txt".into(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fork_and_exec_denied_by_baseline() {
+        let mut c = container();
+        assert_eq!(
+            c.syscall(Syscall::Fork),
+            Err(ContainerError::SeccompDenied(SyscallClass::Fork))
+        );
+        assert_eq!(
+            c.syscall(Syscall::Exec { image: "sh".into() }),
+            Err(ContainerError::SeccompDenied(SyscallClass::Exec))
+        );
+        assert_eq!(c.violations().len(), 2);
+        // The container keeps running — a denied syscall is an error, not
+        // a crash.
+        assert!(c.is_running());
+    }
+
+    #[test]
+    fn connect_respects_net_rules() {
+        let mut c = container();
+        assert_eq!(
+            c.syscall(Syscall::Connect { host: 7, port: 80 }),
+            Ok(SyscallOutcome::Permitted)
+        );
+        assert_eq!(
+            c.syscall(Syscall::Connect { host: 7, port: 22 }),
+            Err(ContainerError::NetDenied { host: 7, port: 22 })
+        );
+    }
+
+    #[test]
+    fn oom_terminates_container() {
+        let mut c = container();
+        c.syscall(Syscall::Alloc { bytes: 900 }).unwrap();
+        let r = c.syscall(Syscall::Alloc { bytes: 200 });
+        assert_eq!(r, Err(ContainerError::Resource(ResourceError::OutOfMemory)));
+        assert!(!c.is_running());
+        assert_eq!(
+            c.syscall(Syscall::Cpu { ms: 1 }),
+            Err(ContainerError::NotRunning)
+        );
+        // Memory was released on kill.
+        assert_eq!(c.cgroup().usage().memory, 0);
+    }
+
+    #[test]
+    fn cpu_budget_kills() {
+        let mut c = container();
+        c.syscall(Syscall::Cpu { ms: 100 }).unwrap();
+        assert!(matches!(
+            c.syscall(Syscall::Cpu { ms: 1 }),
+            Err(ContainerError::Resource(ResourceError::CpuExceeded))
+        ));
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn disk_quota_via_cgroup_and_fs() {
+        let mut c = container();
+        // fs quota (64B) is tighter than the cgroup disk budget (100B).
+        let r = c.syscall(Syscall::Write {
+            path: "big".into(),
+            data: vec![0u8; 65],
+        });
+        assert!(matches!(r, Err(ContainerError::Fs(FsError::QuotaExceeded { .. }))));
+    }
+
+    #[test]
+    fn terminate_is_idempotent_and_blocks_syscalls() {
+        let mut c = container();
+        c.terminate("shutdown token presented");
+        c.terminate("again");
+        assert_eq!(
+            c.state(),
+            &ContainerState::Terminated("shutdown token presented".into())
+        );
+        assert_eq!(
+            c.syscall(Syscall::Read { path: "x".into() }),
+            Err(ContainerError::NotRunning)
+        );
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut c = container();
+        c.syscall(Syscall::Alloc { bytes: 500 }).unwrap();
+        c.syscall(Syscall::Free { bytes: 400 }).unwrap();
+        c.syscall(Syscall::Alloc { bytes: 800 }).unwrap();
+        assert_eq!(c.cgroup().usage().memory, 900);
+        assert_eq!(c.cgroup().usage().memory_peak, 900);
+    }
+}

@@ -1,0 +1,264 @@
+//! A chroot-like in-memory filesystem with quotas.
+//!
+//! Each container gets its own [`MemFs`]: functions can only ever name
+//! paths inside it (the chroot property is structural — there is no parent
+//! to escape to), and total bytes and file counts are capped. Paths are
+//! normalized so `..` components cannot climb out.
+
+use std::collections::BTreeMap;
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file.
+    NotFound(String),
+    /// Writing would exceed the byte quota.
+    QuotaExceeded {
+        /// Bytes requested beyond the current usage.
+        requested: u64,
+        /// The byte quota.
+        quota: u64,
+    },
+    /// Creating would exceed the file-count quota.
+    TooManyFiles(usize),
+    /// The path is empty or otherwise invalid.
+    BadPath(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::QuotaExceeded { requested, quota } => {
+                write!(f, "write of {requested} bytes exceeds quota {quota}")
+            }
+            FsError::TooManyFiles(n) => write!(f, "file count quota {n} reached"),
+            FsError::BadPath(p) => write!(f, "invalid path: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A quota-enforcing in-memory filesystem.
+#[derive(Debug, Clone)]
+pub struct MemFs {
+    files: BTreeMap<String, Vec<u8>>,
+    byte_quota: u64,
+    file_quota: usize,
+    bytes_used: u64,
+}
+
+/// Normalize a path: strip leading slashes, resolve `.`/`..` without ever
+/// climbing above the root.
+fn normalize(path: &str) -> Result<String, FsError> {
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                // Attempting to climb above the chroot silently clamps to
+                // the root, exactly like a real chroot.
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    if parts.is_empty() {
+        return Err(FsError::BadPath(path.to_string()));
+    }
+    Ok(parts.join("/"))
+}
+
+impl MemFs {
+    /// A filesystem with the given quotas.
+    pub fn new(byte_quota: u64, file_quota: usize) -> MemFs {
+        MemFs {
+            files: BTreeMap::new(),
+            byte_quota,
+            file_quota,
+            bytes_used: 0,
+        }
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used
+    }
+
+    /// The byte quota.
+    pub fn byte_quota(&self) -> u64 {
+        self.byte_quota
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Write (create or replace) a file.
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let path = normalize(path)?;
+        let old = self.files.get(&path).map(|f| f.len() as u64).unwrap_or(0);
+        if !self.files.contains_key(&path) && self.files.len() >= self.file_quota {
+            return Err(FsError::TooManyFiles(self.file_quota));
+        }
+        let new_total = self.bytes_used - old + data.len() as u64;
+        if new_total > self.byte_quota {
+            return Err(FsError::QuotaExceeded {
+                requested: data.len() as u64,
+                quota: self.byte_quota,
+            });
+        }
+        self.bytes_used = new_total;
+        self.files.insert(path, data.to_vec());
+        Ok(())
+    }
+
+    /// Append to a file (creating it if absent).
+    pub fn append(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let path = normalize(path)?;
+        if !self.files.contains_key(&path) && self.files.len() >= self.file_quota {
+            return Err(FsError::TooManyFiles(self.file_quota));
+        }
+        if self.bytes_used + data.len() as u64 > self.byte_quota {
+            return Err(FsError::QuotaExceeded {
+                requested: data.len() as u64,
+                quota: self.byte_quota,
+            });
+        }
+        self.bytes_used += data.len() as u64;
+        self.files.entry(path).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a file.
+    pub fn read(&self, path: &str) -> Result<&[u8], FsError> {
+        let path = normalize(path)?;
+        self.files
+            .get(&path)
+            .map(|v| v.as_slice())
+            .ok_or(FsError::NotFound(path))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        normalize(path)
+            .map(|p| self.files.contains_key(&p))
+            .unwrap_or(false)
+    }
+
+    /// Delete a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let path = normalize(path)?;
+        match self.files.remove(&path) {
+            Some(data) => {
+                self.bytes_used -= data.len() as u64;
+                Ok(())
+            }
+            None => Err(FsError::NotFound(path)),
+        }
+    }
+
+    /// List all paths (sorted).
+    pub fn list(&self) -> Vec<&str> {
+        self.files.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.files.clear();
+        self.bytes_used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = MemFs::new(1024, 16);
+        fs.write("/data/file.bin", b"hello").unwrap();
+        assert_eq!(fs.read("data/file.bin").unwrap(), b"hello");
+        assert_eq!(fs.bytes_used(), 5);
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn dotdot_cannot_escape_chroot() {
+        let mut fs = MemFs::new(1024, 16);
+        fs.write("../../etc/passwd", b"root").unwrap();
+        // The write landed inside the chroot, not outside.
+        assert_eq!(fs.read("etc/passwd").unwrap(), b"root");
+        assert_eq!(fs.list(), vec!["etc/passwd"]);
+        // A path that resolves to the root itself is invalid.
+        assert!(matches!(fs.write("../..", b"x"), Err(FsError::BadPath(_))));
+    }
+
+    #[test]
+    fn byte_quota_enforced_and_freed_on_unlink() {
+        let mut fs = MemFs::new(10, 16);
+        fs.write("a", b"12345").unwrap();
+        assert!(matches!(
+            fs.write("b", b"123456"),
+            Err(FsError::QuotaExceeded { .. })
+        ));
+        fs.unlink("a").unwrap();
+        fs.write("b", b"1234567890").unwrap();
+        assert_eq!(fs.bytes_used(), 10);
+    }
+
+    #[test]
+    fn overwrite_reuses_quota() {
+        let mut fs = MemFs::new(10, 16);
+        fs.write("a", b"1234567890").unwrap();
+        // Replacing with a smaller file must succeed.
+        fs.write("a", b"123").unwrap();
+        assert_eq!(fs.bytes_used(), 3);
+    }
+
+    #[test]
+    fn file_count_quota() {
+        let mut fs = MemFs::new(1024, 2);
+        fs.write("a", b"1").unwrap();
+        fs.write("b", b"2").unwrap();
+        assert!(matches!(fs.write("c", b"3"), Err(FsError::TooManyFiles(2))));
+        // Overwriting an existing file is fine.
+        fs.write("a", b"new").unwrap();
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let mut fs = MemFs::new(100, 4);
+        fs.append("log", b"one ").unwrap();
+        fs.append("log", b"two").unwrap();
+        assert_eq!(fs.read("log").unwrap(), b"one two");
+        assert_eq!(fs.bytes_used(), 7);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut fs = MemFs::new(100, 4);
+        assert!(matches!(fs.read("nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.unlink("nope"), Err(FsError::NotFound(_))));
+        assert!(!fs.exists("nope"));
+    }
+
+    #[test]
+    fn clear_resets_usage() {
+        let mut fs = MemFs::new(100, 4);
+        fs.write("a", b"data").unwrap();
+        fs.clear();
+        assert_eq!(fs.bytes_used(), 0);
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn normalization_is_consistent() {
+        let mut fs = MemFs::new(100, 4);
+        fs.write("/a/./b/../c", b"x").unwrap();
+        assert!(fs.exists("a/c"));
+        assert_eq!(fs.read("a/c").unwrap(), b"x");
+    }
+}

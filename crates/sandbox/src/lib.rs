@@ -1,0 +1,37 @@
+//! # sandbox — simulated OS-level isolation for Bento functions
+//!
+//! The Bento paper (§5.3) isolates each client function in a container:
+//! Linux cgroups and namespaces bound resource use, a chrooted filesystem
+//! confines file access, seccomp filters restrict system calls, and
+//! iptables rules derived from the relay's exit policy restrict network
+//! access. This crate reproduces those decision points as a library:
+//!
+//! * [`fs::MemFs`] — a quota-enforcing, chroot-like in-memory filesystem.
+//! * [`cgroup::CGroup`] — memory/CPU/disk/bandwidth accounting with hard
+//!   limits and OOM-style failures, plus hierarchical aggregation so the
+//!   Bento server can cap *total* function usage (§6.2's defense against
+//!   function-flooding).
+//! * [`seccomp::SeccompFilter`] — an allow/deny syscall filter with a
+//!   violation log.
+//! * [`netrules::NetRules`] — iptables-style first-match network rules.
+//! * [`container::Container`] — ties the above together behind a mediated
+//!   syscall surface; every side effect a function can have passes through
+//!   [`container::Container::syscall`].
+//!
+//! Everything is a *real* policy evaluation — the same checks a kernel
+//! would make — with simulated costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cgroup;
+pub mod container;
+pub mod fs;
+pub mod netrules;
+pub mod seccomp;
+
+pub use cgroup::{CGroup, ResourceError, ResourceLimits, ResourceUsage};
+pub use container::{Container, ContainerError, ContainerState, Syscall, SyscallOutcome};
+pub use fs::{FsError, MemFs};
+pub use netrules::{NetRule, NetRules};
+pub use seccomp::{SeccompFilter, SyscallClass};

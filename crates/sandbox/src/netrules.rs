@@ -1,0 +1,150 @@
+//! iptables-style network rules.
+//!
+//! "To ensure that functions cannot violate a Tor relay's exit node
+//! policies, the Bento server converts the exit node policies into
+//! analogous iptable rules, and applies these rules to each container"
+//! (§5.3). [`NetRules`] is the container-side rule chain: ordered,
+//! first-match-wins, default drop.
+
+/// One rule: accept or drop traffic to a host/port pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRule {
+    /// Accept (true) or drop (false).
+    pub accept: bool,
+    /// Destination host (`None` = any).
+    pub host: Option<u32>,
+    /// Inclusive destination port range.
+    pub ports: (u16, u16),
+}
+
+impl NetRule {
+    /// Accept everything.
+    pub fn accept_any() -> NetRule {
+        NetRule {
+            accept: true,
+            host: None,
+            ports: (0, u16::MAX),
+        }
+    }
+
+    fn matches(&self, host: u32, port: u16) -> bool {
+        self.host.map(|h| h == host).unwrap_or(true) && port >= self.ports.0 && port <= self.ports.1
+    }
+}
+
+/// An ordered rule chain with drop counters.
+#[derive(Debug, Clone, Default)]
+pub struct NetRules {
+    rules: Vec<NetRule>,
+    /// Connections dropped by policy.
+    pub dropped: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+}
+
+impl NetRules {
+    /// Empty chain (drops everything).
+    pub fn deny_all() -> NetRules {
+        NetRules::default()
+    }
+
+    /// A chain from explicit rules.
+    pub fn from_rules(rules: Vec<NetRule>) -> NetRules {
+        NetRules {
+            rules,
+            dropped: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: NetRule) {
+        self.rules.push(rule);
+    }
+
+    /// Evaluate without counting.
+    pub fn allows(&self, host: u32, port: u16) -> bool {
+        for r in &self.rules {
+            if r.matches(host, port) {
+                return r.accept;
+            }
+        }
+        false
+    }
+
+    /// Evaluate a connection attempt, updating counters.
+    pub fn check(&mut self, host: u32, port: u16) -> bool {
+        let ok = self.allows(host, port);
+        if ok {
+            self.accepted += 1;
+        } else {
+            self.dropped += 1;
+        }
+        ok
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_drops() {
+        let mut r = NetRules::deny_all();
+        assert!(!r.check(1, 80));
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.accepted, 0);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = NetRules::from_rules(vec![
+            NetRule {
+                accept: false,
+                host: Some(9),
+                ports: (0, u16::MAX),
+            },
+            NetRule {
+                accept: true,
+                host: None,
+                ports: (80, 443),
+            },
+        ]);
+        assert!(!r.check(9, 80), "host 9 is blocked before the web rule");
+        assert!(r.check(10, 80));
+        assert!(r.check(10, 443));
+        assert!(!r.check(10, 8080));
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn accept_any_matches_everything() {
+        let mut r = NetRules::from_rules(vec![NetRule::accept_any()]);
+        assert!(r.check(0, 0));
+        assert!(r.check(u32::MAX, u16::MAX));
+    }
+
+    #[test]
+    fn port_range_boundaries() {
+        let r = NetRules::from_rules(vec![NetRule {
+            accept: true,
+            host: None,
+            ports: (100, 200),
+        }]);
+        assert!(!r.allows(1, 99));
+        assert!(r.allows(1, 100));
+        assert!(r.allows(1, 200));
+        assert!(!r.allows(1, 201));
+    }
+}

@@ -1,0 +1,224 @@
+//! seccomp-style syscall filtering.
+//!
+//! The paper lets Bento operators "apply system call filters in the form of
+//! seccomp policies to disallow a function's use of specific system calls,
+//! such as fork and execve" (§5.3). [`SeccompFilter`] is that policy: a
+//! default action plus per-class overrides, with a violation log the
+//! operator can inspect.
+
+use std::collections::BTreeMap;
+
+/// Classes of system calls a function can attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SyscallClass {
+    /// Open a file in the container filesystem.
+    Open,
+    /// Read file contents.
+    Read,
+    /// Write/append file contents.
+    Write,
+    /// Delete a file.
+    Unlink,
+    /// Open an outbound network connection.
+    Connect,
+    /// Listen for inbound connections.
+    Listen,
+    /// Spawn a process.
+    Fork,
+    /// Execute a program image.
+    Exec,
+    /// Read the clock.
+    GetTime,
+    /// Read entropy.
+    GetRandom,
+    /// Invoke the Stem control-port firewall (Tor control).
+    Stem,
+}
+
+impl SyscallClass {
+    /// Every class, for exhaustive policies.
+    pub const ALL: [SyscallClass; 11] = [
+        SyscallClass::Open,
+        SyscallClass::Read,
+        SyscallClass::Write,
+        SyscallClass::Unlink,
+        SyscallClass::Connect,
+        SyscallClass::Listen,
+        SyscallClass::Fork,
+        SyscallClass::Exec,
+        SyscallClass::GetTime,
+        SyscallClass::GetRandom,
+        SyscallClass::Stem,
+    ];
+
+    /// Stable name (manifests, policy documents).
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallClass::Open => "open",
+            SyscallClass::Read => "read",
+            SyscallClass::Write => "write",
+            SyscallClass::Unlink => "unlink",
+            SyscallClass::Connect => "connect",
+            SyscallClass::Listen => "listen",
+            SyscallClass::Fork => "fork",
+            SyscallClass::Exec => "exec",
+            SyscallClass::GetTime => "gettime",
+            SyscallClass::GetRandom => "getrandom",
+            SyscallClass::Stem => "stem",
+        }
+    }
+
+    /// Parse a stable name.
+    pub fn from_name(s: &str) -> Option<SyscallClass> {
+        SyscallClass::ALL.iter().copied().find(|c| c.name() == s)
+    }
+
+    /// Stable wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            SyscallClass::Open => 0,
+            SyscallClass::Read => 1,
+            SyscallClass::Write => 2,
+            SyscallClass::Unlink => 3,
+            SyscallClass::Connect => 4,
+            SyscallClass::Listen => 5,
+            SyscallClass::Fork => 6,
+            SyscallClass::Exec => 7,
+            SyscallClass::GetTime => 8,
+            SyscallClass::GetRandom => 9,
+            SyscallClass::Stem => 10,
+        }
+    }
+
+    /// Parse a stable wire id.
+    pub fn from_id(id: u8) -> Option<SyscallClass> {
+        SyscallClass::ALL.iter().copied().find(|c| c.id() == id)
+    }
+}
+
+/// A seccomp-style filter: default action plus overrides.
+#[derive(Debug, Clone)]
+pub struct SeccompFilter {
+    default_allow: bool,
+    overrides: BTreeMap<SyscallClass, bool>,
+    violations: Vec<SyscallClass>,
+}
+
+impl SeccompFilter {
+    /// Allow everything by default.
+    pub fn allow_all() -> SeccompFilter {
+        SeccompFilter {
+            default_allow: true,
+            overrides: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Deny everything by default.
+    pub fn deny_all() -> SeccompFilter {
+        SeccompFilter {
+            default_allow: false,
+            overrides: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The paper's recommended function baseline: no process spawning, no
+    /// listening sockets; everything else mediated elsewhere.
+    pub fn function_baseline() -> SeccompFilter {
+        SeccompFilter::allow_all().deny(SyscallClass::Fork).deny(SyscallClass::Exec)
+    }
+
+    /// Add an allow override.
+    pub fn allow(mut self, class: SyscallClass) -> SeccompFilter {
+        self.overrides.insert(class, true);
+        self
+    }
+
+    /// Add a deny override.
+    pub fn deny(mut self, class: SyscallClass) -> SeccompFilter {
+        self.overrides.insert(class, false);
+        self
+    }
+
+    /// Whether `class` would be permitted (without logging).
+    pub fn permits(&self, class: SyscallClass) -> bool {
+        *self.overrides.get(&class).unwrap_or(&self.default_allow)
+    }
+
+    /// Check `class`, logging a violation if denied.
+    pub fn check(&mut self, class: SyscallClass) -> bool {
+        let ok = self.permits(class);
+        if !ok {
+            self.violations.push(class);
+        }
+        ok
+    }
+
+    /// Denied attempts so far, in order.
+    pub fn violations(&self) -> &[SyscallClass] {
+        &self.violations
+    }
+
+    /// The set of allowed classes (for policy negotiation).
+    pub fn allowed_classes(&self) -> Vec<SyscallClass> {
+        SyscallClass::ALL
+            .iter()
+            .copied()
+            .filter(|c| self.permits(*c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allow_with_denies() {
+        let mut f = SeccompFilter::function_baseline();
+        assert!(f.check(SyscallClass::Read));
+        assert!(f.check(SyscallClass::Connect));
+        assert!(!f.check(SyscallClass::Fork));
+        assert!(!f.check(SyscallClass::Exec));
+        assert_eq!(f.violations(), &[SyscallClass::Fork, SyscallClass::Exec]);
+    }
+
+    #[test]
+    fn default_deny_with_allows() {
+        let mut f = SeccompFilter::deny_all()
+            .allow(SyscallClass::Read)
+            .allow(SyscallClass::GetTime);
+        assert!(f.check(SyscallClass::Read));
+        assert!(f.check(SyscallClass::GetTime));
+        assert!(!f.check(SyscallClass::Write));
+        assert!(!f.check(SyscallClass::Stem));
+    }
+
+    #[test]
+    fn names_and_ids_roundtrip() {
+        for c in SyscallClass::ALL {
+            assert_eq!(SyscallClass::from_name(c.name()), Some(c));
+            assert_eq!(SyscallClass::from_id(c.id()), Some(c));
+        }
+        assert_eq!(SyscallClass::from_name("bogus"), None);
+        assert_eq!(SyscallClass::from_id(200), None);
+    }
+
+    #[test]
+    fn allowed_classes_reflect_policy() {
+        let f = SeccompFilter::deny_all().allow(SyscallClass::Read);
+        assert_eq!(f.allowed_classes(), vec![SyscallClass::Read]);
+        let g = SeccompFilter::allow_all();
+        assert_eq!(g.allowed_classes().len(), SyscallClass::ALL.len());
+    }
+
+    #[test]
+    fn permits_does_not_log() {
+        let mut f = SeccompFilter::deny_all();
+        assert!(!f.permits(SyscallClass::Read));
+        assert!(f.violations().is_empty());
+        f.check(SyscallClass::Read);
+        assert_eq!(f.violations().len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests: filesystem quota invariants and policy evaluation
+//! under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use sandbox::fs::MemFs;
+use sandbox::netrules::{NetRule, NetRules};
+use sandbox::seccomp::{SeccompFilter, SyscallClass};
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write(String, Vec<u8>),
+    Append(String, Vec<u8>),
+    Unlink(String),
+    Clear,
+}
+
+fn fs_op() -> impl Strategy<Value = FsOp> {
+    let path = prop::sample::select(vec!["a", "b", "dir/c", "../x", "d/e/f"])
+        .prop_map(|s| s.to_string());
+    let data = proptest::collection::vec(any::<u8>(), 0..200);
+    prop_oneof![
+        (path.clone(), data.clone()).prop_map(|(p, d)| FsOp::Write(p, d)),
+        (path.clone(), data).prop_map(|(p, d)| FsOp::Append(p, d)),
+        path.prop_map(FsOp::Unlink),
+        Just(FsOp::Clear),
+    ]
+}
+
+proptest! {
+    /// Under any op sequence: usage equals the sum of live file sizes and
+    /// never exceeds the quota; file count never exceeds its quota.
+    #[test]
+    fn memfs_accounting_invariant(ops in proptest::collection::vec(fs_op(), 0..64)) {
+        let mut fs = MemFs::new(512, 3);
+        for op in ops {
+            match op {
+                FsOp::Write(p, d) => { let _ = fs.write(&p, &d); }
+                FsOp::Append(p, d) => { let _ = fs.append(&p, &d); }
+                FsOp::Unlink(p) => { let _ = fs.unlink(&p); }
+                FsOp::Clear => fs.clear(),
+            }
+            let live: u64 = fs
+                .list()
+                .iter()
+                .map(|p| fs.read(p).unwrap().len() as u64)
+                .sum();
+            prop_assert_eq!(fs.bytes_used(), live);
+            prop_assert!(fs.bytes_used() <= 512);
+            prop_assert!(fs.file_count() <= 3);
+        }
+    }
+
+    /// First-match-wins evaluation is order-sensitive but total: every
+    /// (host, port) gets exactly one verdict, and appending a trailing
+    /// accept-all only ever turns rejects into accepts.
+    #[test]
+    fn netrules_monotone_under_default_flip(
+        rules in proptest::collection::vec(
+            (any::<bool>(), proptest::option::of(0u32..8), 0u16..100, 0u16..100), 0..8),
+        host in 0u32..8, port in 0u16..100)
+    {
+        let rules: Vec<NetRule> = rules
+            .into_iter()
+            .map(|(accept, h, a, b)| NetRule {
+                accept,
+                host: h,
+                ports: (a.min(b), a.max(b)),
+            })
+            .collect();
+        let base = NetRules::from_rules(rules.clone());
+        let verdict = base.allows(host, port);
+        let mut widened_rules = rules;
+        widened_rules.push(NetRule::accept_any());
+        let widened = NetRules::from_rules(widened_rules);
+        let widened_verdict = widened.allows(host, port);
+        prop_assert!(widened_verdict || !verdict, "widening never revokes an accept");
+    }
+
+    /// Seccomp: permits(c) is consistent with check(c), and the violation
+    /// log grows exactly on denials.
+    #[test]
+    fn seccomp_log_matches_denials(default_allow: bool,
+                                   overrides in proptest::collection::vec(
+                                       (0u8..11, any::<bool>()), 0..8),
+                                   calls in proptest::collection::vec(0u8..11, 0..32)) {
+        let mut f = if default_allow {
+            SeccompFilter::allow_all()
+        } else {
+            SeccompFilter::deny_all()
+        };
+        for (id, allow) in overrides {
+            let class = SyscallClass::from_id(id).unwrap();
+            f = if allow { f.allow(class) } else { f.deny(class) };
+        }
+        let mut denials = 0;
+        for id in calls {
+            let class = SyscallClass::from_id(id).unwrap();
+            let permitted = f.permits(class);
+            prop_assert_eq!(f.check(class), permitted);
+            if !permitted {
+                denials += 1;
+            }
+        }
+        prop_assert_eq!(f.violations().len(), denials);
+    }
+}

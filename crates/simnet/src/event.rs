@@ -1,0 +1,213 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)`. The sequence number makes the
+//! ordering *total* and insertion-ordered among simultaneous events, which is
+//! what makes whole-simulation runs reproducible byte-for-byte.
+
+use crate::node::{ConnId, NodeId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Direction of travel over a connection, from the perspective of the
+/// connection's initiator: `Forward` is initiator→acceptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowDir {
+    /// Initiator → acceptor.
+    Forward,
+    /// Acceptor → initiator.
+    Backward,
+}
+
+impl FlowDir {
+    /// The opposite direction.
+    pub fn flip(self) -> FlowDir {
+        match self {
+            FlowDir::Forward => FlowDir::Backward,
+            FlowDir::Backward => FlowDir::Forward,
+        }
+    }
+}
+
+/// Internal simulator events.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// The connect handshake reached the acceptor (SYN arrival).
+    ConnSynArrive { conn: ConnId },
+    /// The connect handshake completed at the initiator.
+    ConnEstablished { conn: ConnId },
+    /// A chunk finished serializing onto the bottleneck link.
+    ChunkDone { conn: ConnId, dir: FlowDir },
+    /// A complete message arrived at the receiving endpoint.
+    MsgArrive {
+        conn: ConnId,
+        dir: FlowDir,
+        msg: Vec<u8>,
+    },
+    /// A graceful close arrived at the receiving endpoint.
+    CloseArrive { conn: ConnId, dir: FlowDir },
+    /// A node timer fired.
+    Timer { node: NodeId, id: u64, tag: u64 },
+}
+
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of simulator events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `kind` at absolute time `t`.
+    pub fn push(&mut self, t: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time: t, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        q.push(
+            t(3),
+            EventKind::Timer {
+                node: NodeId(0),
+                id: 3,
+                tag: 3,
+            },
+        );
+        q.push(
+            t(1),
+            EventKind::Timer {
+                node: NodeId(0),
+                id: 1,
+                tag: 1,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::Timer {
+                node: NodeId(0),
+                id: 2,
+                tag: 2,
+            },
+        );
+        let mut tags = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::Timer { tag, .. } = e.kind {
+                tags.push(tag);
+            }
+        }
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..10 {
+            q.push(
+                SimTime::ZERO,
+                EventKind::Timer {
+                    node: NodeId(0),
+                    id: tag,
+                    tag,
+                },
+            );
+        }
+        let mut tags = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::Timer { tag, .. } = e.kind {
+                tags.push(tag);
+            }
+        }
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(
+            SimTime(50),
+            EventKind::Timer {
+                node: NodeId(0),
+                id: 0,
+                tag: 0,
+            },
+        );
+        q.push(
+            SimTime(10),
+            EventKind::Timer {
+                node: NodeId(0),
+                id: 1,
+                tag: 1,
+            },
+        );
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+    }
+}

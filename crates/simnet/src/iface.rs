@@ -1,0 +1,122 @@
+//! Node access interfaces: the link between a node and the internet core.
+//!
+//! Every node attaches to the simulated internet through one interface with a
+//! one-way propagation delay to the core and asymmetric up/down capacities.
+//! The end-to-end path between two nodes is modeled as
+//! `A.latency + B.latency` of propagation and the max-min fair share of the
+//! bottleneck of `A`'s uplink and `B`'s downlink — the classic "dumbbell
+//! through a core" abstraction, which captures everything the Bento
+//! evaluation measures (RTT amplification and shared access bandwidth).
+
+use crate::time::SimDuration;
+
+/// Configuration of a node's access interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iface {
+    /// One-way propagation delay from this node to the internet core.
+    pub latency: SimDuration,
+    /// Uplink capacity in bytes per second. `0` means "ideal" (infinite).
+    pub up_bps: u64,
+    /// Downlink capacity in bytes per second. `0` means "ideal" (infinite).
+    pub down_bps: u64,
+}
+
+impl Iface {
+    /// A symmetric interface.
+    pub fn symmetric(latency: SimDuration, bps: u64) -> Self {
+        Iface {
+            latency,
+            up_bps: bps,
+            down_bps: bps,
+        }
+    }
+
+    /// A typical home broadband client: 20 ms to the core, 20 Mbit/s down,
+    /// 5 Mbit/s up.
+    pub fn residential() -> Self {
+        Iface {
+            latency: SimDuration::from_millis(20),
+            up_bps: 5_000_000 / 8,    // 5 Mbit/s in bytes/s
+            down_bps: 20_000_000 / 8, // 20 Mbit/s in bytes/s
+        }
+    }
+
+    /// A typical datacenter/VPS host: 5 ms to the core, 100 Mbit/s symmetric.
+    pub fn datacenter() -> Self {
+        Iface::symmetric(SimDuration::from_millis(5), 100_000_000 / 8)
+    }
+
+    /// A volunteer Tor relay: 15 ms to the core, ~16 Mbit/s symmetric.
+    ///
+    /// Median advertised relay bandwidth on the live network is a few MB/s;
+    /// per-circuit throughput is typically ~100 KB/s–1 MB/s once shared,
+    /// which is the regime Table 2 of the paper reflects.
+    pub fn tor_relay() -> Self {
+        Iface::symmetric(SimDuration::from_millis(15), 2_000_000)
+    }
+
+    /// An "ideal" interface with no delay or capacity limit, for unit tests.
+    pub fn ideal() -> Self {
+        Iface {
+            latency: SimDuration::ZERO,
+            up_bps: 0,
+            down_bps: 0,
+        }
+    }
+
+    /// Fair share of the uplink among `n` active flows, in bytes/s.
+    /// Returns `u64::MAX` for ideal interfaces.
+    pub fn up_share(&self, n: usize) -> u64 {
+        share(self.up_bps, n)
+    }
+
+    /// Fair share of the downlink among `n` active flows, in bytes/s.
+    pub fn down_share(&self, n: usize) -> u64 {
+        share(self.down_bps, n)
+    }
+}
+
+fn share(capacity: u64, n: usize) -> u64 {
+    if capacity == 0 {
+        u64::MAX
+    } else {
+        (capacity / n.max(1) as u64).max(1)
+    }
+}
+
+impl Default for Iface {
+    fn default() -> Self {
+        Iface::residential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residential_has_asymmetric_rates() {
+        let i = Iface::residential();
+        assert!(i.down_bps > i.up_bps);
+        assert_eq!(i.down_bps, 2_500_000);
+        assert_eq!(i.up_bps, 625_000);
+    }
+
+    #[test]
+    fn ideal_shares_are_unbounded() {
+        let i = Iface::ideal();
+        assert_eq!(i.up_share(10), u64::MAX);
+        assert_eq!(i.down_share(0), u64::MAX);
+    }
+
+    #[test]
+    fn shares_divide_capacity() {
+        let i = Iface::symmetric(SimDuration::ZERO, 1_000_000);
+        assert_eq!(i.up_share(1), 1_000_000);
+        assert_eq!(i.up_share(4), 250_000);
+        // zero active flows counts as one so the next flow sees full capacity
+        assert_eq!(i.up_share(0), 1_000_000);
+        // share never reaches zero even with absurd flow counts
+        assert_eq!(i.up_share(usize::MAX), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`Node`] trait — the unit of behavior in the simulator — and the
+//! [`Ctx`] handle nodes use to act on the world.
+//!
+//! A node is a state machine driven by callbacks: connection lifecycle
+//! events, message arrivals and timers. All side effects (connecting,
+//! sending, scheduling timers) go through [`Ctx`], which borrows the
+//! simulator core; this keeps nodes pure state and the event loop the single
+//! owner of time.
+
+use crate::event::EventKind;
+use crate::sim::SimCore;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a connection between two nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Debug for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies a scheduled timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// Object-safe upcast to [`Any`], blanket-implemented for every `'static`
+/// type so [`Node`] implementors get downcasting for free.
+pub trait AsAny: Any {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Behavior attached to a simulated host.
+///
+/// All methods have no-op defaults except [`Node::on_msg`]; most nodes only
+/// care about messages and timers.
+pub trait Node: AsAny {
+    /// Called once when the simulation starts (time zero, insertion order).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// An inbound connection request arrived on `port`; the connection is
+    /// usable for sending from this side immediately.
+    fn on_conn_open(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _peer: NodeId, _port: u16) {}
+
+    /// An outbound [`Ctx::connect`] completed its handshake; the connection
+    /// is now usable for sending from this side.
+    fn on_conn_established(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _peer: NodeId) {}
+
+    /// A complete message arrived on `conn`.
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>);
+
+    /// The peer closed `conn`; no further messages will arrive on it.
+    fn on_conn_closed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {}
+
+    /// A timer set with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+}
+
+/// The handle through which a node (or the experiment harness) acts on the
+/// simulated world: connect, send, close, set timers, read the clock, draw
+/// randomness.
+pub struct Ctx<'a> {
+    pub(crate) core: &'a mut SimCore,
+    pub(crate) me: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The node this context belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Open a connection to `dst`'s `port`. The returned [`ConnId`] is usable
+    /// for [`Ctx::send`] immediately — messages queue until the handshake
+    /// completes one RTT later ([`Node::on_conn_established`]).
+    pub fn connect(&mut self, dst: NodeId, port: u16) -> ConnId {
+        self.core.connect(self.me, dst, port)
+    }
+
+    /// Queue `msg` for reliable, ordered delivery on `conn`.
+    ///
+    /// Returns `false` (dropping the message) if the connection is closed or
+    /// unknown, or if this node is not an endpoint — a node can never write
+    /// to another node's connection.
+    pub fn send(&mut self, conn: ConnId, msg: Vec<u8>) -> bool {
+        self.core.send(self.me, conn, msg)
+    }
+
+    /// Gracefully close `conn`: queued messages drain, then the peer sees
+    /// [`Node::on_conn_closed`].
+    pub fn close(&mut self, conn: ConnId) {
+        self.core.close(self.me, conn);
+    }
+
+    /// Schedule [`Node::on_timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        let at = self.core.now + delay;
+        self.core.queue.push(
+            at,
+            EventKind::Timer {
+                node: self.me,
+                id,
+                tag,
+            },
+        );
+        TimerId(id)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled_timers.insert(id.0);
+    }
+
+    /// The remote endpoint of `conn`, if this node is an endpoint of it.
+    pub fn peer_of(&self, conn: ConnId) -> Option<NodeId> {
+        self.core.peer_of(self.me, conn)
+    }
+}

@@ -1,0 +1,862 @@
+//! The simulator: owns the clock, the event queue, the nodes, their access
+//! interfaces, every connection's transport state, and the sniffers.
+
+use crate::event::{EventKind, EventQueue, FlowDir};
+use crate::iface::Iface;
+use crate::node::{ConnId, Ctx, Node, NodeId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Direction, Sniffer, TraceEvent};
+use crate::transport::{Cwnd, TransportCfg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashSet, VecDeque};
+
+/// Top-level configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for the simulation's single RNG; equal seeds give equal runs.
+    pub seed: u64,
+    /// Transport cost-model parameters.
+    pub transport: TransportCfg,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xB3_0770,
+            transport: TransportCfg::default(),
+        }
+    }
+}
+
+/// Aggregate counters, useful for sanity checks and benches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimStats {
+    /// Events processed by the main loop.
+    pub events: u64,
+    /// Application messages delivered.
+    pub msgs_delivered: u64,
+    /// Application payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Connections opened.
+    pub conns_opened: u64,
+}
+
+#[derive(Debug)]
+struct DirState {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front message (payload + overhead) already serialized.
+    front_sent: u64,
+    /// Size of the chunk currently serializing, if `busy`.
+    inflight_chunk: u32,
+    busy: bool,
+    /// True once this direction may transmit (handshake progress).
+    ready: bool,
+    closing: bool,
+    close_sent: bool,
+    cwnd: Cwnd,
+}
+
+impl DirState {
+    fn new(cfg: &TransportCfg) -> Self {
+        DirState {
+            queue: VecDeque::new(),
+            front_sent: 0,
+            inflight_chunk: 0,
+            busy: false,
+            ready: false,
+            closing: false,
+            close_sent: false,
+            cwnd: Cwnd::new(cfg),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Conn {
+    a: NodeId,
+    b: NodeId,
+    port: u16,
+    dirs: [DirState; 2],
+    dead: bool,
+}
+
+impl Conn {
+    fn dir_index(d: FlowDir) -> usize {
+        match d {
+            FlowDir::Forward => 0,
+            FlowDir::Backward => 1,
+        }
+    }
+    fn sender(&self, d: FlowDir) -> NodeId {
+        match d {
+            FlowDir::Forward => self.a,
+            FlowDir::Backward => self.b,
+        }
+    }
+    fn receiver(&self, d: FlowDir) -> NodeId {
+        match d {
+            FlowDir::Forward => self.b,
+            FlowDir::Backward => self.a,
+        }
+    }
+}
+
+/// Everything in the simulator except the node objects themselves; nodes are
+/// taken out of their slot during dispatch so [`Ctx`] can borrow this core
+/// mutably without aliasing the node.
+pub(crate) struct SimCore {
+    pub(crate) now: SimTime,
+    pub(crate) rng: StdRng,
+    pub(crate) queue: EventQueue,
+    pub(crate) cfg: TransportCfg,
+    pub(crate) next_timer_id: u64,
+    pub(crate) cancelled_timers: HashSet<u64>,
+    ifaces: Vec<Iface>,
+    names: Vec<String>,
+    conns: Vec<Conn>,
+    active_up: Vec<u32>,
+    active_down: Vec<u32>,
+    sniffers: Vec<Option<Sniffer>>,
+    stats: SimStats,
+}
+
+impl SimCore {
+    fn one_way(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            self.cfg.loopback_rtt / 2
+        } else {
+            self.ifaces[a.0 as usize].latency + self.ifaces[b.0 as usize].latency
+        }
+    }
+
+    fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            self.cfg.loopback_rtt
+        } else {
+            self.one_way(a, b) * 2
+        }
+    }
+
+    pub(crate) fn connect(&mut self, src: NodeId, dst: NodeId, port: u16) -> ConnId {
+        let id = ConnId(self.conns.len() as u64);
+        self.conns.push(Conn {
+            a: src,
+            b: dst,
+            port,
+            dirs: [DirState::new(&self.cfg), DirState::new(&self.cfg)],
+            dead: false,
+        });
+        self.stats.conns_opened += 1;
+        let one_way = self.one_way(src, dst);
+        let rtt = self.rtt(src, dst);
+        self.queue
+            .push(self.now + one_way, EventKind::ConnSynArrive { conn: id });
+        self.queue
+            .push(self.now + rtt, EventKind::ConnEstablished { conn: id });
+        id
+    }
+
+    pub(crate) fn peer_of(&self, me: NodeId, conn: ConnId) -> Option<NodeId> {
+        let c = self.conns.get(conn.0 as usize)?;
+        if c.a == me {
+            Some(c.b)
+        } else if c.b == me {
+            Some(c.a)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn send(&mut self, me: NodeId, conn: ConnId, msg: Vec<u8>) -> bool {
+        let Some(c) = self.conns.get_mut(conn.0 as usize) else {
+            return false;
+        };
+        if c.dead {
+            return false;
+        }
+        let dir = if c.a == me {
+            FlowDir::Forward
+        } else if c.b == me {
+            FlowDir::Backward
+        } else {
+            return false;
+        };
+        let d = &mut c.dirs[Conn::dir_index(dir)];
+        if d.closing {
+            return false;
+        }
+        d.queue.push_back(msg);
+        self.kick(conn, dir);
+        true
+    }
+
+    pub(crate) fn close(&mut self, me: NodeId, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(conn.0 as usize) else {
+            return;
+        };
+        if c.dead {
+            return;
+        }
+        let dir = if c.a == me {
+            FlowDir::Forward
+        } else if c.b == me {
+            FlowDir::Backward
+        } else {
+            return;
+        };
+        c.dirs[Conn::dir_index(dir)].closing = true;
+        self.maybe_send_close(conn, dir);
+    }
+
+    fn maybe_send_close(&mut self, conn: ConnId, dir: FlowDir) {
+        let one_way;
+        {
+            let c = &mut self.conns[conn.0 as usize];
+            let d = &mut c.dirs[Conn::dir_index(dir)];
+            if !d.closing || d.close_sent || d.busy || !d.queue.is_empty() || !d.ready {
+                return;
+            }
+            d.close_sent = true;
+            one_way = if c.a == c.b {
+                self.cfg.loopback_rtt / 2
+            } else {
+                self.ifaces[c.a.0 as usize].latency + self.ifaces[c.b.0 as usize].latency
+            };
+        }
+        self.queue
+            .push(self.now + one_way, EventKind::CloseArrive { conn, dir });
+    }
+
+    /// Start serializing the next chunk on `dir` of `conn`, if there is data,
+    /// the direction is ready, and no chunk is already in flight.
+    fn kick(&mut self, conn: ConnId, dir: FlowDir) {
+        let (sender, receiver, loopback, rtt);
+        let chunk;
+        {
+            let c = &mut self.conns[conn.0 as usize];
+            if c.dead {
+                return;
+            }
+            sender = c.sender(dir);
+            receiver = c.receiver(dir);
+            loopback = sender == receiver;
+            let di = Conn::dir_index(dir);
+            let d = &mut c.dirs[di];
+            if !d.ready || d.busy || d.queue.is_empty() {
+                return;
+            }
+            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0)
+                + self.cfg.per_msg_overhead as u64;
+            let remaining = front_total.saturating_sub(d.front_sent);
+            chunk = remaining.min(self.cfg.chunk as u64) as u32;
+            d.busy = true;
+            d.inflight_chunk = chunk;
+        }
+        rtt = self.rtt(sender, receiver);
+        let rate = if loopback {
+            let c = &self.conns[conn.0 as usize];
+            let d = &c.dirs[Conn::dir_index(dir)];
+            d.cwnd.rate(rtt).min(self.cfg.loopback_bps)
+        } else {
+            self.active_up[sender.0 as usize] += 1;
+            self.active_down[receiver.0 as usize] += 1;
+            let up = self.ifaces[sender.0 as usize].up_share(self.active_up[sender.0 as usize] as usize);
+            let down = self.ifaces[receiver.0 as usize]
+                .down_share(self.active_down[receiver.0 as usize] as usize);
+            let c = &self.conns[conn.0 as usize];
+            let d = &c.dirs[Conn::dir_index(dir)];
+            d.cwnd.rate(rtt).min(up).min(down)
+        };
+        let dur = SimDuration::for_bytes(chunk as u64, rate);
+        self.queue
+            .push(self.now + dur, EventKind::ChunkDone { conn, dir });
+    }
+
+    /// A chunk finished serializing: grow the window, maybe complete a
+    /// message, keep the pipeline moving.
+    fn on_chunk_done(&mut self, conn: ConnId, dir: FlowDir) {
+        let (sender, receiver, loopback);
+        let mut completed_msg: Option<Vec<u8>> = None;
+        {
+            let c = &mut self.conns[conn.0 as usize];
+            sender = c.sender(dir);
+            receiver = c.receiver(dir);
+            loopback = sender == receiver;
+            let d = &mut c.dirs[Conn::dir_index(dir)];
+            let chunk = d.inflight_chunk;
+            d.busy = false;
+            d.inflight_chunk = 0;
+            d.cwnd.on_acked(chunk);
+            d.front_sent += chunk as u64;
+            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0)
+                + self.cfg.per_msg_overhead as u64;
+            if d.front_sent >= front_total && !d.queue.is_empty() {
+                completed_msg = d.queue.pop_front();
+                d.front_sent = 0;
+            }
+        }
+        if !loopback {
+            let su = &mut self.active_up[sender.0 as usize];
+            *su = su.saturating_sub(1);
+            let rd = &mut self.active_down[receiver.0 as usize];
+            *rd = rd.saturating_sub(1);
+        }
+        if let Some(msg) = completed_msg {
+            // The whole message is on the wire: the sender-side sniffer sees
+            // it now; it arrives one propagation delay later.
+            if let Some(s) = self.sniffers[sender.0 as usize].as_mut() {
+                s.record(TraceEvent {
+                    time: self.now,
+                    dir: Direction::Outgoing,
+                    bytes: msg.len() as u32,
+                    conn,
+                    peer: receiver,
+                });
+            }
+            let one_way = self.one_way(sender, receiver);
+            self.queue
+                .push(self.now + one_way, EventKind::MsgArrive { conn, dir, msg });
+        }
+        self.kick(conn, dir);
+        self.maybe_send_close(conn, dir);
+    }
+}
+
+/// The discrete-event simulator. See the crate docs for the model.
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    /// Nodes with index < started_upto have had on_start called. Nodes
+    /// added after the simulation begins are started on the next run call.
+    started_upto: usize,
+}
+
+impl Simulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                rng: StdRng::seed_from_u64(cfg.seed),
+                queue: EventQueue::new(),
+                cfg: cfg.transport,
+                next_timer_id: 0,
+                cancelled_timers: HashSet::new(),
+                ifaces: Vec::new(),
+                names: Vec::new(),
+                conns: Vec::new(),
+                active_up: Vec::new(),
+                active_down: Vec::new(),
+                sniffers: Vec::new(),
+                stats: SimStats::default(),
+            },
+            nodes: Vec::new(),
+            started_upto: 0,
+        }
+    }
+
+    /// Create a simulator with default config and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Simulator::new(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    /// Add a node with the given access interface. Nodes cannot be removed.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        iface: Iface,
+        node: Box<dyn Node>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.core.ifaces.push(iface);
+        self.core.names.push(name.into());
+        self.core.active_up.push(0);
+        self.core.active_down.push(0);
+        self.core.sniffers.push(None);
+        id
+    }
+
+    /// Begin recording a directional trace of `node`'s access link.
+    pub fn enable_sniffer(&mut self, node: NodeId) {
+        self.core.sniffers[node.0 as usize] = Some(Sniffer::new());
+    }
+
+    /// The trace recorded so far on `node`'s link (panics if no sniffer).
+    pub fn sniffer(&self, node: NodeId) -> &Sniffer {
+        self.core.sniffers[node.0 as usize]
+            .as_ref()
+            .expect("sniffer not enabled on this node")
+    }
+
+    /// Mutable access to `node`'s sniffer, e.g. to clear it between trials.
+    pub fn sniffer_mut(&mut self, node: NodeId) -> &mut Sniffer {
+        self.core.sniffers[node.0 as usize]
+            .as_mut()
+            .expect("sniffer not enabled on this node")
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Aggregate run statistics.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// The display name a node was registered with.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.names[id.0 as usize]
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// If `id` does not refer to a `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Run a closure against a node with a [`Ctx`], e.g. to start a workload
+    /// from the experiment harness.
+    ///
+    /// # Panics
+    /// If `id` does not refer to a `T`.
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut node = self.nodes[id.0 as usize]
+            .take()
+            .expect("node is being dispatched");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            me: id,
+        };
+        let r = f(
+            node.as_any_mut().downcast_mut::<T>().expect("node type mismatch"),
+            &mut ctx,
+        );
+        self.nodes[id.0 as usize] = Some(node);
+        r
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = self.nodes[id.0 as usize]
+            .take()
+            .expect("node reentrancy during dispatch");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            me: id,
+        };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[id.0 as usize] = Some(node);
+    }
+
+    fn ensure_started(&mut self) {
+        while self.started_upto < self.nodes.len() {
+            let i = self.started_upto;
+            self.started_upto += 1;
+            self.dispatch(NodeId(i as u32), |n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// Process events until the queue is empty or `limit` is reached; the
+    /// clock ends at `min(limit, time of last event)`. Returns the number of
+    /// events processed.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        self.ensure_started();
+        let mut processed = 0;
+        while let Some(t) = self.core.queue.peek_time() {
+            if t > limit {
+                break;
+            }
+            let ev = self.core.queue.pop().expect("peeked event vanished");
+            self.core.now = ev.time;
+            self.core.stats.events += 1;
+            processed += 1;
+            self.handle(ev.kind);
+        }
+        if self.core.now < limit {
+            self.core.now = limit;
+        }
+        processed
+    }
+
+    /// Run until no events remain (the simulation quiesces).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::ConnSynArrive { conn } => {
+                let (dead, b, a, port) = {
+                    let c = &self.core.conns[conn.0 as usize];
+                    (c.dead, c.b, c.a, c.port)
+                };
+                if dead {
+                    return;
+                }
+                self.core.conns[conn.0 as usize].dirs[1].ready = true;
+                self.core.kick(conn, FlowDir::Backward);
+                self.core.maybe_send_close(conn, FlowDir::Backward);
+                self.dispatch(b, |n, ctx| n.on_conn_open(ctx, conn, a, port));
+            }
+            EventKind::ConnEstablished { conn } => {
+                let (dead, a, b) = {
+                    let c = &self.core.conns[conn.0 as usize];
+                    (c.dead, c.a, c.b)
+                };
+                if dead {
+                    return;
+                }
+                self.core.conns[conn.0 as usize].dirs[0].ready = true;
+                self.core.kick(conn, FlowDir::Forward);
+                self.core.maybe_send_close(conn, FlowDir::Forward);
+                self.dispatch(a, |n, ctx| n.on_conn_established(ctx, conn, b));
+            }
+            EventKind::ChunkDone { conn, dir } => {
+                self.core.on_chunk_done(conn, dir);
+            }
+            EventKind::MsgArrive { conn, dir, msg } => {
+                let (dead, receiver, sender) = {
+                    let c = &self.core.conns[conn.0 as usize];
+                    (c.dead, c.receiver(dir), c.sender(dir))
+                };
+                if dead {
+                    return;
+                }
+                self.core.stats.msgs_delivered += 1;
+                self.core.stats.bytes_delivered += msg.len() as u64;
+                if let Some(s) = self.core.sniffers[receiver.0 as usize].as_mut() {
+                    s.record(TraceEvent {
+                        time: self.core.now,
+                        dir: Direction::Incoming,
+                        bytes: msg.len() as u32,
+                        conn,
+                        peer: sender,
+                    });
+                }
+                self.dispatch(receiver, |n, ctx| n.on_msg(ctx, conn, msg));
+            }
+            EventKind::CloseArrive { conn, dir } => {
+                let receiver = {
+                    let c = &mut self.core.conns[conn.0 as usize];
+                    if c.dead {
+                        return;
+                    }
+                    c.dead = true;
+                    c.receiver(dir)
+                };
+                self.dispatch(receiver, |n, ctx| n.on_conn_closed(ctx, conn));
+            }
+            EventKind::Timer { node, id, tag } => {
+                if self.core.cancelled_timers.remove(&id) {
+                    return;
+                }
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back on the same connection.
+    struct Echo;
+    impl Node for Echo {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+            ctx.send(conn, msg);
+        }
+    }
+
+    /// Connects to a peer at start, sends one message, records the reply time.
+    struct Pinger {
+        target: NodeId,
+        payload: usize,
+        reply_at: Option<SimTime>,
+        replies: u32,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let c = ctx.connect(self.target, 80);
+            ctx.send(c, vec![0u8; self.payload]);
+        }
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, _conn: ConnId, _msg: Vec<u8>) {
+            self.reply_at = Some(ctx.now());
+            self.replies += 1;
+        }
+    }
+
+    fn two_node_sim(payload: usize, iface: Iface) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::with_seed(1);
+        let echo = sim.add_node("echo", iface, Box::new(Echo));
+        let ping = sim.add_node(
+            "ping",
+            iface,
+            Box::new(Pinger {
+                target: echo,
+                payload,
+                reply_at: None,
+                replies: 0,
+            }),
+        );
+        (sim, ping, echo)
+    }
+
+    #[test]
+    fn small_message_rtt_is_handshake_plus_roundtrip() {
+        let iface = Iface::symmetric(SimDuration::from_millis(10), 0);
+        let (mut sim, ping, _) = two_node_sim(64, iface);
+        sim.run_to_quiescence();
+        let p: &Pinger = sim.node_ref(ping);
+        let t = p.reply_at.expect("reply received");
+        // handshake 1 RTT (40ms) + request one-way (20ms) + reply one-way (20ms)
+        assert_eq!(t.as_millis(), 80);
+    }
+
+    #[test]
+    fn bulk_transfer_is_bandwidth_limited() {
+        // 1 MiB payload at 1 MiB/s symmetric, near-zero latency: the echo
+        // requires the payload to cross two links twice; each crossing takes
+        // about a second once the window opens.
+        let iface = Iface::symmetric(SimDuration::from_micros(500), 1 << 20);
+        let (mut sim, ping, _) = two_node_sim(1 << 20, iface);
+        sim.run_to_quiescence();
+        let p: &Pinger = sim.node_ref(ping);
+        let t = p.reply_at.expect("reply received").as_secs_f64();
+        assert!(t > 1.8 && t < 4.0, "bulk echo took {t}s");
+    }
+
+    #[test]
+    fn messages_preserve_order_and_content() {
+        struct Collector {
+            got: Vec<Vec<u8>>,
+        }
+        impl Node for Collector {
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, m: Vec<u8>) {
+                self.got.push(m);
+            }
+        }
+        struct Burst {
+            target: NodeId,
+        }
+        impl Node for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let c = ctx.connect(self.target, 80);
+                for i in 0..50u8 {
+                    ctx.send(c, vec![i; (i as usize % 7) * 400 + 1]);
+                }
+            }
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {}
+        }
+        let mut sim = Simulator::with_seed(7);
+        let col = sim.add_node("col", Iface::residential(), Box::new(Collector { got: vec![] }));
+        let _snd = sim.add_node("snd", Iface::residential(), Box::new(Burst { target: col }));
+        sim.run_to_quiescence();
+        let c: &Collector = sim.node_ref(col);
+        assert_eq!(c.got.len(), 50);
+        for (i, m) in c.got.iter().enumerate() {
+            assert_eq!(m[0] as usize, i);
+            assert_eq!(m.len(), (i % 7) * 400 + 1);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let iface = Iface::residential();
+            let (mut sim, ping, _) = two_node_sim(100_000, iface);
+            let _ = seed;
+            sim.run_to_quiescence();
+            let p: &Pinger = sim.node_ref(ping);
+            (p.reply_at, sim.stats().events)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn sniffer_sees_both_directions() {
+        let iface = Iface::symmetric(SimDuration::from_millis(5), 0);
+        let mut sim = Simulator::with_seed(3);
+        let echo = sim.add_node("echo", iface, Box::new(Echo));
+        let ping = sim.add_node(
+            "ping",
+            iface,
+            Box::new(Pinger {
+                target: echo,
+                payload: 514,
+                reply_at: None,
+                replies: 0,
+            }),
+        );
+        sim.enable_sniffer(ping);
+        sim.run_to_quiescence();
+        let tr = sim.sniffer(ping);
+        assert_eq!(tr.total_bytes(Direction::Outgoing), 514);
+        assert_eq!(tr.total_bytes(Direction::Incoming), 514);
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn close_notifies_peer_and_stops_traffic() {
+        struct Closer {
+            target: NodeId,
+        }
+        impl Node for Closer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let c = ctx.connect(self.target, 80);
+                ctx.send(c, b"bye".to_vec());
+                ctx.close(c);
+            }
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {}
+        }
+        struct Watcher {
+            got_msg: bool,
+            got_close: bool,
+        }
+        impl Node for Watcher {
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {
+                self.got_msg = true;
+            }
+            fn on_conn_closed(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
+                self.got_close = true;
+            }
+        }
+        let mut sim = Simulator::with_seed(9);
+        let w = sim.add_node(
+            "w",
+            Iface::residential(),
+            Box::new(Watcher {
+                got_msg: false,
+                got_close: false,
+            }),
+        );
+        let _c = sim.add_node("c", Iface::residential(), Box::new(Closer { target: w }));
+        sim.run_to_quiescence();
+        let w: &Watcher = sim.node_ref(w);
+        assert!(w.got_msg, "message delivered before close");
+        assert!(w.got_close, "peer observed close");
+    }
+
+    #[test]
+    fn loopback_connections_are_fast() {
+        let (mut sim, ping, _) = {
+            let mut sim = Simulator::with_seed(4);
+            // single node talking to itself
+            let n = sim.add_node(
+                "self",
+                Iface::residential(),
+                Box::new(SelfTalk { done_at: None }),
+            );
+            (sim, n, n)
+        };
+        struct SelfTalk {
+            done_at: Option<SimTime>,
+        }
+        impl Node for SelfTalk {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.me();
+                let c = ctx.connect(me, 80);
+                ctx.send(c, vec![0; 10_000]);
+            }
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {
+                self.done_at = Some(ctx.now());
+            }
+        }
+        sim.run_to_quiescence();
+        let n: &SelfTalk = sim.node_ref(ping);
+        let t = n.done_at.expect("loopback delivery");
+        assert!(
+            t.as_micros() < 1000,
+            "loopback took {} us, expected sub-millisecond",
+            t.as_micros()
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Node for Timed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let t2 = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.cancel_timer(t2);
+            }
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulator::with_seed(5);
+        let n = sim.add_node("t", Iface::ideal(), Box::new(Timed { fired: vec![] }));
+        sim.run_to_quiescence();
+        let t: &Timed = sim.node_ref(n);
+        assert_eq!(t.fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn sharing_halves_throughput() {
+        // Two bulk flows into the same receiver should take roughly twice as
+        // long as one flow, because they share the receiver's downlink.
+        struct Sink {
+            completions: Vec<SimTime>,
+        }
+        impl Node for Sink {
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {
+                self.completions.push(ctx.now());
+            }
+        }
+        struct Source {
+            target: NodeId,
+        }
+        impl Node for Source {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let c = ctx.connect(self.target, 80);
+                ctx.send(c, vec![0; 2 << 20]);
+            }
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {}
+        }
+        let fast = Iface::symmetric(SimDuration::from_millis(2), 8 << 20);
+        let slow_recv = Iface::symmetric(SimDuration::from_millis(2), 1 << 20);
+
+        let solo_time = {
+            let mut sim = Simulator::with_seed(6);
+            let sink = sim.add_node("sink", slow_recv, Box::new(Sink { completions: vec![] }));
+            sim.add_node("s1", fast, Box::new(Source { target: sink }));
+            sim.run_to_quiescence();
+            sim.node_ref::<Sink>(sink).completions[0].as_secs_f64()
+        };
+        let duo_time = {
+            let mut sim = Simulator::with_seed(6);
+            let sink = sim.add_node("sink", slow_recv, Box::new(Sink { completions: vec![] }));
+            sim.add_node("s1", fast, Box::new(Source { target: sink }));
+            sim.add_node("s2", fast, Box::new(Source { target: sink }));
+            sim.run_to_quiescence();
+            let s: &Sink = sim.node_ref(sink);
+            s.completions.iter().map(|t| t.as_secs_f64()).fold(0.0, f64::max)
+        };
+        assert!(
+            duo_time > 1.6 * solo_time && duo_time < 2.6 * solo_time,
+            "solo {solo_time}s, duo {duo_time}s"
+        );
+    }
+}

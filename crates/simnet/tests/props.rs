@@ -1,0 +1,73 @@
+//! Property-based tests: codec roundtrips, decoder robustness, and
+//! transport invariants under arbitrary inputs.
+
+use proptest::prelude::*;
+use simnet::wire::{Reader, Writer};
+use simnet::{Iface, SimDuration};
+
+proptest! {
+    /// Every (u64, bytes, str, varint) tuple roundtrips exactly.
+    #[test]
+    fn wire_roundtrip(a: u64, b in proptest::collection::vec(any::<u8>(), 0..2048),
+                      s in "\\PC{0,64}", v: u64, flag: bool) {
+        let mut w = Writer::new();
+        w.u64(a).bytes(&b).str(&s).varu64(v).bool(flag);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.bytes("b").unwrap(), &b[..]);
+        prop_assert_eq!(r.str("s").unwrap(), s);
+        prop_assert_eq!(r.varu64().unwrap(), v);
+        prop_assert_eq!(r.bool().unwrap(), flag);
+        r.finish().unwrap();
+    }
+
+    /// The decoder never panics on arbitrary garbage, whatever we ask of it.
+    #[test]
+    fn reader_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = Reader::new(&garbage);
+        let _ = r.clone().u8();
+        let _ = r.clone().u16();
+        let _ = r.clone().u32();
+        let _ = r.clone().u64();
+        let _ = r.clone().varu64();
+        let _ = r.clone().bytes("x");
+        let _ = r.str("y");
+    }
+
+    /// Varints use minimal space and roundtrip at every magnitude.
+    #[test]
+    fn varint_roundtrip(v: u64) {
+        let mut w = Writer::new();
+        w.varu64(v);
+        let buf = w.into_bytes();
+        prop_assert!(buf.len() <= 10);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.varu64().unwrap(), v);
+    }
+
+    /// Link fair shares always partition the capacity sanely.
+    #[test]
+    fn iface_share_bounds(cap in 1u64..u64::MAX / 2, n in 0usize..10_000) {
+        let i = Iface::symmetric(SimDuration::ZERO, cap);
+        let share = i.up_share(n);
+        prop_assert!(share >= 1);
+        prop_assert!(share <= cap);
+        if n > 0 {
+            // Shares never overcommit by more than rounding.
+            prop_assert!(share.saturating_mul(n as u64) <= cap.saturating_add(n as u64));
+        }
+    }
+
+    /// Transfer-time arithmetic never panics or divides by zero.
+    #[test]
+    fn for_bytes_total(bytes: u64, rate: u64) {
+        let d = SimDuration::for_bytes(bytes, rate);
+        // Zero rate means "ideal" (zero time); otherwise monotone in bytes.
+        if rate > 0 && bytes > 0 {
+            prop_assert!(d >= SimDuration::for_bytes(bytes - 1, rate));
+        } else if rate == 0 {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+}

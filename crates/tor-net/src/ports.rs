@@ -1,0 +1,15 @@
+//! Well-known ports in the simulated internet.
+
+/// Tor onion-routing (link/cell) port.
+pub const OR_PORT: u16 = 9001;
+/// Directory protocol port (authorities and relay dir caches).
+pub const DIR_PORT: u16 = 9030;
+/// HTTP, the port destination web servers listen on.
+pub const HTTP_PORT: u16 = 80;
+/// HTTPS.
+pub const HTTPS_PORT: u16 = 443;
+/// The Bento server's port, reached via the co-resident relay's exit to
+/// "localhost" (the relay's own address).
+pub const BENTO_PORT: u16 = 5005;
+/// The virtual port hidden services expose to rendezvous streams.
+pub const HS_VIRTUAL_PORT: u16 = 443;

@@ -1,0 +1,1137 @@
+//! The onion router: cell switching, circuit extension, exit streams,
+//! directory service, introduction/rendezvous roles, and local streams for a
+//! co-resident service (the Bento server).
+//!
+//! [`RelayCore`] is a *component*: a host [`simnet::Node`] delegates its
+//! callbacks here (see [`RelayNode`] for the standalone wrapper). This is
+//! what lets the Bento crate build one host that is simultaneously a Tor
+//! relay, a Bento server and an onion proxy, as in Figure 3 of the paper.
+
+use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, MAX_RELAY_DATA, PAYLOAD_LEN};
+use crate::dir::{
+    Consensus, DirMsg, ExitPolicy, Fingerprint, OnionAddr, RelayFlags, RelayInfo, SignedConsensus,
+};
+use crate::ports::{DIR_PORT, OR_PORT};
+use crate::relay_crypto::LayerCrypto;
+use crate::stream_frame::{encode_frame, FrameAssembler};
+use onion_crypto::hashsig::MerkleSigner;
+use onion_crypto::ntor;
+use onion_crypto::sha256::sha256;
+use onion_crypto::x25519::StaticSecret;
+use simnet::{ConnId, Ctx, Node, NodeId, SimDuration};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer-tag namespace reserved by the relay component.
+pub const RELAY_TAG_BASE: u64 = 0x0100_0000_0000_0000;
+const TAG_BUILD_CONSENSUS: u64 = RELAY_TAG_BASE + 1;
+
+/// Circuit-level flow-control window, in RELAY_DATA cells (Tor's 1000).
+pub const CIRC_WINDOW: i32 = 1000;
+/// A SENDME is sent for every this many delivered data cells (Tor's 100).
+pub const SENDME_INCREMENT: i32 = 100;
+
+/// Configuration of one relay.
+#[derive(Clone)]
+pub struct RelayConfig {
+    /// Nickname for the consensus.
+    pub nickname: String,
+    /// Seed for deterministic identity/onion keys.
+    pub identity_seed: [u8; 32],
+    /// Role flags advertised in the consensus.
+    pub flags: RelayFlags,
+    /// Advertised bandwidth (bytes/s) for weighted selection.
+    pub bandwidth: u64,
+    /// Exit policy.
+    pub exit_policy: ExitPolicy,
+    /// Bento server port, if this relay hosts one.
+    pub bento_port: Option<u16>,
+    /// Directory authority to publish the descriptor to (None for the
+    /// authority itself).
+    pub authority_addr: Option<NodeId>,
+    /// If this relay *is* the authority: its consensus signer.
+    pub authority_signer: Option<std::rc::Rc<std::cell::RefCell<MerkleSigner>>>,
+    /// How long after start the authority waits before building the
+    /// consensus (letting descriptors arrive).
+    pub consensus_delay: SimDuration,
+}
+
+impl RelayConfig {
+    /// A plain middle relay.
+    pub fn middle(nickname: &str, seed: [u8; 32]) -> RelayConfig {
+        RelayConfig {
+            nickname: nickname.to_string(),
+            identity_seed: seed,
+            flags: RelayFlags::default().with(RelayFlags::GUARD | RelayFlags::FAST),
+            bandwidth: 2_000_000,
+            exit_policy: ExitPolicy::reject_all(),
+            bento_port: None,
+            authority_addr: None,
+            authority_signer: None,
+            consensus_delay: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A handle to a stream terminated at this relay for a co-resident local
+/// service (the Bento server's "localhost" streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalStream(pub u64);
+
+/// Events a relay surfaces to its host node.
+#[derive(Debug)]
+pub enum RelayEvent {
+    /// A Tor stream addressed to this relay's local service port opened.
+    LocalStreamOpened {
+        /// Stream handle for subsequent sends.
+        stream: LocalStream,
+        /// The port the stream targeted.
+        port: u16,
+    },
+    /// Data arrived on a local-service stream.
+    LocalStreamData {
+        /// Stream handle.
+        stream: LocalStream,
+        /// Raw stream bytes (cell-sized chunks).
+        data: Vec<u8>,
+    },
+    /// A local-service stream closed.
+    LocalStreamClosed {
+        /// Stream handle.
+        stream: LocalStream,
+    },
+}
+
+enum StreamKind {
+    /// Stream exits to an external destination connection.
+    Exit,
+    /// Stream terminates at this relay's directory service.
+    Dir(FrameAssembler),
+    /// Stream terminates at the co-resident local service.
+    Local(u64),
+}
+
+struct ExitStream {
+    kind: StreamKind,
+    conn: Option<ConnId>,
+    connected: bool,
+    /// Data cells received before the outbound connection was ready.
+    pending: Vec<Vec<u8>>,
+}
+
+struct RelayCircuit {
+    prev: (ConnId, u32),
+    next: Option<(ConnId, u32)>,
+    crypto: LayerCrypto,
+    /// Waiting for CREATED from the next hop (circ id allocated there).
+    pending_extend: bool,
+    streams: HashMap<u16, ExitStream>,
+    /// Rendezvous splice partner (slot index).
+    splice: Option<usize>,
+    /// Set if this circuit registered as an introduction circuit.
+    intro_service: Option<OnionAddr>,
+    /// Set if this circuit registered a rendezvous cookie.
+    rendezvous_cookie: Option<[u8; 20]>,
+    /// Window for data cells we may send toward the origin.
+    package_window: i32,
+    /// Data cells delivered from the origin since the last SENDME we sent.
+    delivered_since_sendme: i32,
+    /// Data cells queued awaiting package window.
+    queued_to_origin: VecDeque<RelayCell>,
+    alive: bool,
+}
+
+impl RelayCircuit {
+    fn new(prev: (ConnId, u32), crypto: LayerCrypto) -> RelayCircuit {
+        RelayCircuit {
+            prev,
+            next: None,
+            crypto,
+            pending_extend: false,
+            streams: HashMap::new(),
+            splice: None,
+            intro_service: None,
+            rendezvous_cookie: None,
+            package_window: CIRC_WINDOW,
+            delivered_since_sendme: 0,
+            queued_to_origin: VecDeque::new(),
+            alive: true,
+        }
+    }
+}
+
+struct LinkState {
+    peer: NodeId,
+    established: bool,
+    next_circ_id: u32,
+    queued: Vec<Cell>,
+}
+
+/// Aggregate relay counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RelayStats {
+    /// Cells received on OR connections.
+    pub cells_in: u64,
+    /// Cells sent on OR connections.
+    pub cells_out: u64,
+    /// Circuits created through this relay.
+    pub circuits: u64,
+    /// Exit streams opened.
+    pub exit_streams: u64,
+}
+
+/// The relay component.
+pub struct RelayCore {
+    cfg: RelayConfig,
+    fingerprint: Fingerprint,
+    onion_secret: StaticSecret,
+    my_addr: Option<NodeId>,
+    links: HashMap<ConnId, LinkState>,
+    links_by_peer: HashMap<NodeId, ConnId>,
+    dir_conns: HashMap<ConnId, ()>,
+    circuits: Vec<Option<RelayCircuit>>,
+    circ_lookup: HashMap<(ConnId, u32), usize>,
+    exit_conns: HashMap<ConnId, (usize, u16)>,
+    /// Authority state: received descriptors and the signed consensus.
+    received_descs: Vec<RelayInfo>,
+    signed_consensus: Option<Vec<u8>>,
+    /// HSDir storage.
+    hs_descs: HashMap<OnionAddr, (u64, Vec<u8>)>,
+    /// Intro-point registrations: onion addr -> circuit slot.
+    intro_points: HashMap<OnionAddr, usize>,
+    /// Rendezvous registrations: cookie -> circuit slot.
+    rendezvous: HashMap<[u8; 20], usize>,
+    /// Local-service streams: id -> (slot, stream id).
+    local_streams: HashMap<u64, (usize, u16)>,
+    next_local_stream: u64,
+    events: VecDeque<RelayEvent>,
+    stats: RelayStats,
+}
+
+impl RelayCore {
+    /// Build a relay from its configuration. Keys are derived
+    /// deterministically from the identity seed.
+    pub fn new(cfg: RelayConfig) -> RelayCore {
+        let onion_secret = StaticSecret::from_bytes(sha256(&cfg.identity_seed));
+        let pk = onion_secret.public_key();
+        let digest = sha256(pk.as_bytes());
+        let mut fingerprint = [0u8; 20];
+        fingerprint.copy_from_slice(&digest[..20]);
+        RelayCore {
+            cfg,
+            fingerprint,
+            onion_secret,
+            my_addr: None,
+            links: HashMap::new(),
+            links_by_peer: HashMap::new(),
+            dir_conns: HashMap::new(),
+            circuits: Vec::new(),
+            circ_lookup: HashMap::new(),
+            exit_conns: HashMap::new(),
+            received_descs: Vec::new(),
+            signed_consensus: None,
+            hs_descs: HashMap::new(),
+            intro_points: HashMap::new(),
+            rendezvous: HashMap::new(),
+            local_streams: HashMap::new(),
+            next_local_stream: 1,
+            events: VecDeque::new(),
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// This relay's identity fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RelayStats {
+        self.stats
+    }
+
+    /// The descriptor this relay advertises.
+    pub fn descriptor(&self, addr: NodeId) -> RelayInfo {
+        RelayInfo {
+            fingerprint: self.fingerprint,
+            nickname: self.cfg.nickname.clone(),
+            addr,
+            or_port: OR_PORT,
+            dir_port: DIR_PORT,
+            onion_key: self.onion_secret.public_key(),
+            flags: self.cfg.flags,
+            bandwidth: self.cfg.bandwidth,
+            exit_policy: self.cfg.exit_policy.clone(),
+            bento_port: self.cfg.bento_port,
+        }
+    }
+
+    /// Drain pending host events (local-service streams).
+    pub fn drain_events(&mut self) -> Vec<RelayEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Whether the authority has published its consensus (authority only).
+    pub fn consensus_ready(&self) -> bool {
+        self.signed_consensus.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Host-delegated callbacks. Each returns true when the relay claimed
+    // the event.
+    // ------------------------------------------------------------------
+
+    /// Delegate of [`Node::on_start`].
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.my_addr = Some(ctx.me());
+        if self.cfg.authority_signer.is_some() {
+            // We are the authority: include our own descriptor and schedule
+            // consensus construction.
+            let me = ctx.me();
+            let desc = self.descriptor(me);
+            self.received_descs.push(desc);
+            ctx.set_timer(self.cfg.consensus_delay, TAG_BUILD_CONSENSUS);
+        } else if let Some(auth) = self.cfg.authority_addr {
+            // Publish our descriptor to the authority.
+            let conn = ctx.connect(auth, DIR_PORT);
+            let me = ctx.me();
+            let desc = self.descriptor(me);
+            ctx.send(conn, DirMsg::PublishDesc(desc.encode()).encode());
+            ctx.close(conn);
+        }
+    }
+
+    /// Delegate of [`Node::on_conn_open`]. Claims OR- and DIR-port conns.
+    pub fn on_conn_open(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId, peer: NodeId, port: u16) -> bool {
+        match port {
+            OR_PORT => {
+                self.links.insert(
+                    conn,
+                    LinkState {
+                        peer,
+                        established: true,
+                        next_circ_id: 2, // acceptor allocates even ids
+                        queued: Vec::new(),
+                    },
+                );
+                true
+            }
+            DIR_PORT => {
+                self.dir_conns.insert(conn, ());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Delegate of [`Node::on_conn_established`]. Claims conns this relay
+    /// opened (outbound OR links and exit streams).
+    pub fn on_conn_established(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: NodeId) -> bool {
+        if let Some(link) = self.links.get_mut(&conn) {
+            link.established = true;
+            let queued = std::mem::take(&mut link.queued);
+            for cell in queued {
+                self.send_cell(ctx, conn, &cell);
+            }
+            return true;
+        }
+        if let Some(&(slot, stream_id)) = self.exit_conns.get(&conn) {
+            // Outbound exit connection ready: flush buffered data, confirm.
+            let pending = {
+                let Some(circ) = self.circuits[slot].as_mut() else {
+                    return true;
+                };
+                let Some(stream) = circ.streams.get_mut(&stream_id) else {
+                    return true;
+                };
+                stream.connected = true;
+                std::mem::take(&mut stream.pending)
+            };
+            for chunk in pending {
+                ctx.send(conn, chunk);
+            }
+            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::Connected, stream_id, vec![]));
+            return true;
+        }
+        false
+    }
+
+    /// Delegate of [`Node::on_msg`].
+    pub fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) -> bool {
+        if self.links.contains_key(&conn) {
+            if let Some(cell) = Cell::decode(&msg) {
+                self.stats.cells_in += 1;
+                self.handle_cell(ctx, conn, cell);
+            }
+            return true;
+        }
+        if self.dir_conns.contains_key(&conn) {
+            if let Ok(dm) = DirMsg::decode(&msg) {
+                if let Some(resp) = self.handle_dir_msg(dm) {
+                    ctx.send(conn, resp.encode());
+                }
+            }
+            return true;
+        }
+        if let Some(&(slot, stream_id)) = self.exit_conns.get(&conn) {
+            // Data from an external destination: package into cells.
+            for chunk in msg.chunks(MAX_RELAY_DATA) {
+                self.send_to_origin(
+                    ctx,
+                    slot,
+                    RelayCell::new(RelayCmd::Data, stream_id, chunk.to_vec()),
+                );
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Delegate of [`Node::on_conn_closed`].
+    pub fn on_conn_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) -> bool {
+        if let Some(link) = self.links.remove(&conn) {
+            self.links_by_peer.remove(&link.peer);
+            // Tear down circuits using this link.
+            let slots: Vec<usize> = self
+                .circ_lookup
+                .iter()
+                .filter(|((c, _), _)| *c == conn)
+                .map(|(_, &s)| s)
+                .collect();
+            for slot in slots {
+                self.teardown_circuit(ctx, slot, false);
+            }
+            return true;
+        }
+        if self.dir_conns.remove(&conn).is_some() {
+            return true;
+        }
+        if let Some((slot, stream_id)) = self.exit_conns.remove(&conn) {
+            if let Some(Some(circ)) = self.circuits.get_mut(slot) {
+                if circ.streams.remove(&stream_id).is_some() && circ.alive {
+                    self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, stream_id, vec![]));
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Delegate of [`Node::on_timer`]. Claims tags in the relay namespace.
+    pub fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) -> bool {
+        if tag == TAG_BUILD_CONSENSUS {
+            self.build_consensus();
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Local-service stream API (used by the Bento server host).
+    // ------------------------------------------------------------------
+
+    /// Send bytes on a local-service stream (they travel backward to the
+    /// stream's anonymous opener).
+    pub fn local_send(&mut self, ctx: &mut Ctx<'_>, stream: LocalStream, data: &[u8]) {
+        let Some(&(slot, stream_id)) = self.local_streams.get(&stream.0) else {
+            return;
+        };
+        for chunk in data.chunks(MAX_RELAY_DATA) {
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::Data, stream_id, chunk.to_vec()),
+            );
+        }
+    }
+
+    /// Close a local-service stream.
+    pub fn local_close(&mut self, ctx: &mut Ctx<'_>, stream: LocalStream) {
+        if let Some((slot, stream_id)) = self.local_streams.remove(&stream.0) {
+            if let Some(Some(circ)) = self.circuits.get_mut(slot) {
+                if circ.streams.remove(&stream_id).is_some() && circ.alive {
+                    self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, stream_id, vec![]));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn send_cell(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: &Cell) {
+        if let Some(link) = self.links.get_mut(&conn) {
+            if !link.established {
+                link.queued.push(cell.clone());
+                return;
+            }
+        }
+        self.stats.cells_out += 1;
+        ctx.send(conn, cell.encode());
+    }
+
+    fn handle_cell(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
+        match cell.cmd {
+            CellCmd::Padding => {}
+            CellCmd::Create => self.handle_create(ctx, conn, cell),
+            CellCmd::Created => self.handle_created(ctx, conn, cell),
+            CellCmd::Relay => self.handle_relay(ctx, conn, cell),
+            CellCmd::Destroy => {
+                if let Some(&slot) = self.circ_lookup.get(&(conn, cell.circ_id)) {
+                    self.teardown_circuit(ctx, slot, true);
+                }
+            }
+        }
+    }
+
+    fn handle_create(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
+        let onionskin = &cell.payload[..ntor::ONIONSKIN_LEN];
+        let result = ntor::server_respond(ctx.rng(), self.fingerprint, &self.onion_secret, onionskin);
+        let Ok((reply, keys)) = result else {
+            let destroy = Cell::new(cell.circ_id, CellCmd::Destroy);
+            self.send_cell(ctx, conn, &destroy);
+            return;
+        };
+        let slot = self.alloc_circuit(RelayCircuit::new(
+            (conn, cell.circ_id),
+            LayerCrypto::relay_side(&keys),
+        ));
+        self.circ_lookup.insert((conn, cell.circ_id), slot);
+        self.stats.circuits += 1;
+        let created = Cell::with_payload(cell.circ_id, CellCmd::Created, &reply);
+        self.send_cell(ctx, conn, &created);
+    }
+
+    fn handle_created(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
+        // A next-hop circuit we extended finished its handshake: relay the
+        // reply backward as EXTENDED.
+        let Some(&slot) = self.circ_lookup.get(&(conn, cell.circ_id)) else {
+            return;
+        };
+        let is_pending = self.circuits[slot]
+            .as_ref()
+            .map(|c| c.pending_extend)
+            .unwrap_or(false);
+        if !is_pending {
+            return;
+        }
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.pending_extend = false;
+        }
+        let reply = cell.payload[..ntor::REPLY_LEN].to_vec();
+        self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::Extended, 0, reply));
+    }
+
+    fn handle_relay(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, mut cell: Cell) {
+        let Some(&slot) = self.circ_lookup.get(&(conn, cell.circ_id)) else {
+            return;
+        };
+        let Some(circ) = self.circuits[slot].as_ref() else {
+            return;
+        };
+        let from_prev = circ.prev == (conn, cell.circ_id);
+        if from_prev {
+            // Forward direction: strip our layer, maybe recognize.
+            let recognized = self.circuits[slot]
+                .as_mut()
+                .map(|c| c.crypto.unseal(&mut cell.payload))
+                .unwrap_or(false);
+            if recognized {
+                if let Some(rc) = RelayCell::parse_payload(&cell.payload) {
+                    self.handle_recognized(ctx, slot, rc);
+                }
+                return;
+            }
+            // Not for us: pass along.
+            let next = self.circuits[slot].as_ref().and_then(|c| c.next);
+            if let Some((nconn, ncirc)) = next {
+                let fwd = Cell {
+                    circ_id: ncirc,
+                    cmd: CellCmd::Relay,
+                    payload: cell.payload,
+                };
+                self.send_cell(ctx, nconn, &fwd);
+                return;
+            }
+            let splice = self.circuits[slot].as_ref().and_then(|c| c.splice);
+            if let Some(other) = splice {
+                self.send_spliced(ctx, other, cell.payload);
+            }
+            // else: unrecognized cell at the end of an unspliced circuit —
+            // drop (protocol violation or tagging attack).
+        } else {
+            // Backward direction: add our layer, pass toward the origin.
+            let prev = {
+                let Some(c) = self.circuits[slot].as_mut() else {
+                    return;
+                };
+                c.crypto.encrypt_layer(&mut cell.payload);
+                c.prev
+            };
+            let back = Cell {
+                circ_id: prev.1,
+                cmd: CellCmd::Relay,
+                payload: cell.payload,
+            };
+            self.send_cell(ctx, prev.0, &back);
+        }
+    }
+
+    /// Inject a payload into a spliced circuit, traveling toward that
+    /// circuit's originator.
+    fn send_spliced(&mut self, ctx: &mut Ctx<'_>, slot: usize, mut payload: [u8; PAYLOAD_LEN]) {
+        let prev = {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            if !c.alive {
+                return;
+            }
+            c.crypto.encrypt_layer(&mut payload);
+            c.prev
+        };
+        let cell = Cell {
+            circ_id: prev.1,
+            cmd: CellCmd::Relay,
+            payload,
+        };
+        self.send_cell(ctx, prev.0, &cell);
+    }
+
+    /// Seal a relay cell as the terminal hop and send it toward the origin,
+    /// honoring the package window for data cells.
+    fn send_to_origin(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        let is_data = rc.cmd == RelayCmd::Data;
+        {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            if !c.alive {
+                return;
+            }
+            if is_data && c.package_window <= 0 {
+                c.queued_to_origin.push_back(rc);
+                return;
+            }
+            if is_data {
+                c.package_window -= 1;
+            }
+        }
+        let (prev, payload) = {
+            let c = self.circuits[slot].as_mut().expect("checked above");
+            let mut payload = rc.encode_payload();
+            c.crypto.seal(&mut payload);
+            (c.prev, payload)
+        };
+        let cell = Cell {
+            circ_id: prev.1,
+            cmd: CellCmd::Relay,
+            payload,
+        };
+        self.send_cell(ctx, prev.0, &cell);
+    }
+
+    fn flush_queued_to_origin(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        loop {
+            let rc = {
+                let Some(c) = self.circuits[slot].as_mut() else {
+                    return;
+                };
+                if c.package_window <= 0 {
+                    return;
+                }
+                match c.queued_to_origin.pop_front() {
+                    Some(rc) => rc,
+                    None => return,
+                }
+            };
+            self.send_to_origin(ctx, slot, rc);
+        }
+    }
+
+    /// A relay cell addressed to this hop.
+    fn handle_recognized(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        match rc.cmd {
+            RelayCmd::Extend => self.handle_extend(ctx, slot, rc),
+            RelayCmd::Begin => self.handle_begin(ctx, slot, rc),
+            RelayCmd::BeginDir => self.handle_begin_dir(ctx, slot, rc),
+            RelayCmd::Data => self.handle_stream_data(ctx, slot, rc),
+            RelayCmd::End => self.handle_stream_end(ctx, slot, rc),
+            RelayCmd::Sendme => {
+                if let Some(c) = self.circuits[slot].as_mut() {
+                    c.package_window += SENDME_INCREMENT;
+                }
+                self.flush_queued_to_origin(ctx, slot);
+            }
+            RelayCmd::Drop => {
+                // Long-range cover traffic: absorbed silently.
+            }
+            RelayCmd::EstablishIntro => self.handle_establish_intro(ctx, slot, rc),
+            RelayCmd::Introduce1 => self.handle_introduce1(ctx, slot, rc),
+            RelayCmd::EstablishRendezvous => self.handle_establish_rendezvous(ctx, slot, rc),
+            RelayCmd::Rendezvous1 => self.handle_rendezvous1(ctx, slot, rc),
+            // Cells only ever addressed to origins; ignore at a relay.
+            RelayCmd::Extended
+            | RelayCmd::Connected
+            | RelayCmd::IntroEstablished
+            | RelayCmd::Introduce2
+            | RelayCmd::IntroduceAck
+            | RelayCmd::RendezvousEstablished
+            | RelayCmd::Rendezvous2 => {}
+        }
+    }
+
+    fn handle_extend(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        // data = fingerprint(20) | addr(4) | or_port(2) | onionskin(84)
+        if rc.data.len() != 20 + 4 + 2 + ntor::ONIONSKIN_LEN {
+            return;
+        }
+        let addr = NodeId(u32::from_be_bytes([
+            rc.data[20],
+            rc.data[21],
+            rc.data[22],
+            rc.data[23],
+        ]));
+        let or_port = u16::from_be_bytes([rc.data[24], rc.data[25]]);
+        let onionskin = &rc.data[26..];
+        // Reuse an existing link or open one.
+        let conn = match self.links_by_peer.get(&addr) {
+            Some(&c) => c,
+            None => {
+                let c = ctx.connect(addr, or_port);
+                self.links.insert(
+                    c,
+                    LinkState {
+                        peer: addr,
+                        established: false,
+                        next_circ_id: 1, // initiator allocates odd ids
+                        queued: Vec::new(),
+                    },
+                );
+                self.links_by_peer.insert(addr, c);
+                c
+            }
+        };
+        let circ_id = {
+            let link = self.links.get_mut(&conn).expect("link exists");
+            let id = link.next_circ_id;
+            link.next_circ_id += 2;
+            id
+        };
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.next = Some((conn, circ_id));
+            c.pending_extend = true;
+        }
+        self.circ_lookup.insert((conn, circ_id), slot);
+        let create = Cell::with_payload(circ_id, CellCmd::Create, onionskin);
+        self.send_cell(ctx, conn, &create);
+    }
+
+    fn handle_begin(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        // data = 0 | addr(4) | port(2): open an external connection.
+        if rc.data.len() != 7 || rc.data[0] != 0 {
+            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, rc.stream_id, vec![]));
+            return;
+        }
+        let addr = NodeId(u32::from_be_bytes([
+            rc.data[1], rc.data[2], rc.data[3], rc.data[4],
+        ]));
+        let port = u16::from_be_bytes([rc.data[5], rc.data[6]]);
+        let me = self.my_addr.expect("relay started");
+        // Local service port? Advertising a bento_port *is* the operator's
+        // exit-policy opt-in for localhost (§5 of the paper).
+        if Some(addr) == self.my_addr && Some(port) == self.cfg.bento_port {
+            let id = self.next_local_stream;
+            self.next_local_stream += 1;
+            self.local_streams.insert(id, (slot, rc.stream_id));
+            if let Some(c) = self.circuits[slot].as_mut() {
+                c.streams.insert(
+                    rc.stream_id,
+                    ExitStream {
+                        kind: StreamKind::Local(id),
+                        conn: None,
+                        connected: true,
+                        pending: Vec::new(),
+                    },
+                );
+            }
+            self.events.push_back(RelayEvent::LocalStreamOpened {
+                stream: LocalStream(id),
+                port,
+            });
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::Connected, rc.stream_id, vec![]),
+            );
+            return;
+        }
+        // Exit policy check (never exit back into ourselves otherwise).
+        if addr == me || !self.cfg.exit_policy.allows(addr, port) {
+            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, rc.stream_id, vec![]));
+            return;
+        }
+        let conn = ctx.connect(addr, port);
+        self.exit_conns.insert(conn, (slot, rc.stream_id));
+        self.stats.exit_streams += 1;
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.streams.insert(
+                rc.stream_id,
+                ExitStream {
+                    kind: StreamKind::Exit,
+                    conn: Some(conn),
+                    connected: false,
+                    pending: Vec::new(),
+                },
+            );
+        }
+        // CONNECTED is sent from on_conn_established.
+    }
+
+    fn handle_begin_dir(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.streams.insert(
+                rc.stream_id,
+                ExitStream {
+                    kind: StreamKind::Dir(FrameAssembler::new()),
+                    conn: None,
+                    connected: true,
+                    pending: Vec::new(),
+                },
+            );
+        }
+        self.send_to_origin(
+            ctx,
+            slot,
+            RelayCell::new(RelayCmd::Connected, rc.stream_id, vec![]),
+        );
+    }
+
+    fn handle_stream_data(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        // Count toward the deliver window and credit the sender as needed.
+        let send_sendme = {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            c.delivered_since_sendme += 1;
+            if c.delivered_since_sendme >= SENDME_INCREMENT {
+                c.delivered_since_sendme -= SENDME_INCREMENT;
+                true
+            } else {
+                false
+            }
+        };
+        if send_sendme {
+            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::Sendme, 0, vec![]));
+        }
+        enum Action {
+            ToExit(ConnId, Vec<u8>),
+            ToDir(Vec<Vec<u8>>),
+            ToLocal(u64, Vec<u8>),
+            None,
+        }
+        let action = {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            match c.streams.get_mut(&rc.stream_id) {
+                Some(stream) => match &mut stream.kind {
+                    StreamKind::Exit => {
+                        if stream.connected {
+                            Action::ToExit(stream.conn.expect("connected exit"), rc.data)
+                        } else {
+                            stream.pending.push(rc.data);
+                            Action::None
+                        }
+                    }
+                    StreamKind::Dir(asm) => {
+                        asm.push(&rc.data);
+                        Action::ToDir(asm.drain_frames())
+                    }
+                    StreamKind::Local(id) => Action::ToLocal(*id, rc.data),
+                },
+                None => Action::None,
+            }
+        };
+        match action {
+            Action::ToExit(conn, data) => {
+                ctx.send(conn, data);
+            }
+            Action::ToDir(frames) => {
+                for frame in frames {
+                    if let Ok(dm) = DirMsg::decode(&frame) {
+                        if let Some(resp) = self.handle_dir_msg(dm) {
+                            let framed = encode_frame(&resp.encode());
+                            for chunk in framed.chunks(MAX_RELAY_DATA) {
+                                self.send_to_origin(
+                                    ctx,
+                                    slot,
+                                    RelayCell::new(RelayCmd::Data, rc.stream_id, chunk.to_vec()),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Action::ToLocal(id, data) => {
+                self.events.push_back(RelayEvent::LocalStreamData {
+                    stream: LocalStream(id),
+                    data,
+                });
+            }
+            Action::None => {}
+        }
+    }
+
+    fn handle_stream_end(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        let removed = {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            c.streams.remove(&rc.stream_id)
+        };
+        if let Some(stream) = removed {
+            match stream.kind {
+                StreamKind::Exit => {
+                    if let Some(conn) = stream.conn {
+                        self.exit_conns.remove(&conn);
+                        ctx.close(conn);
+                    }
+                }
+                StreamKind::Local(id) => {
+                    self.local_streams.remove(&id);
+                    self.events
+                        .push_back(RelayEvent::LocalStreamClosed { stream: LocalStream(id) });
+                }
+                StreamKind::Dir(_) => {}
+            }
+        }
+    }
+
+    fn handle_establish_intro(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        if rc.data.len() != 32 {
+            return;
+        }
+        let mut addr = [0u8; 32];
+        addr.copy_from_slice(&rc.data);
+        let addr = OnionAddr(addr);
+        self.intro_points.insert(addr, slot);
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.intro_service = Some(addr);
+        }
+        self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::IntroEstablished, 0, vec![]));
+    }
+
+    fn handle_introduce1(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        if rc.data.len() < 32 {
+            return;
+        }
+        let mut addr = [0u8; 32];
+        addr.copy_from_slice(&rc.data[..32]);
+        let addr = OnionAddr(addr);
+        let Some(&service_slot) = self.intro_points.get(&addr) else {
+            // Unknown service: NACK with a nonempty payload.
+            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::IntroduceAck, 0, vec![1]));
+            return;
+        };
+        // Forward the whole payload to the service as INTRODUCE2.
+        self.send_to_origin(
+            ctx,
+            service_slot,
+            RelayCell::new(RelayCmd::Introduce2, 0, rc.data.clone()),
+        );
+        self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::IntroduceAck, 0, vec![]));
+    }
+
+    fn handle_establish_rendezvous(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        if rc.data.len() != 20 {
+            return;
+        }
+        let mut cookie = [0u8; 20];
+        cookie.copy_from_slice(&rc.data);
+        self.rendezvous.insert(cookie, slot);
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.rendezvous_cookie = Some(cookie);
+        }
+        self.send_to_origin(
+            ctx,
+            slot,
+            RelayCell::new(RelayCmd::RendezvousEstablished, 0, vec![]),
+        );
+    }
+
+    fn handle_rendezvous1(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        if rc.data.len() < 20 {
+            return;
+        }
+        let mut cookie = [0u8; 20];
+        cookie.copy_from_slice(&rc.data[..20]);
+        let Some(client_slot) = self.rendezvous.remove(&cookie) else {
+            return;
+        };
+        // Splice the two circuits.
+        if let Some(c) = self.circuits[client_slot].as_mut() {
+            c.splice = Some(slot);
+        }
+        if let Some(c) = self.circuits[slot].as_mut() {
+            c.splice = Some(client_slot);
+        }
+        // Deliver the handshake reply to the waiting client.
+        self.send_to_origin(
+            ctx,
+            client_slot,
+            RelayCell::new(RelayCmd::Rendezvous2, 0, rc.data[20..].to_vec()),
+        );
+    }
+
+    fn handle_dir_msg(&mut self, dm: DirMsg) -> Option<DirMsg> {
+        match dm {
+            DirMsg::FetchConsensus => Some(DirMsg::ConsensusResp(
+                self.signed_consensus.clone().unwrap_or_default(),
+            )),
+            DirMsg::PublishDesc(bytes) => {
+                if self.cfg.authority_signer.is_some() {
+                    if let Ok(info) = RelayInfo::decode(&bytes) {
+                        self.received_descs.retain(|d| d.fingerprint != info.fingerprint);
+                        self.received_descs.push(info);
+                    }
+                }
+                Some(DirMsg::DescAck)
+            }
+            DirMsg::PublishHsDesc(bytes) => {
+                if let Some(desc) = crate::dir::HsDescriptor::decode_verified(&bytes) {
+                    let addr = desc.onion_addr();
+                    let newer = self
+                        .hs_descs
+                        .get(&addr)
+                        .map(|(rev, _)| desc.revision > *rev)
+                        .unwrap_or(true);
+                    if newer {
+                        self.hs_descs.insert(addr, (desc.revision, bytes));
+                    }
+                }
+                Some(DirMsg::DescAck)
+            }
+            DirMsg::FetchHsDesc(addr) => Some(DirMsg::HsDescResp(
+                self.hs_descs.get(&addr).map(|(_, b)| b.clone()),
+            )),
+            // Responses arriving at a relay are ignored.
+            DirMsg::ConsensusResp(_) | DirMsg::DescAck | DirMsg::HsDescResp(_) => None,
+        }
+    }
+
+    fn build_consensus(&mut self) {
+        let Some(signer) = self.cfg.authority_signer.clone() else {
+            return;
+        };
+        let mut relays = self.received_descs.clone();
+        relays.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        let consensus = Consensus { epoch: 1, relays };
+        let body = consensus.encode();
+        let signature = signer
+            .borrow_mut()
+            .sign(&body)
+            .expect("authority signer exhausted");
+        let signed = SignedConsensus { body, signature };
+        self.signed_consensus = Some(signed.encode());
+    }
+
+    fn alloc_circuit(&mut self, circ: RelayCircuit) -> usize {
+        for (i, slot) in self.circuits.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(circ);
+                return i;
+            }
+        }
+        self.circuits.push(Some(circ));
+        self.circuits.len() - 1
+    }
+
+    fn teardown_circuit(&mut self, ctx: &mut Ctx<'_>, slot: usize, notify: bool) {
+        let Some(circ) = self.circuits.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        self.circ_lookup.remove(&circ.prev);
+        if let Some(next) = circ.next {
+            self.circ_lookup.remove(&next);
+            if notify {
+                let destroy = Cell::new(next.1, CellCmd::Destroy);
+                self.send_cell(ctx, next.0, &destroy);
+            }
+        }
+        if notify {
+            let destroy = Cell::new(circ.prev.1, CellCmd::Destroy);
+            self.send_cell(ctx, circ.prev.0, &destroy);
+        }
+        for (_, stream) in circ.streams {
+            match stream.kind {
+                StreamKind::Exit => {
+                    if let Some(conn) = stream.conn {
+                        self.exit_conns.remove(&conn);
+                        ctx.close(conn);
+                    }
+                }
+                StreamKind::Local(id) => {
+                    self.local_streams.remove(&id);
+                    self.events
+                        .push_back(RelayEvent::LocalStreamClosed { stream: LocalStream(id) });
+                }
+                StreamKind::Dir(_) => {}
+            }
+        }
+        if let Some(addr) = circ.intro_service {
+            self.intro_points.remove(&addr);
+        }
+        if let Some(cookie) = circ.rendezvous_cookie {
+            self.rendezvous.remove(&cookie);
+        }
+        if let Some(other) = circ.splice {
+            if let Some(Some(o)) = self.circuits.get_mut(other) {
+                o.splice = None;
+            }
+        }
+    }
+}
+
+/// A standalone relay host node: a [`RelayCore`] and nothing else. Local
+/// service streams are refused (no co-resident service).
+pub struct RelayNode {
+    /// The relay component.
+    pub relay: RelayCore,
+}
+
+impl RelayNode {
+    /// Wrap a relay core.
+    pub fn new(cfg: RelayConfig) -> RelayNode {
+        RelayNode {
+            relay: RelayCore::new(cfg),
+        }
+    }
+}
+
+impl Node for RelayNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.relay.on_start(ctx);
+    }
+    fn on_conn_open(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer: NodeId, port: u16) {
+        self.relay.on_conn_open(ctx, conn, peer, port);
+    }
+    fn on_conn_established(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer: NodeId) {
+        self.relay.on_conn_established(ctx, conn, peer);
+    }
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+        self.relay.on_msg(ctx, conn, msg);
+        // A bare relay has no local service: close anything that opens.
+        for ev in self.relay.drain_events() {
+            if let RelayEvent::LocalStreamOpened { stream, .. } = ev {
+                self.relay.local_close(ctx, stream);
+            }
+        }
+    }
+    fn on_conn_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.relay.on_conn_closed(ctx, conn);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        self.relay.on_timer(ctx, tag);
+    }
+}

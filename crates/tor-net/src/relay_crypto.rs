@@ -1,0 +1,310 @@
+//! Layered onion encryption for relay cells — Tor's scheme, with ChaCha20
+//! in place of AES-CTR and SHA-256 in place of SHA-1.
+//!
+//! Each hop of a circuit holds a [`LayerCrypto`]: a pair of stream ciphers
+//! (one per direction, positions advancing across cells) and a pair of
+//! *running digests*. When an endpoint addresses a relay cell to a hop, it
+//! feeds the cell (digest field zeroed) into that hop's running digest and
+//! writes the first four digest bytes into the cell, then encrypts. A hop
+//! receiving a cell strips one cipher layer and checks `recognized == 0`
+//! and the digest against its own running digest — a match means "this cell
+//! is for me"; anything else is forwarded another hop.
+
+use crate::cell::PAYLOAD_LEN;
+use onion_crypto::chacha20::ChaCha20;
+use onion_crypto::ntor::CircuitKeys;
+use onion_crypto::sha256::Sha256;
+
+/// One hop's cryptographic state, from the perspective of one endpoint.
+pub struct LayerCrypto {
+    send_cipher: ChaCha20,
+    recv_cipher: ChaCha20,
+    send_digest: Sha256,
+    recv_digest: Sha256,
+}
+
+fn seeded_digest(seed: &[u8; 32]) -> Sha256 {
+    let mut d = Sha256::new();
+    d.update(seed);
+    d
+}
+
+impl LayerCrypto {
+    /// The circuit originator's view of a hop: sends with the forward keys,
+    /// receives with the backward keys.
+    pub fn client_side(keys: &CircuitKeys) -> LayerCrypto {
+        LayerCrypto {
+            send_cipher: ChaCha20::new(&keys.kf, &keys.nf),
+            recv_cipher: ChaCha20::new(&keys.kb, &keys.nb),
+            send_digest: seeded_digest(&keys.df),
+            recv_digest: seeded_digest(&keys.db),
+        }
+    }
+
+    /// The relay's (or rendezvous-service's) view: sends with the backward
+    /// keys, receives with the forward keys.
+    pub fn relay_side(keys: &CircuitKeys) -> LayerCrypto {
+        LayerCrypto {
+            send_cipher: ChaCha20::new(&keys.kb, &keys.nb),
+            recv_cipher: ChaCha20::new(&keys.kf, &keys.nf),
+            send_digest: seeded_digest(&keys.db),
+            recv_digest: seeded_digest(&keys.df),
+        }
+    }
+
+    /// Seal a payload addressed to this hop: compute and write the running
+    /// digest, then apply this hop's send cipher.
+    pub fn seal(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
+        payload[1] = 0;
+        payload[2] = 0; // recognized
+        payload[5..9].copy_from_slice(&[0; 4]); // digest placeholder
+        self.send_digest.update(&payload[..]);
+        let full = self.send_digest.clone().finalize();
+        payload[5..9].copy_from_slice(&full[..4]);
+        self.send_cipher.apply(payload);
+    }
+
+    /// Apply one layer of send-direction encryption without digesting
+    /// (wrapping a cell addressed to a *later* hop).
+    pub fn encrypt_layer(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
+        self.send_cipher.apply(payload);
+    }
+
+    /// Strip one layer of receive-direction encryption and test whether the
+    /// cell is addressed to this hop. On a match the running digest is
+    /// committed; otherwise the payload is left decrypted-by-one-layer for
+    /// forwarding (or further stripping by the caller).
+    pub fn unseal(&mut self, payload: &mut [u8; PAYLOAD_LEN]) -> bool {
+        self.recv_cipher.apply(payload);
+        if payload[1] != 0 || payload[2] != 0 {
+            return false;
+        }
+        let mut zeroed = *payload;
+        let mut received = [0u8; 4];
+        received.copy_from_slice(&zeroed[5..9]);
+        zeroed[5..9].copy_from_slice(&[0; 4]);
+        let mut trial = self.recv_digest.clone();
+        trial.update(&zeroed[..]);
+        let full = trial.clone().finalize();
+        if full[..4] != received {
+            return false;
+        }
+        self.recv_digest = trial;
+        // Normalize the payload to its digest-zeroed form so parsers see a
+        // canonical layout (the digest has served its purpose).
+        payload[5..9].copy_from_slice(&received);
+        true
+    }
+}
+
+/// The originator's whole-circuit view: an ordered stack of hop layers.
+///
+/// ```
+/// use tor_net::relay_crypto::{CircuitCrypto, LayerCrypto};
+/// use tor_net::cell::{RelayCell, RelayCmd};
+/// use onion_crypto::ntor::CircuitKeys;
+/// # fn keys(t: u8) -> CircuitKeys { CircuitKeys { kf: [t;32], kb: [t^1;32], df: [t^2;32], db: [t^3;32], nf: [t;12], nb: [t^1;12] } }
+/// let (mut client, mut relay) = (CircuitCrypto::new(), LayerCrypto::relay_side(&keys(7)));
+/// client.push_hop(LayerCrypto::client_side(&keys(7)));
+/// let mut payload = RelayCell::new(RelayCmd::Data, 1, b"hi".to_vec()).encode_payload();
+/// client.seal_for_last(&mut payload);
+/// assert!(relay.unseal(&mut payload)); // recognized at the addressed hop
+/// ```
+#[derive(Default)]
+pub struct CircuitCrypto {
+    hops: Vec<LayerCrypto>,
+}
+
+impl CircuitCrypto {
+    /// Empty (no hops yet).
+    pub fn new() -> CircuitCrypto {
+        CircuitCrypto { hops: Vec::new() }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True when no hops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Append a hop (after a successful CREATE/EXTEND or an e2e rendezvous
+    /// handshake).
+    pub fn push_hop(&mut self, layer: LayerCrypto) {
+        self.hops.push(layer);
+    }
+
+    /// Seal `payload` for the hop at `hop_index`, wrapping it in every
+    /// earlier hop's layer.
+    ///
+    /// # Panics
+    /// If `hop_index` is out of range.
+    pub fn seal_for_hop(&mut self, hop_index: usize, payload: &mut [u8; PAYLOAD_LEN]) {
+        self.hops[hop_index].seal(payload);
+        for i in (0..hop_index).rev() {
+            self.hops[i].encrypt_layer(payload);
+        }
+    }
+
+    /// Seal for the terminal hop.
+    pub fn seal_for_last(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
+        let last = self.hops.len() - 1;
+        self.seal_for_hop(last, payload);
+    }
+
+    /// Strip layers of an inbound (backward) cell until some hop recognizes
+    /// it. Returns the index of the recognizing hop, or `None` if no hop
+    /// recognized the cell (protocol violation or tagging attack).
+    pub fn unwrap_inbound(&mut self, payload: &mut [u8; PAYLOAD_LEN]) -> Option<usize> {
+        for (i, hop) in self.hops.iter_mut().enumerate() {
+            if hop.unseal(payload) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{RelayCell, RelayCmd};
+    use onion_crypto::ntor::CircuitKeys;
+
+    fn test_keys(tag: u8) -> CircuitKeys {
+        CircuitKeys {
+            kf: [tag; 32],
+            kb: [tag ^ 0xFF; 32],
+            df: [tag.wrapping_add(1); 32],
+            db: [tag.wrapping_add(2); 32],
+            nf: [tag; 12],
+            nb: [tag ^ 0xFF; 12],
+        }
+    }
+
+    /// Builds a 3-hop circuit as (client stack, relay-side layers).
+    fn three_hops() -> (CircuitCrypto, Vec<LayerCrypto>) {
+        let mut client = CircuitCrypto::new();
+        let mut relays = Vec::new();
+        for tag in [1u8, 2, 3] {
+            let keys = test_keys(tag);
+            client.push_hop(LayerCrypto::client_side(&keys));
+            relays.push(LayerCrypto::relay_side(&keys));
+        }
+        (client, relays)
+    }
+
+    #[test]
+    fn forward_cell_recognized_only_at_target_hop() {
+        let (mut client, mut relays) = three_hops();
+        let rc = RelayCell::new(RelayCmd::Data, 5, b"to the exit".to_vec());
+        let mut payload = rc.encode_payload();
+        client.seal_for_hop(2, &mut payload);
+        // Hop 0 (guard): strips a layer, does not recognize.
+        assert!(!relays[0].unseal(&mut payload));
+        // Hop 1 (middle): same.
+        assert!(!relays[1].unseal(&mut payload));
+        // Hop 2 (exit): recognizes and parses.
+        assert!(relays[2].unseal(&mut payload));
+        let parsed = RelayCell::parse_payload(&payload).unwrap();
+        assert_eq!(parsed.cmd, RelayCmd::Data);
+        assert_eq!(parsed.stream_id, 5);
+        assert_eq!(parsed.data, b"to the exit");
+    }
+
+    #[test]
+    fn forward_cell_to_middle_hop() {
+        let (mut client, mut relays) = three_hops();
+        let rc = RelayCell::new(RelayCmd::Sendme, 0, vec![]);
+        let mut payload = rc.encode_payload();
+        client.seal_for_hop(1, &mut payload);
+        assert!(!relays[0].unseal(&mut payload));
+        assert!(relays[1].unseal(&mut payload));
+    }
+
+    #[test]
+    fn backward_cell_unwraps_at_origin() {
+        let (mut client, mut relays) = three_hops();
+        // Exit seals a reply; middle and guard each add a layer.
+        let rc = RelayCell::new(RelayCmd::Data, 5, b"reply".to_vec());
+        let mut payload = rc.encode_payload();
+        relays[2].seal(&mut payload);
+        relays[1].encrypt_layer(&mut payload);
+        relays[0].encrypt_layer(&mut payload);
+        let hop = client.unwrap_inbound(&mut payload);
+        assert_eq!(hop, Some(2));
+        let parsed = RelayCell::parse_payload(&payload).unwrap();
+        assert_eq!(parsed.data, b"reply");
+    }
+
+    #[test]
+    fn backward_cell_from_middle_hop() {
+        let (mut client, mut relays) = three_hops();
+        let rc = RelayCell::new(RelayCmd::Extended, 0, b"handshake".to_vec());
+        let mut payload = rc.encode_payload();
+        relays[1].seal(&mut payload);
+        relays[0].encrypt_layer(&mut payload);
+        assert_eq!(client.unwrap_inbound(&mut payload), Some(1));
+    }
+
+    #[test]
+    fn digest_chains_across_many_cells() {
+        let (mut client, mut relays) = three_hops();
+        for i in 0..50u16 {
+            let rc = RelayCell::new(RelayCmd::Data, i, vec![i as u8; (i as usize * 7) % 400]);
+            let mut payload = rc.encode_payload();
+            client.seal_for_hop(2, &mut payload);
+            assert!(!relays[0].unseal(&mut payload));
+            assert!(!relays[1].unseal(&mut payload));
+            assert!(relays[2].unseal(&mut payload), "cell {i} unrecognized");
+            assert_eq!(RelayCell::parse_payload(&payload).unwrap().stream_id, i);
+        }
+    }
+
+    #[test]
+    fn tampered_cell_is_not_recognized() {
+        let (mut client, mut relays) = three_hops();
+        let rc = RelayCell::new(RelayCmd::Data, 1, b"integrity".to_vec());
+        let mut payload = rc.encode_payload();
+        client.seal_for_hop(2, &mut payload);
+        payload[100] ^= 0x01; // on-path tagging attempt
+        assert!(!relays[0].unseal(&mut payload));
+        assert!(!relays[1].unseal(&mut payload));
+        assert!(!relays[2].unseal(&mut payload), "tampered cell must not verify");
+    }
+
+    #[test]
+    fn virtual_e2e_hop_composes() {
+        // Simulate a rendezvous circuit: client has 3 relay hops + an e2e
+        // hop whose counterpart is the hidden service.
+        let (mut client, mut relays) = three_hops();
+        let e2e = test_keys(9);
+        client.push_hop(LayerCrypto::client_side(&e2e));
+        let mut service = LayerCrypto::relay_side(&e2e);
+
+        // Client → service.
+        let rc = RelayCell::new(RelayCmd::Begin, 1, b"hs:443".to_vec());
+        let mut payload = rc.encode_payload();
+        client.seal_for_hop(3, &mut payload);
+        assert!(!relays[0].unseal(&mut payload));
+        assert!(!relays[1].unseal(&mut payload));
+        assert!(!relays[2].unseal(&mut payload)); // RP strips, doesn't recognize
+        assert!(service.unseal(&mut payload));
+        assert_eq!(
+            RelayCell::parse_payload(&payload).unwrap().cmd,
+            RelayCmd::Begin
+        );
+
+        // Service → client: service seals, RP/middle/guard wrap.
+        let rc = RelayCell::new(RelayCmd::Connected, 1, vec![]);
+        let mut payload = rc.encode_payload();
+        service.seal(&mut payload);
+        relays[2].encrypt_layer(&mut payload);
+        relays[1].encrypt_layer(&mut payload);
+        relays[0].encrypt_layer(&mut payload);
+        assert_eq!(client.unwrap_inbound(&mut payload), Some(3));
+    }
+}

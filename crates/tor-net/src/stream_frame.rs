@@ -1,0 +1,154 @@
+//! Length-delimited framing on top of Tor streams.
+//!
+//! A Tor stream delivers an ordered byte sequence chopped into ≤498-byte
+//! RELAY_DATA cells. Protocols that run *over* streams (the directory
+//! protocol, the Bento protocol, HTTP-over-Tor in the examples) exchange
+//! frames: a varint length prefix followed by the body — the framing
+//! discipline recommended by the networking guides, implemented once here.
+
+use simnet::wire::{Reader, Writer};
+
+/// Maximum frame body accepted (64 MiB): bounds buffering on hostile input.
+pub const MAX_FRAME: u64 = 64 * 1024 * 1024;
+
+/// Prefix `body` with its varint length.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(body.len() + 5);
+    w.varu64(body.len() as u64);
+    w.raw(body);
+    w.into_bytes()
+}
+
+/// Incremental reassembler: feed stream bytes in, take complete frames out.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Set when the peer announced an oversized or malformed frame; the
+    /// stream should be torn down.
+    poisoned: bool,
+}
+
+impl FrameAssembler {
+    /// New empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Absorb `data` from the stream.
+    pub fn push(&mut self, data: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(data);
+        }
+    }
+
+    /// True if the peer sent a frame the assembler refuses to buffer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes currently buffered (incomplete frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete frame, if any.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        if self.poisoned {
+            return None;
+        }
+        let mut r = Reader::new(&self.buf).with_max_field(MAX_FRAME);
+        let len = match r.varu64() {
+            Ok(l) => l,
+            // Not enough bytes for the length prefix yet.
+            Err(simnet::wire::WireError::Truncated { .. }) => return None,
+            Err(_) => {
+                self.poisoned = true;
+                self.buf.clear();
+                return None;
+            }
+        };
+        if len > MAX_FRAME {
+            self.poisoned = true;
+            self.buf.clear();
+            return None;
+        }
+        let header = self.buf.len() - r.remaining();
+        let total = header + len as usize;
+        if self.buf.len() < total {
+            return None;
+        }
+        let frame = self.buf[header..total].to_vec();
+        self.buf.drain(..total);
+        Some(frame)
+    }
+
+    /// Drain every currently complete frame.
+    pub fn drain_frames(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_roundtrip() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&encode_frame(b"hello"));
+        assert_eq!(asm.next_frame().unwrap(), b"hello");
+        assert!(asm.next_frame().is_none());
+    }
+
+    #[test]
+    fn frames_split_across_arbitrary_boundaries() {
+        let mut wire = Vec::new();
+        let frames: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; i * 97 + 1]).collect();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        // Feed one byte at a time.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            asm.push(std::slice::from_ref(b));
+            got.extend(asm.drain_frames());
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_frame_is_legal() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&encode_frame(b""));
+        assert_eq!(asm.next_frame().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversized_announcement_poisons() {
+        let mut w = Writer::new();
+        w.varu64(MAX_FRAME + 1);
+        let mut asm = FrameAssembler::new();
+        asm.push(&w.into_bytes());
+        assert!(asm.next_frame().is_none());
+        assert!(asm.is_poisoned());
+        // Further pushes are ignored.
+        asm.push(b"abc");
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn incomplete_frame_waits() {
+        let wire = encode_frame(&[7u8; 100]);
+        let mut asm = FrameAssembler::new();
+        asm.push(&wire[..50]);
+        assert!(asm.next_frame().is_none());
+        asm.push(&wire[50..]);
+        assert_eq!(asm.next_frame().unwrap(), vec![7u8; 100]);
+    }
+}

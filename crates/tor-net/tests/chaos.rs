@@ -1,0 +1,144 @@
+//! Chaos test: many clients issuing randomized (but seeded, hence
+//! reproducible) operations against one network — circuits built and torn
+//! down mid-use, streams opened to real and bogus targets, onion
+//! connections, cover cells. The assertions are survival properties: the
+//! simulator never panics, traffic flows, and the run is deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{SimDuration, SimTime};
+use tor_net::client::TerminalReq;
+use tor_net::netbuild::{NetworkBuilder, TestClientNode};
+use tor_net::ports::HTTP_PORT;
+use tor_net::stream_frame::encode_frame;
+use tor_net::{CircuitHandle, HiddenServiceHost, StreamTarget};
+
+fn run_chaos(seed: u64) -> (u64, u64) {
+    let mut net = NetworkBuilder::new()
+        .seed(seed)
+        .middles(8)
+        .exits(3)
+        .hsdirs(2)
+        .build();
+    let server = net.add_web_server(
+        "web",
+        vec![("/".to_string(), vec![vec![0xAAu8; 40_000]])],
+    );
+    let service = {
+        let hs = HiddenServiceHost::new([0x99; 32], 2, true);
+        let mut node = TestClientNode::new(net.authority, net.authority_key).with_hs(hs);
+        node.serve_bytes = Some(10_000);
+        net.sim
+            .add_node("service", simnet::Iface::datacenter(), Box::new(node))
+    };
+    let onion = HiddenServiceHost::new([0x99; 32], 0, true).onion_addr();
+    let clients: Vec<_> = (0..8)
+        .map(|i| net.add_client(&format!("chaos{i}")))
+        .collect();
+    net.sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+    let mut driver = StdRng::seed_from_u64(seed ^ 0xC4A05);
+    let mut known: Vec<Vec<CircuitHandle>> = vec![Vec::new(); clients.len()];
+    for step in 0..80u64 {
+        for (ci, &c) in clients.iter().enumerate() {
+            let op = driver.gen_range(0..6);
+            let circs = known[ci].clone();
+            let new_circ = net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                match op {
+                    0 => {
+                        // Build a fresh circuit.
+                        n.tor
+                            .select_path(ctx, TerminalReq::ExitTo(server, HTTP_PORT))
+                            .and_then(|p| n.tor.build_circuit(ctx, p))
+                    }
+                    1 => {
+                        // Open a stream and request the page on a ready circuit.
+                        for &h in circs.iter().rev() {
+                            if n.tor.is_ready(h) {
+                                if let Some(s) =
+                                    n.tor.open_stream(ctx, h, StreamTarget::Node(server, HTTP_PORT))
+                                {
+                                    n.tor.send_stream(ctx, h, s, &encode_frame(b"/"));
+                                }
+                                break;
+                            }
+                        }
+                        None
+                    }
+                    2 => {
+                        // Tear down a random circuit, possibly mid-download.
+                        if !circs.is_empty() {
+                            let victim = circs[(step as usize + ci) % circs.len()];
+                            n.tor.destroy_circuit(ctx, victim);
+                        }
+                        None
+                    }
+                    3 => {
+                        // Cover cells on everything ready.
+                        for &h in &circs {
+                            if n.tor.is_ready(h) {
+                                n.tor.send_drop(ctx, h);
+                            }
+                        }
+                        None
+                    }
+                    4 => n.tor.connect_onion(ctx, onion),
+                    _ => {
+                        // Bogus target: a stream to a port nothing allows.
+                        for &h in circs.iter().rev() {
+                            if n.tor.is_ready(h) {
+                                let _ =
+                                    n.tor.open_stream(ctx, h, StreamTarget::Node(server, 2222));
+                                break;
+                            }
+                        }
+                        None
+                    }
+                }
+            });
+            if let Some(h) = new_circ {
+                known[ci].push(h);
+            }
+        }
+        let now = net.sim.now();
+        net.sim.run_until(now + SimDuration::from_millis(700));
+    }
+    // Drain to quiescence-ish and collect outcome numbers.
+    let now = net.sim.now();
+    net.sim.run_until(now + SimDuration::from_secs(30));
+    let stats = net.sim.stats();
+    let delivered_to_clients: u64 = clients
+        .iter()
+        .map(|&c| {
+            net.sim.with_node::<TestClientNode, _>(c, |n, _| {
+                n.events
+                    .iter()
+                    .filter_map(|e| match e {
+                        tor_net::TorEvent::StreamData(_, _, d) => Some(d.len() as u64),
+                        _ => None,
+                    })
+                    .sum::<u64>()
+            })
+        })
+        .sum();
+    let _ = service;
+    (stats.events, delivered_to_clients)
+}
+
+#[test]
+fn chaos_run_survives_and_is_deterministic() {
+    let (events_a, delivered_a) = run_chaos(2024);
+    assert!(delivered_a > 200_000, "real data flowed: {delivered_a}");
+    assert!(events_a > 50_000, "the run did substantial work: {events_a}");
+    let (events_b, delivered_b) = run_chaos(2024);
+    assert_eq!((events_a, delivered_a), (events_b, delivered_b), "deterministic");
+}
+
+#[test]
+fn chaos_other_seeds_also_survive() {
+    for seed in [7u64, 99] {
+        let (_, delivered) = run_chaos(seed);
+        assert!(delivered > 100_000, "seed {seed}: {delivered}");
+    }
+}

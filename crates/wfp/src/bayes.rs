@@ -1,0 +1,111 @@
+//! Gaussian naive Bayes over trace features.
+
+/// A fitted Gaussian naive Bayes classifier.
+pub struct GaussianNb {
+    classes: Vec<usize>,
+    /// Per class: (log prior, per-feature mean, per-feature variance).
+    params: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+impl GaussianNb {
+    /// Fit on a labeled feature matrix.
+    pub fn fit(rows: &[Vec<f64>], labels: &[usize]) -> GaussianNb {
+        assert_eq!(rows.len(), labels.len());
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        let mut params = Vec::with_capacity(classes.len());
+        for &c in &classes {
+            let members: Vec<&Vec<f64>> = rows
+                .iter()
+                .zip(labels)
+                .filter(|(_, &l)| l == c)
+                .map(|(r, _)| r)
+                .collect();
+            let n = members.len() as f64;
+            let mut mean = vec![0.0; dim];
+            for r in &members {
+                for (m, v) in mean.iter_mut().zip(r.iter()) {
+                    *m += v;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= n;
+            }
+            let mut var = vec![0.0; dim];
+            for r in &members {
+                for ((s, v), m) in var.iter_mut().zip(r.iter()).zip(&mean) {
+                    *s += (v - m) * (v - m);
+                }
+            }
+            for s in var.iter_mut() {
+                *s = (*s / n).max(1e-6);
+            }
+            let prior = (n / rows.len() as f64).ln();
+            params.push((prior, mean, var));
+        }
+        GaussianNb { classes, params }
+    }
+
+    /// Predict the label of one feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (ci, (prior, mean, var)) in self.params.iter().enumerate() {
+            let mut log_p = *prior;
+            for ((v, m), s2) in row.iter().zip(mean).zip(var) {
+                log_p += -0.5 * ((v - m) * (v - m) / s2 + s2.ln());
+            }
+            if log_p > best.0 {
+                best = (log_p, self.classes[ci]);
+            }
+        }
+        best.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gaussian_clusters_classified() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..100 {
+            rows.push(vec![rng.gen::<f64>(), 0.0 + rng.gen::<f64>()]);
+            labels.push(0);
+            rows.push(vec![5.0 + rng.gen::<f64>(), 5.0 + rng.gen::<f64>()]);
+            labels.push(1);
+        }
+        let nb = GaussianNb::fit(&rows, &labels);
+        assert_eq!(nb.predict(&[0.5, 0.5]), 0);
+        assert_eq!(nb.predict(&[5.5, 5.5]), 1);
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Class 1 is 9x more common; an ambiguous point goes to it.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        rows.push(vec![0.0]);
+        labels.push(0);
+        for _ in 0..9 {
+            rows.push(vec![0.1]);
+            labels.push(1);
+        }
+        let nb = GaussianNb::fit(&rows, &labels);
+        assert_eq!(nb.predict(&[0.05]), 1);
+    }
+
+    #[test]
+    fn zero_variance_columns_survive() {
+        let rows = vec![vec![1.0, 5.0], vec![1.0, 5.0], vec![2.0, 5.0]];
+        let labels = vec![0, 0, 1];
+        let nb = GaussianNb::fit(&rows, &labels);
+        assert_eq!(nb.predict(&[1.0, 5.0]), 0);
+        assert_eq!(nb.predict(&[2.0, 5.0]), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! The undefended baseline: a client that browses over Tor the normal way
+//! — fetch the HTML, parse it, fetch every asset — producing exactly the
+//! client-side traffic dynamics fingerprinting attacks feed on.
+
+use bento_functions::web::HtmlDoc;
+use simnet::{ConnId, Ctx, Node, NodeId};
+use tor_net::client::{TerminalReq, TorClient, TorEvent};
+use tor_net::ports::HTTP_PORT;
+use tor_net::stream_frame::{encode_frame, FrameAssembler};
+use tor_net::StreamTarget;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    AwaitCircuit,
+    AwaitStream,
+    FetchingHtml,
+    FetchingAssets,
+}
+
+/// A browsing client node.
+pub struct BrowseNode {
+    /// The onion proxy.
+    pub tor: TorClient,
+    phase: Phase,
+    server: NodeId,
+    path: String,
+    circ: Option<tor_net::CircuitHandle>,
+    stream: Option<u16>,
+    assembler: FrameAssembler,
+    assets_expected: usize,
+    frames_received: usize,
+    /// Completed page loads.
+    pub visits_done: u32,
+    /// Visits that failed (circuit/stream problems).
+    pub visits_failed: u32,
+}
+
+impl BrowseNode {
+    /// A client that trusts `authority`.
+    pub fn new(authority: NodeId, key: onion_crypto::hashsig::MerkleVerifyKey) -> BrowseNode {
+        BrowseNode {
+            tor: TorClient::new(authority, key),
+            phase: Phase::Idle,
+            server: NodeId(0),
+            path: String::new(),
+            circ: None,
+            stream: None,
+            assembler: FrameAssembler::new(),
+            assets_expected: 0,
+            frames_received: 0,
+            visits_done: 0,
+            visits_failed: 0,
+        }
+    }
+
+    /// Begin one page load on a fresh circuit (like a new Tor identity).
+    pub fn start_visit(&mut self, ctx: &mut Ctx<'_>, server: NodeId, path: &str) {
+        self.server = server;
+        self.path = path.to_string();
+        self.assembler = FrameAssembler::new();
+        self.assets_expected = 0;
+        self.frames_received = 0;
+        self.stream = None;
+        let built = self
+            .tor
+            .select_path(ctx, TerminalReq::ExitTo(server, HTTP_PORT))
+            .and_then(|p| self.tor.build_circuit(ctx, p));
+        match built {
+            Some(c) => {
+                self.circ = Some(c);
+                self.phase = Phase::AwaitCircuit;
+            }
+            None => {
+                self.visits_failed += 1;
+                self.phase = Phase::Idle;
+            }
+        }
+    }
+
+    /// Whether the current visit completed.
+    pub fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
+    fn fail(&mut self) {
+        self.visits_failed += 1;
+        self.phase = Phase::Idle;
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(c) = self.circ.take() {
+            self.tor.destroy_circuit(ctx, c);
+        }
+        self.visits_done += 1;
+        self.phase = Phase::Idle;
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.tor.poll_events() {
+            match ev {
+                TorEvent::CircuitReady(h) if Some(h) == self.circ => {
+                    self.stream = self
+                        .tor
+                        .open_stream(ctx, h, StreamTarget::Node(self.server, HTTP_PORT));
+                    self.phase = Phase::AwaitStream;
+                }
+                TorEvent::StreamConnected(h, s)
+                    if Some(h) == self.circ && Some(s) == self.stream =>
+                {
+                    self.tor
+                        .send_stream(ctx, h, s, &encode_frame(self.path.as_bytes()));
+                    self.phase = Phase::FetchingHtml;
+                }
+                TorEvent::StreamData(h, s, data)
+                    if Some(h) == self.circ && Some(s) == self.stream =>
+                {
+                    self.assembler.push(&data);
+                    let frames = self.assembler.drain_frames();
+                    for frame in frames {
+                        match self.phase {
+                            Phase::FetchingHtml => {
+                                let Some(doc) = HtmlDoc::decode(&frame) else {
+                                    self.fail();
+                                    return;
+                                };
+                                self.assets_expected = doc.assets.len();
+                                // Fetch every asset (pipelined, like a
+                                // browser with open connections).
+                                for (path, _) in &doc.assets {
+                                    self.tor
+                                        .send_stream(ctx, h, s, &encode_frame(path.as_bytes()));
+                                }
+                                if self.assets_expected == 0 {
+                                    self.finish(ctx);
+                                    return;
+                                }
+                                self.phase = Phase::FetchingAssets;
+                            }
+                            Phase::FetchingAssets => {
+                                self.frames_received += 1;
+                                if self.frames_received >= self.assets_expected {
+                                    self.finish(ctx);
+                                    return;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                TorEvent::CircuitClosed(h) if Some(h) == self.circ => {
+                    if self.phase != Phase::Idle {
+                        self.fail();
+                    }
+                }
+                TorEvent::StreamEnded(h, s)
+                    if Some(h) == self.circ && Some(s) == self.stream =>
+                {
+                    if self.phase != Phase::Idle {
+                        self.fail();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for BrowseNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.tor.bootstrap(ctx);
+    }
+    fn on_conn_established(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: NodeId) {
+        self.tor.handle_conn_established(ctx, conn);
+        self.pump(ctx);
+    }
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+        self.tor.handle_msg(ctx, conn, msg);
+        self.pump(ctx);
+    }
+    fn on_conn_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.tor.handle_conn_closed(ctx, conn);
+        self.pump(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        self.tor.handle_timer(ctx, tag);
+        self.pump(ctx);
+    }
+}

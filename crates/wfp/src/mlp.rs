@@ -1,0 +1,228 @@
+//! A small feed-forward network (one ReLU hidden layer, softmax output)
+//! trained with minibatch SGD — the "deep learning" attacker standing in
+//! for the paper's Deep Fingerprinting CNN, scaled to this corpus.
+
+use crate::features::Normalizer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// RNG seed (initialization and shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 64,
+            epochs: 60,
+            lr: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted network.
+pub struct Mlp {
+    norm: Normalizer,
+    w1: Vec<Vec<f64>>, // hidden x in
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>, // out x hidden
+    b2: Vec<f64>,
+    n_classes: usize,
+}
+
+fn softmax(z: &mut [f64]) {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl Mlp {
+    /// Train on a labeled feature matrix.
+    pub fn fit(cfg: MlpConfig, rows: &[Vec<f64>], labels: &[usize]) -> Mlp {
+        assert_eq!(rows.len(), labels.len());
+        let norm = Normalizer::fit(rows);
+        let x: Vec<Vec<f64>> = rows.iter().map(|r| norm.apply(r)).collect();
+        let dim = x.first().map(|r| r.len()).unwrap_or(0);
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale1 = (2.0 / dim.max(1) as f64).sqrt();
+        let scale2 = (2.0 / cfg.hidden as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..cfg.hidden)
+            .map(|_| (0..dim).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1).collect())
+            .collect();
+        let mut b1 = vec![0.0; cfg.hidden];
+        let mut w2: Vec<Vec<f64>> = (0..n_classes)
+            .map(|_| {
+                (0..cfg.hidden)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+                    .collect()
+            })
+            .collect();
+        let mut b2 = vec![0.0; n_classes];
+
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                // Forward.
+                let mut h = vec![0.0; cfg.hidden];
+                for (j, hj) in h.iter_mut().enumerate() {
+                    let mut s = b1[j];
+                    for (wk, xk) in w1[j].iter().zip(&x[i]) {
+                        s += wk * xk;
+                    }
+                    *hj = s.max(0.0);
+                }
+                let mut z = vec![0.0; n_classes];
+                for (c, zc) in z.iter_mut().enumerate() {
+                    let mut s = b2[c];
+                    for (wk, hk) in w2[c].iter().zip(&h) {
+                        s += wk * hk;
+                    }
+                    *zc = s;
+                }
+                softmax(&mut z);
+                // Backward (cross-entropy).
+                let mut dz = z;
+                dz[labels[i]] -= 1.0;
+                let mut dh = vec![0.0; cfg.hidden];
+                for (c, dzc) in dz.iter().enumerate() {
+                    for (k, dhk) in dh.iter_mut().enumerate() {
+                        *dhk += dzc * w2[c][k];
+                    }
+                }
+                for (c, dzc) in dz.iter().enumerate() {
+                    for (k, hk) in h.iter().enumerate() {
+                        w2[c][k] -= cfg.lr * dzc * hk;
+                    }
+                    b2[c] -= cfg.lr * dzc;
+                }
+                for (j, hj) in h.iter().enumerate() {
+                    if *hj > 0.0 {
+                        for (k, xk) in x[i].iter().enumerate() {
+                            w1[j][k] -= cfg.lr * dh[j] * xk;
+                        }
+                        b1[j] -= cfg.lr * dh[j];
+                    }
+                }
+            }
+        }
+        Mlp {
+            norm,
+            w1,
+            b1,
+            w2,
+            b2,
+            n_classes,
+        }
+    }
+
+    /// Predict the label of one feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let x = self.norm.apply(row);
+        let mut h = vec![0.0; self.b1.len()];
+        for (j, hj) in h.iter_mut().enumerate() {
+            let mut s = self.b1[j];
+            for (wk, xk) in self.w1[j].iter().zip(&x) {
+                s += wk * xk;
+            }
+            *hj = s.max(0.0);
+        }
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for c in 0..self.n_classes {
+            let mut s = self.b2[c];
+            for (wk, hk) in self.w2[c].iter().zip(&h) {
+                s += wk * hk;
+            }
+            if s > best.0 {
+                best = (s, c);
+            }
+        }
+        best.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor() {
+        // XOR is not linearly separable: passing requires the hidden layer
+        // to actually work.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 1, 0];
+        // Replicate for a workable training set.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..50 {
+            xs.extend(rows.clone());
+            ys.extend(labels.clone());
+        }
+        let mlp = Mlp::fit(
+            MlpConfig {
+                hidden: 16,
+                epochs: 200,
+                lr: 0.05,
+                seed: 3,
+            },
+            &xs,
+            &ys,
+        );
+        for (r, l) in rows.iter().zip(&labels) {
+            assert_eq!(mlp.predict(r), *l, "xor({r:?})");
+        }
+    }
+
+    #[test]
+    fn multiclass_clusters() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..4usize {
+            for i in 0..30 {
+                rows.push(vec![c as f64 * 3.0 + (i % 3) as f64 * 0.1, (c % 2) as f64]);
+                labels.push(c);
+            }
+        }
+        let mlp = Mlp::fit(MlpConfig::default(), &rows, &labels);
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, l)| mlp.predict(r) == **l)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let labels = vec![0, 0, 1, 1];
+        let a = Mlp::fit(MlpConfig::default(), &rows, &labels);
+        let b = Mlp::fit(MlpConfig::default(), &rows, &labels);
+        for r in &rows {
+            assert_eq!(a.predict(r), b.predict(r));
+        }
+    }
+}

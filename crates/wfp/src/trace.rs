@@ -1,0 +1,142 @@
+//! The adversary's observation: a directional, timestamped packet trace.
+
+use simnet::trace::TraceEvent;
+#[cfg(test)]
+use simnet::trace::Direction;
+use simnet::SimTime;
+
+/// One observed transmission: (seconds since trace start, signed size).
+/// Positive = client→network, negative = network→client — the sign
+/// convention of the fingerprinting literature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Seconds since the first packet of the trace.
+    pub t: f64,
+    /// Signed size in bytes.
+    pub signed_size: f64,
+}
+
+/// A labeled trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Site index (the closed-world label).
+    pub label: usize,
+    /// Packets in time order.
+    pub packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// Build from sniffer events, rebasing time to the first event.
+    pub fn from_events(label: usize, events: &[TraceEvent]) -> Trace {
+        let t0 = events.first().map(|e| e.time).unwrap_or(SimTime::ZERO);
+        let packets = events
+            .iter()
+            .map(|e| Packet {
+                t: e.time.since(t0).as_secs_f64(),
+                signed_size: e.dir.sign() as f64 * e.bytes as f64,
+            })
+            .collect();
+        Trace { label, packets }
+    }
+
+    /// Total bytes toward the client.
+    pub fn bytes_in(&self) -> f64 {
+        self.packets
+            .iter()
+            .filter(|p| p.signed_size < 0.0)
+            .map(|p| -p.signed_size)
+            .sum()
+    }
+
+    /// Total bytes from the client.
+    pub fn bytes_out(&self) -> f64 {
+        self.packets
+            .iter()
+            .filter(|p| p.signed_size > 0.0)
+            .map(|p| p.signed_size)
+            .sum()
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.packets.last().map(|p| p.t).unwrap_or(0.0)
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Maximal runs of same-direction packets: (direction sign, run bytes).
+    pub fn bursts(&self) -> Vec<(i8, f64)> {
+        let mut out: Vec<(i8, f64)> = Vec::new();
+        for p in &self.packets {
+            let sign = if p.signed_size >= 0.0 { 1i8 } else { -1 };
+            match out.last_mut() {
+                Some((s, bytes)) if *s == sign => *bytes += p.signed_size.abs(),
+                _ => out.push((sign, p.signed_size.abs())),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{ConnId, NodeId};
+
+    fn ev(ms: u64, dir: Direction, bytes: u32) -> TraceEvent {
+        TraceEvent {
+            time: SimTime(ms * 1_000_000),
+            dir,
+            bytes,
+            conn: ConnId(0),
+            peer: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn conversion_rebases_time_and_signs_sizes() {
+        let events = vec![
+            ev(1000, Direction::Outgoing, 514),
+            ev(1500, Direction::Incoming, 514),
+            ev(2000, Direction::Incoming, 514),
+        ];
+        let t = Trace::from_events(3, &events);
+        assert_eq!(t.label, 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.packets[0].t, 0.0);
+        assert!((t.packets[1].t - 0.5).abs() < 1e-9);
+        assert_eq!(t.bytes_out(), 514.0);
+        assert_eq!(t.bytes_in(), 1028.0);
+        assert!((t.duration() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursts_group_runs() {
+        let events = vec![
+            ev(0, Direction::Outgoing, 100),
+            ev(1, Direction::Outgoing, 100),
+            ev(2, Direction::Incoming, 500),
+            ev(3, Direction::Incoming, 500),
+            ev(4, Direction::Incoming, 500),
+            ev(5, Direction::Outgoing, 100),
+        ];
+        let t = Trace::from_events(0, &events);
+        assert_eq!(t.bursts(), vec![(1, 200.0), (-1, 1500.0), (1, 100.0)]);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::from_events(0, &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0.0);
+        assert!(t.bursts().is_empty());
+    }
+}

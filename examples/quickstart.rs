@@ -1,0 +1,100 @@
+//! Quickstart: stand up a simulated Tor network with a Bento box, fetch its
+//! middlebox node policy, spawn a container, upload the Dropbox function
+//! over Tor, and use it.
+//!
+//!     cargo run -p bento --example quickstart
+//!
+//! This walks the entire §5 life cycle: discover → policy → container +
+//! tokens → upload → invoke → shutdown.
+
+use bento::protocol::{FunctionSpec, ImageKind};
+use bento::testnet::BentoNetwork;
+use bento::{BentoClient, BentoClientNode, BentoEvent, MiddleboxPolicy};
+use bento_functions::{dropbox, standard_registry};
+use simnet::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn main() {
+    // A Tor network (authority, guards, exits, HSDirs) plus one Bento box.
+    let mut bn = BentoNetwork::build(42, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let alice = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    println!("[t={}] network bootstrapped", bn.net.sim.now());
+
+    // 1. Discover Bento boxes in the consensus and open a session (a Tor
+    //    circuit terminating at the box, then a stream to its Bento port).
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
+        println!("discovered {} bento box(es) in the consensus", boxes.len());
+        let conn = n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session");
+        n.bento.get_policy(ctx, &mut n.tor, conn);
+        conn
+    });
+    bn.net.sim.run_until(secs(6));
+
+    // 2. Read the middlebox node policy the operator advertises.
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        for ev in &n.bento_events {
+            if let BentoEvent::Policy(_, p) = ev {
+                println!(
+                    "box policy: {} syscalls, {} stem calls, {} MB memory, {} functions max",
+                    p.syscalls.len(),
+                    p.stem.len(),
+                    p.max_memory >> 20,
+                    p.max_functions
+                );
+            }
+        }
+        // 3. Request a container; the box returns invocation + shutdown tokens.
+        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+    });
+    bn.net.sim.run_until(secs(10));
+    let (container, invocation, shutdown) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(alice, |n, _| n.container_ready(conn))
+        .expect("container ready");
+    println!("container {container} ready (invocation + shutdown tokens received)");
+
+    // 4. Upload the Dropbox function with its manifest.
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        let spec = FunctionSpec {
+            params: dropbox::Params { max_gets: 2, expiry_ms: 0, max_bytes: 0 }.encode(),
+            manifest: dropbox::manifest(),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(14));
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        assert!(n.upload_ok(conn), "{:?}", n.bento_events);
+        println!("dropbox function installed");
+        // 5. Invoke: store a note in the Tor network.
+        let mut put = vec![b'P'];
+        put.extend_from_slice(b"meet at the usual place");
+        n.bento.invoke(ctx, &mut n.tor, conn, invocation, put);
+    });
+    bn.net.sim.run_until(secs(18));
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        println!("put acknowledged: {:?}", String::from_utf8_lossy(&n.output_bytes(conn)));
+        n.bento.invoke(ctx, &mut n.tor, conn, invocation, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(22));
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
+        let all = n.output_bytes(conn);
+        let note = &all[2..]; // after the "OK"
+        println!("fetched back: {:?}", String::from_utf8_lossy(note));
+        // 6. Shut the function down with the shutdown token.
+        n.bento.shutdown(ctx, &mut n.tor, conn, shutdown);
+    });
+    bn.net.sim.run_until(secs(26));
+    bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, _| {
+        assert!(n
+            .bento_events
+            .iter()
+            .any(|e| matches!(e, BentoEvent::ShutdownAck(_))));
+        println!("container shut down; done.");
+    });
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the Bento paper from scratch.
+# Results land in results/*.csv and results/*.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --release -p bench
+
+echo "== Table 1: WF attack accuracy (longest step, ~10-15 min) =="
+cargo run --release -p bench --bin table1
+
+echo "== Table 2: page download times =="
+cargo run --release -p bench --bin table2
+
+echo "== Figure 5: hidden-service LoadBalancer =="
+cargo run --release -p bench --bin figure5
+
+echo "== section 7.3: SGX scalability =="
+cargo run --release -p bench --bin scalability
+
+echo "== section 9.1: Cover ablation =="
+cargo run --release -p bench --bin cover_ablation
+
+echo "== section 9.3: Shard recovery =="
+cargo run --release -p bench --bin shard_recovery
+
+echo "== section 9.4: multipath sweep =="
+cargo run --release -p bench --bin multipath_sweep
+
+echo "== padding-quantum ablation =="
+cargo run --release -p bench --bin padding_sweep
+
+echo "== criterion microbenches =="
+cargo bench --workspace
+
+echo "done; see results/ and EXPERIMENTS.md"

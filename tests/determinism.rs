@@ -1,0 +1,91 @@
+//! Whole-stack determinism: two runs of the same seeded experiment produce
+//! byte-identical outcomes. This is the property that makes every number
+//! in EXPERIMENTS.md reproducible with `cargo run -p bench`.
+
+use bento::manifest::Manifest;
+use bento::protocol::{FunctionSpec, ImageKind};
+use bento::testnet::BentoNetwork;
+use bento::{BentoClientNode, MiddleboxPolicy};
+use bento_functions::standard_registry;
+use simnet::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// A full Bento session (connect → container → upload → invoke → output),
+/// reduced to comparable numbers.
+fn run_once(seed: u64) -> (u64, usize, Vec<u8>, [u8; 32]) {
+    let mut bn = BentoNetwork::build(seed, 1, MiddleboxPolicy::permissive(), standard_registry);
+    let client = bn.add_bento_client("alice");
+    bn.net.sim.run_until(secs(2));
+    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+    });
+    bn.net.sim.run_until(secs(5));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+    });
+    bn.net.sim.run_until(secs(9));
+    let (container, inv, _) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+        .expect("container");
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        let spec = FunctionSpec {
+            params: bento_functions::dropbox::Params {
+                max_gets: 2,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+            manifest: Manifest::minimal("dropbox").with_disk(1 << 20),
+        };
+        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+    });
+    bn.net.sim.run_until(secs(13));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        assert!(n.upload_ok(conn));
+        let mut put = vec![b'P'];
+        put.extend_from_slice(&vec![0x11; 30_000]);
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, put);
+    });
+    bn.net.sim.run_until(secs(17));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
+        n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
+    });
+    bn.net.sim.run_until(secs(40));
+    let events = bn.net.sim.stats().events;
+    let (out_len, out_bytes) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| {
+            let b = n.output_bytes(conn);
+            (b.len(), b)
+        });
+    let digest = onion_crypto::sha256::sha256(&out_bytes);
+    (events, out_len, out_bytes[..8.min(out_bytes.len())].to_vec(), digest)
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = run_once(77);
+    let b = run_once(77);
+    assert_eq!(a.0, b.0, "event counts match");
+    assert_eq!(a, b, "full outcome matches");
+}
+
+#[test]
+fn different_seeds_still_succeed() {
+    // The protocol works under many path/keys choices, not just one lucky
+    // seed.
+    for seed in [1u64, 2, 3, 99, 1234] {
+        let (_, out_len, _, _) = run_once(seed);
+        assert!(out_len >= 30_000, "seed {seed}: got {out_len} bytes");
+    }
+}
