@@ -29,10 +29,9 @@ fn bench_attestation(c: &mut Criterion) {
     c.bench_function("attest/full_channel_establishment", |b| {
         b.iter(|| {
             let (state, hello) = AttestedChannel::client_hello(&mut rng);
-            let (reply, _srv) = AttestedChannel::server_respond(
-                &mut rng, &enclave, &platform, &mut ias, &hello,
-            )
-            .unwrap();
+            let (reply, _srv) =
+                AttestedChannel::server_respond(&mut rng, &enclave, &platform, &mut ias, &hello)
+                    .unwrap();
             AttestedChannel::client_finish(&state, &reply, &vk, &enclave.measurement).unwrap()
         })
     });

@@ -54,6 +54,18 @@ fn bench_onion_layers(c: &mut Criterion) {
             relay.unseal(&mut payload)
         })
     });
+    // Exit-hop steady state: seal + the recognizing unseal (digest commits).
+    g.bench_function("relay_unseal_recognized", |b| {
+        let mut client = LayerCrypto::client_side(&keys(5));
+        let mut relay = LayerCrypto::relay_side(&keys(5));
+        let rc = RelayCell::new(RelayCmd::Data, 1, vec![0u8; 400]);
+        b.iter(|| {
+            let mut payload = rc.encode_payload();
+            client.seal(&mut payload);
+            assert!(relay.unseal(&mut payload));
+            payload
+        })
+    });
     g.finish();
 }
 

@@ -2,11 +2,12 @@
 //! per-handshake cost floor for everything in the reproduction.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use onion_crypto::aead::{open_in_place, seal_in_place, AeadKey};
 use onion_crypto::chacha20::ChaCha20;
 use onion_crypto::hashsig::MerkleSigner;
 use onion_crypto::hmac::hmac_sha256;
 use onion_crypto::ntor;
-use onion_crypto::sha256::sha256;
+use onion_crypto::sha256::{sha256, Sha256};
 use onion_crypto::x25519::{x25519_base, StaticSecret};
 use rand::SeedableRng;
 
@@ -23,6 +24,28 @@ fn bench_hash(c: &mut Criterion) {
         let data = vec![1u8; 512];
         b.iter(|| hmac_sha256(b"key", black_box(&data)))
     });
+    // The running-digest peek relay crypto does once per cell.
+    g.bench_function("sha256/clone_finalize_509", |b| {
+        let mut h = Sha256::new();
+        h.update(&[0xCD; 509]);
+        b.iter(|| black_box(&h).clone_finalize())
+    });
+    g.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aead");
+    let key = AeadKey::from_master(&[42u8; 32]);
+    for size in [512usize, 16 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("seal_open_in_place/{size}"), |b| {
+            let mut buf = vec![0xA5u8; size];
+            b.iter(|| {
+                seal_in_place(&key, &[1u8; 12], b"aad", &mut buf);
+                open_in_place(&key, &[1u8; 12], b"aad", &mut buf).expect("roundtrip");
+            })
+        });
+    }
     g.finish();
 }
 
@@ -51,8 +74,7 @@ fn bench_ntor(c: &mut Criterion) {
     let node_id = [1u8; 20];
     c.bench_function("ntor/full_handshake", |b| {
         b.iter(|| {
-            let (state, onionskin) =
-                ntor::client_begin(&mut rng, node_id, identity.public_key());
+            let (state, onionskin) = ntor::client_begin(&mut rng, node_id, identity.public_key());
             let (reply, _server_keys) =
                 ntor::server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
             ntor::client_finish(&state, &reply).unwrap()
@@ -73,6 +95,7 @@ criterion_group!(
     benches,
     bench_hash,
     bench_cipher,
+    bench_aead,
     bench_x25519,
     bench_ntor,
     bench_hashsig

@@ -2,8 +2,8 @@
 //! Browser-function page load, end to end. (Also yields the circuit-build
 //! time the attestation bench compares against.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bento_functions::web::SiteModel;
+use criterion::{criterion_group, criterion_main, Criterion};
 use simnet::{Iface, SimDuration, SimTime};
 use wfp::browse::BrowseNode;
 
@@ -27,8 +27,7 @@ fn bench_page_load(c: &mut Criterion) {
                 Iface::residential(),
                 Box::new(BrowseNode::new(net.authority, net.authority_key)),
             );
-            net.sim
-                .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
             net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
                 n.start_visit(ctx, server, &site.html_path());
             });
@@ -46,8 +45,7 @@ fn bench_page_load(c: &mut Criterion) {
                 .exits(2)
                 .build();
             let client = net.add_client("alice");
-            net.sim
-                .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
             net.sim
                 .with_node::<tor_net::netbuild::TestClientNode, _>(client, |n, ctx| {
                     let path = n
@@ -56,8 +54,7 @@ fn bench_page_load(c: &mut Criterion) {
                         .unwrap();
                     n.tor.build_circuit(ctx, path).unwrap()
                 });
-            net.sim
-                .run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
         })
     });
     g.finish();

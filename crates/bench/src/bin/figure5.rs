@@ -130,7 +130,11 @@ fn run_clients(
             .sum();
         if total < file_len {
             bn.net.sim.with_node::<TestClientNode, _>(c, |n, _| {
-                let kinds: Vec<String> = n.events.iter().map(|e| format!("{e:?}")[..40.min(format!("{e:?}").len())].to_string()).collect();
+                let kinds: Vec<String> = n
+                    .events
+                    .iter()
+                    .map(|e| format!("{e:?}")[..40.min(format!("{e:?}").len())].to_string())
+                    .collect();
                 eprintln!("client {i}: received {total} bytes; events: {kinds:?}");
             });
         }
@@ -202,7 +206,10 @@ fn main() {
         let mut node = TestClientNode::new(bn.net.authority, bn.net.authority_key)
             .with_hs(HiddenServiceHost::new(svc_seed, 3, true));
         node.serve_bytes = Some(file_len as usize);
-        let _svc = bn.net.sim.add_node("service", service_iface(), Box::new(node));
+        let _svc = bn
+            .net
+            .sim
+            .add_node("service", service_iface(), Box::new(node));
         bn.net.sim.run_until(secs(20));
         run_clients(&mut bn, onion, n_clients, file_len, 22)
     };
@@ -235,31 +242,40 @@ fn main() {
             replica_boxes,
         };
         // Install the balancer on box 0.
-        let conn = bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                .into_iter()
-                .cloned()
-                .collect();
-            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
-        });
+        let conn = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+                let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                n.bento
+                    .connect_box(ctx, &mut n.tor, &boxes[0])
+                    .expect("box")
+            });
         bn.net.sim.run_until(secs(5));
-        bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-            n.bento
-                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+                n.bento
+                    .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
+            });
         bn.net.sim.run_until(secs(8));
         let (container, _inv, _) = bn
             .net
             .sim
             .with_node::<BentoClientNode, _>(operator, |n, _| n.container_ready(conn))
             .expect("container");
-        bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-            let spec = FunctionSpec {
-                params: params.encode(),
-                manifest: lb_manifest(),
-            };
-            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+                let spec = FunctionSpec {
+                    params: params.encode(),
+                    manifest: lb_manifest(),
+                };
+                n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+            });
         bn.net.sim.run_until(secs(20));
         let mut r = run_clients(&mut bn, onion, n_clients, file_len, 22);
         // Count active machines at the end (operator inspection).

@@ -27,7 +27,10 @@ fn main() {
     let file_len = mb << 20;
     let body: Vec<u8> = (0..file_len).map(|i| (i * 131 % 251) as u8).collect();
     println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
-    println!("{:<4} {:>12} {:>12} {:>14}", "k", "fetch (s)", "speedup", "end-to-end (s)");
+    println!(
+        "{:<4} {:>12} {:>12} {:>14}",
+        "k", "fetch (s)", "speedup", "end-to-end (s)"
+    );
     let mut rows = Vec::new();
     let mut base = 0.0f64;
     for k in [1u8, 2, 3, 4] {
@@ -50,48 +53,59 @@ fn main() {
         bn.net.sim.enable_sniffer(server);
         let client = bn.add_bento_client("alice");
         bn.net.sim.run_until(secs(2));
-        let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                .into_iter()
-                .cloned()
-                .collect();
-            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
-        });
+        let conn = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                n.bento
+                    .connect_box(ctx, &mut n.tor, &boxes[0])
+                    .expect("box")
+            });
         bn.net.sim.run_until(secs(5));
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            n.bento
-                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                n.bento
+                    .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Plain);
+            });
         bn.net.sim.run_until(secs(8));
         let (container, inv, _) = bn
             .net
             .sim
             .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
             .expect("container");
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            let spec = FunctionSpec {
-                params: if std::env::var("MP_DEBUG").is_ok() {
-                    b"debug".to_vec()
-                } else {
-                    vec![]
-                },
-                manifest: multipath::manifest(),
-            };
-            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let spec = FunctionSpec {
+                    params: if std::env::var("MP_DEBUG").is_ok() {
+                        b"debug".to_vec()
+                    } else {
+                        vec![]
+                    },
+                    manifest: multipath::manifest(),
+                };
+                n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+            });
         bn.net.sim.run_until(secs(12));
         let t0 = bn.net.sim.now();
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            assert!(n.upload_ok(conn), "{:?}", n.bento_events);
-            let req = MultipathRequest {
-                server,
-                port: HTTP_PORT,
-                path: "/big".into(),
-                total_len: file_len,
-                k,
-            };
-            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                assert!(n.upload_ok(conn), "{:?}", n.bento_events);
+                let req = MultipathRequest {
+                    server,
+                    port: HTTP_PORT,
+                    path: "/big".into(),
+                    total_len: file_len,
+                    k,
+                };
+                n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+            });
         let mut last_dbg = 0u64;
         loop {
             let now = bn.net.sim.now();

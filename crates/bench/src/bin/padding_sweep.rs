@@ -14,17 +14,11 @@ fn main() {
     let n_sites = arg_u64("--sites", 40) as u32;
     let n_visits = arg_u64("--visits", 6) as u32;
     let seed = arg_u64("--seed", 2);
-    let paddings: [u64; 7] = [
-        0,
-        256 << 10,
-        512 << 10,
-        1 << 20,
-        2 << 20,
-        4 << 20,
-        7 << 20,
-    ];
-    println!("padding sweep ({n_sites} sites x {n_visits} visits); chance = {:.1}%",
-        100.0 / n_sites as f64);
+    let paddings: [u64; 7] = [0, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 7 << 20];
+    println!(
+        "padding sweep ({n_sites} sites x {n_visits} visits); chance = {:.1}%",
+        100.0 / n_sites as f64
+    );
     println!("{:<12} {:>10}", "padding", "accuracy %");
     let mut rows = Vec::new();
     for padding in paddings {

@@ -88,20 +88,27 @@ fn main() {
     let mut bn = BentoNetwork::build(31, 1, policy, standard_registry);
     let client = bn.add_bento_client("loader");
     bn.net.sim.run_until(secs(2));
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("box")
+        });
     bn.net.sim.run_until(secs(5));
     let mut loaded = 0usize;
     for i in 0..limit + 3 {
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            n.bento
-                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                n.bento
+                    .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+            });
         let deadline = bn.net.sim.now() + SimDuration::from_secs(15);
         let mut got = None;
         while bn.net.sim.now() < deadline {
@@ -139,25 +146,25 @@ fn main() {
                     .sim
                     .with_node::<BentoClientNode, _>(client, |n, _| {
                         n.bento_events.iter().rev().find_map(|e| match e {
-                            bento::BentoEvent::ContainerReady { container, .. } => {
-                                Some(*container)
-                            }
+                            bento::BentoEvent::ContainerReady { container, .. } => Some(*container),
                             _ => None,
                         })
                     })
                     .expect("container id");
-                bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-                    let spec = FunctionSpec {
-                        params: bento_functions::dropbox::Params {
-                            max_gets: 1,
-                            expiry_ms: 0,
-                            max_bytes: 0,
-                        }
-                        .encode(),
-                        manifest: bento_functions::dropbox::manifest_sgx(),
-                    };
-                    n.bento.upload(ctx, &mut n.tor, conn, ready, &spec);
-                });
+                bn.net
+                    .sim
+                    .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                        let spec = FunctionSpec {
+                            params: bento_functions::dropbox::Params {
+                                max_gets: 1,
+                                expiry_ms: 0,
+                                max_bytes: 0,
+                            }
+                            .encode(),
+                            manifest: bento_functions::dropbox::manifest_sgx(),
+                        };
+                        n.bento.upload(ctx, &mut n.tor, conn, ready, &spec);
+                    });
                 let now = bn.net.sim.now();
                 bn.net.sim.run_until(now + SimDuration::from_secs(8));
             }

@@ -25,7 +25,9 @@ fn domains(seed: u64) -> Vec<SiteModel> {
     vec![
         SiteModel::custom(
             "indiatoday-in",
-            &[120_000, 90_000, 70_000, 50_000, 40_000, 30_000, 25_000, 20_000],
+            &[
+                120_000, 90_000, 70_000, 50_000, 40_000, 30_000, 25_000, 20_000,
+            ],
             30_000,
             seed ^ 1,
         ),
@@ -47,7 +49,12 @@ fn domains(seed: u64) -> Vec<SiteModel> {
             30_000,
             seed ^ 4,
         ),
-        SiteModel::custom("aliexpress-com", &[80_000, 60_000, 40_000, 30_000], 20_000, seed ^ 5),
+        SiteModel::custom(
+            "aliexpress-com",
+            &[80_000, 60_000, 40_000, 30_000],
+            20_000,
+            seed ^ 5,
+        ),
     ]
 }
 
@@ -89,8 +96,9 @@ fn main() {
                 loop {
                     let now = net.sim.now();
                     net.sim.run_until(now + SimDuration::from_millis(100));
-                    let done =
-                        net.sim.with_node::<BrowseNode, _>(client, |n, _| n.visits_done);
+                    let done = net
+                        .sim
+                        .with_node::<BrowseNode, _>(client, |n, _| n.visits_done);
                     if done > before || net.sim.now().since(t0).as_secs_f64() > 600.0 {
                         break;
                     }
@@ -113,33 +121,50 @@ fn main() {
         let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
         let server: NodeId = bn.net.add_web_server("web", pages);
         let client = bn.add_bento_client("alice");
-        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
-        let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                .into_iter()
-                .cloned()
-                .collect();
-            n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box")
-        });
-        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            n.bento
-                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
-        });
-        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        bn.net
+            .sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let conn = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                n.bento
+                    .connect_box(ctx, &mut n.tor, &boxes[0])
+                    .expect("box")
+            });
+        bn.net
+            .sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(6));
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                n.bento
+                    .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+            });
+        bn.net
+            .sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(10));
         let (container, inv, _) = bn
             .net
             .sim
             .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
             .expect("container");
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            let spec = FunctionSpec {
-                params: vec![],
-                manifest: browser::manifest(false),
-            };
-            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-        });
-        bn.net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(15));
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let spec = FunctionSpec {
+                    params: vec![],
+                    manifest: browser::manifest(false),
+                };
+                n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+            });
+        bn.net
+            .sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(15));
         let ends = |n: &BentoClientNode| {
             n.bento_events
                 .iter()
@@ -148,18 +173,21 @@ fn main() {
         };
         for site in &sites {
             let t0 = bn.net.sim.now();
-            let before = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-                let e = ends(n);
-                let req = BrowseRequest {
-                    server,
-                    port: HTTP_PORT,
-                    path: site.html_path(),
-                    padding: *padding,
-                    dropbox_on: None,
-                };
-                n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-                e
-            });
+            let before = bn
+                .net
+                .sim
+                .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                    let e = ends(n);
+                    let req = BrowseRequest {
+                        server,
+                        port: HTTP_PORT,
+                        path: site.html_path(),
+                        padding: *padding,
+                        dropbox_on: None,
+                    };
+                    n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+                    e
+                });
             loop {
                 let now = bn.net.sim.now();
                 bn.net.sim.run_until(now + SimDuration::from_millis(100));

@@ -53,6 +53,16 @@ pub fn arg_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parse a `--key value` style string arg with a default.
+pub fn arg_str(key: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// Whether a bare flag is present.
 pub fn arg_flag(key: &str) -> bool {
     std::env::args().any(|a| a == key)

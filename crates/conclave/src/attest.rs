@@ -247,7 +247,10 @@ mod tests {
         let (mut ias, platform, enclave) = setup();
         let mut quote = platform.quote(&enclave, [9u8; 32]);
         quote.measurement[0] ^= 1; // claim a different image
-        assert!(matches!(ias.verify_quote(&quote), Err(AttestationError::BadQuoteMac)));
+        assert!(matches!(
+            ias.verify_quote(&quote),
+            Err(AttestationError::BadQuoteMac)
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::attest::{AttestationError, Ias, IasReport, Platform, Quote};
 use crate::enclave::Enclave;
-use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::aead::{open_in_place, seal_in_place, AeadKey, TAG_LEN};
 use onion_crypto::hashsig::Signature;
 use onion_crypto::hmac::hkdf;
 use onion_crypto::sha256::sha256;
@@ -160,7 +160,9 @@ impl AttestedChannel {
             mac,
         };
         // The client presents the quote to the attestation service itself.
-        let report = ias.verify_quote(&quote).map_err(ChannelError::Attestation)?;
+        let report = ias
+            .verify_quote(&quote)
+            .map_err(ChannelError::Attestation)?;
         report
             .verify(&ias.verify_key(), &quote)
             .map_err(ChannelError::Attestation)?;
@@ -291,8 +293,7 @@ impl AttestedChannel {
         if server_hello.len() != 32 + 8 + 32 + 4 + 32 + 32 + 32 + 1 + 4 + sig_len {
             return Err(ChannelError::Malformed);
         }
-        let signature =
-            Signature::from_bytes(take(sig_len)).ok_or(ChannelError::Malformed)?;
+        let signature = Signature::from_bytes(take(sig_len)).ok_or(ChannelError::Malformed)?;
 
         let quote = Quote {
             platform_id,
@@ -334,20 +335,37 @@ impl AttestedChannel {
         })
     }
 
-    /// Encrypt a message (nonce = direction ‖ counter: in-order delivery is
-    /// enforced).
-    pub fn seal_msg(&mut self, plaintext: &[u8]) -> Vec<u8> {
+    /// Encrypt a message in place (nonce = direction ‖ counter: in-order
+    /// delivery is enforced). `buf` grows by the tag length.
+    pub fn seal_msg_in_place(&mut self, buf: &mut Vec<u8>) {
         let nonce = dir_nonce(self.send_counter, self.is_client);
         self.send_counter += 1;
-        seal(&self.key, &nonce, b"", plaintext)
+        seal_in_place(&self.key, &nonce, b"", buf);
+    }
+
+    /// Encrypt a message, allocating the output buffer.
+    pub fn seal_msg(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        buf.extend_from_slice(plaintext);
+        self.seal_msg_in_place(&mut buf);
+        buf
+    }
+
+    /// Decrypt the next message from the peer in place. On success `buf`
+    /// shrinks to the plaintext; on failure it is untouched and the receive
+    /// counter does not advance.
+    pub fn open_msg_in_place(&mut self, buf: &mut Vec<u8>) -> Result<(), ChannelError> {
+        let nonce = dir_nonce(self.recv_counter, !self.is_client);
+        open_in_place(&self.key, &nonce, b"", buf).map_err(|_| ChannelError::BadMessage)?;
+        self.recv_counter += 1;
+        Ok(())
     }
 
     /// Decrypt the next message from the peer.
     pub fn open_msg(&mut self, sealed: &[u8]) -> Result<Vec<u8>, ChannelError> {
-        let nonce = dir_nonce(self.recv_counter, !self.is_client);
-        let pt = open(&self.key, &nonce, b"", sealed).map_err(|_| ChannelError::BadMessage)?;
-        self.recv_counter += 1;
-        Ok(pt)
+        let mut buf = sealed.to_vec();
+        self.open_msg_in_place(&mut buf)?;
+        Ok(buf)
     }
 }
 
@@ -533,7 +551,9 @@ mod tests {
         );
         assert!(matches!(
             r,
-            Err(ChannelError::Attestation(AttestationError::TcbOutOfDate { .. }))
+            Err(ChannelError::Attestation(
+                AttestationError::TcbOutOfDate { .. }
+            ))
         ));
     }
 
@@ -578,13 +598,9 @@ mod unstapled_tests {
         let (reply, mut server) =
             AttestedChannel::server_respond_unstapled(&mut rng, &enclave, &platform, &hello)
                 .unwrap();
-        let mut client = AttestedChannel::client_finish_with_ias(
-            &state,
-            &reply,
-            &mut ias,
-            &enclave.measurement,
-        )
-        .unwrap();
+        let mut client =
+            AttestedChannel::client_finish_with_ias(&state, &reply, &mut ias, &enclave.measurement)
+                .unwrap();
         let m = client.seal_msg(b"function source");
         assert_eq!(server.open_msg(&m).unwrap(), b"function source");
     }

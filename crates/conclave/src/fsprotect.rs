@@ -8,7 +8,7 @@
 //! key never leaves the enclave, so the operator only ever sees ciphertext
 //! — which is also the paper's plausible-deniability argument (§6.2).
 
-use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::aead::{open_in_place, seal_in_place, AeadKey, TAG_LEN};
 use onion_crypto::sha256::sha256;
 use std::collections::BTreeMap;
 
@@ -50,7 +50,9 @@ impl FsProtect {
         }
         let counter = self.nonce_counter;
         self.nonce_counter += 1;
-        let ct = seal(&self.key, &Self::nonce(counter), &id, data);
+        let mut ct = Vec::with_capacity(data.len() + TAG_LEN);
+        ct.extend_from_slice(data);
+        seal_in_place(&self.key, &Self::nonce(counter), &id, &mut ct);
         self.plain_bytes += data.len() as u64;
         self.store.insert(id, (counter, ct));
     }
@@ -59,7 +61,9 @@ impl FsProtect {
     pub fn read(&self, path: &str) -> Option<Vec<u8>> {
         let id = sha256(path.as_bytes());
         let (counter, ct) = self.store.get(&id)?;
-        open(&self.key, &Self::nonce(*counter), &id, ct).ok()
+        let mut buf = ct.clone();
+        open_in_place(&self.key, &Self::nonce(*counter), &id, &mut buf).ok()?;
+        Some(buf)
     }
 
     /// Delete a file.
@@ -126,9 +130,7 @@ mod tests {
         for (id, ct) in f.operator_view() {
             assert_ne!(&id[..], b"notes.txt".as_slice());
             // The plaintext must not appear anywhere in the ciphertext.
-            assert!(!ct
-                .windows(secret.len())
-                .any(|w| w == secret.as_slice()));
+            assert!(!ct.windows(secret.len()).any(|w| w == secret.as_slice()));
         }
     }
 

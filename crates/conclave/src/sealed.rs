@@ -51,7 +51,10 @@ mod tests {
     fn seal_unseal_roundtrip() {
         let blob = seal_data(&[1; 32], &[2; 32], b"key material");
         assert_ne!(&blob[..12], b"key material");
-        assert_eq!(unseal_data(&[1; 32], &[2; 32], &blob).unwrap(), b"key material");
+        assert_eq!(
+            unseal_data(&[1; 32], &[2; 32], &blob).unwrap(),
+            b"key material"
+        );
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl BentoClient {
     }
 
     /// Bento boxes advertised in the consensus.
-    pub fn discover_boxes<'c>(tor: &'c TorClient) -> Vec<&'c RelayInfo> {
+    pub fn discover_boxes(tor: &TorClient) -> Vec<&RelayInfo> {
         tor.consensus()
             .map(|c| {
                 c.with_flags(RelayFlags::BENTO)
@@ -190,7 +190,10 @@ impl BentoClient {
         spec: &FunctionSpec,
     ) {
         let plain = spec.encode();
-        let (payload, sealed) = match self.sessions.get_mut(conn.0).and_then(|s| s.channel.as_mut())
+        let (payload, sealed) = match self
+            .sessions
+            .get_mut(conn.0)
+            .and_then(|s| s.channel.as_mut())
         {
             Some(ch) => (ch.seal_msg(&plain), true),
             None => (plain, false),
@@ -387,7 +390,8 @@ impl BentoClient {
                 });
             }
             BentoMsg::UploadOk { container_id } => {
-                self.events.push_back(BentoEvent::UploadOk(conn, container_id));
+                self.events
+                    .push_back(BentoEvent::UploadOk(conn, container_id));
             }
             BentoMsg::Rejected { reason } => {
                 self.events.push_back(BentoEvent::Rejected(conn, reason));

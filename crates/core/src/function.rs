@@ -227,10 +227,11 @@ impl<'a> FunctionApi<'a> {
     /// Open a direct connection (checked against the container's network
     /// rules — the relay's exit policy).
     pub fn connect(&mut self, host: NodeId, port: u16) -> Result<u64, ContainerError> {
-        match self.runtime.container.syscall(Syscall::Connect {
-            host: host.0,
-            port,
-        })? {
+        match self
+            .runtime
+            .container
+            .syscall(Syscall::Connect { host: host.0, port })?
+        {
             SyscallOutcome::Permitted => {
                 let conn = self.handle();
                 self.actions.push(FnAction::Connect { conn, host, port });
@@ -288,7 +289,8 @@ impl<'a> FunctionApi<'a> {
 
     /// Stem: send on an owned stream.
     pub fn stream_send(&mut self, circ: u64, stream: u64, data: Vec<u8>) {
-        self.actions.push(FnAction::StreamSend { circ, stream, data });
+        self.actions
+            .push(FnAction::StreamSend { circ, stream, data });
     }
 
     /// Stem: close an owned stream.
@@ -455,9 +457,10 @@ impl ContainerRuntime {
         match &mut self.fsp {
             Some(fsp) => {
                 self.container.check_class(SyscallClass::Read)?;
-                fsp.read(path).ok_or(ContainerError::Fs(
-                    sandbox::fs::FsError::NotFound(path.to_string()),
-                ))
+                fsp.read(path)
+                    .ok_or(ContainerError::Fs(sandbox::fs::FsError::NotFound(
+                        path.to_string(),
+                    )))
             }
             None => match self.container.syscall(Syscall::Read {
                 path: path.to_string(),
@@ -525,7 +528,11 @@ mod tests {
             } else {
                 None
             },
-            image: if sgx { ImageKind::Sgx } else { ImageKind::Plain },
+            image: if sgx {
+                ImageKind::Sgx
+            } else {
+                ImageKind::Plain
+            },
         }
     }
 

@@ -87,16 +87,16 @@ impl Node for BentoBoxNode {
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
-        if !self.relay.on_msg(ctx, conn, msg.clone()) && !self.tor.handle_msg(ctx, conn, msg.clone())
+        if !self.relay.on_msg(ctx, conn, msg.clone())
+            && !self.tor.handle_msg(ctx, conn, msg.clone())
+            && self.bento.owns_conn(conn)
         {
-            if self.bento.owns_conn(conn) {
-                let mut deps = Deps {
-                    ctx,
-                    relay: &mut self.relay,
-                    tor: &mut self.tor,
-                };
-                self.bento.on_conn_msg(&mut deps, conn, msg);
-            }
+            let mut deps = Deps {
+                ctx,
+                relay: &mut self.relay,
+                tor: &mut self.tor,
+            };
+            self.bento.on_conn_msg(&mut deps, conn, msg);
         }
         self.pump(ctx);
     }

@@ -7,9 +7,7 @@
 //! the functions' direct network I/O, and Tor events for the functions'
 //! Stem-mediated circuits.
 
-use crate::function::{
-    ContainerRuntime, FnAction, Function, FunctionApi, FunctionRegistry,
-};
+use crate::function::{ContainerRuntime, FnAction, Function, FunctionApi, FunctionRegistry};
 use crate::manifest::Manifest;
 use crate::policy::MiddleboxPolicy;
 use crate::protocol::{BentoMsg, FunctionSpec, ImageKind};
@@ -119,6 +117,9 @@ pub struct BentoServer {
     function_network_budget: u64,
 }
 
+/// One container's operator-visible storage: (blob/file name hash, bytes).
+pub type ContainerStorageView = Vec<([u8; 32], Vec<u8>)>;
+
 impl BentoServer {
     /// Create a server.
     pub fn new(
@@ -190,8 +191,9 @@ impl BentoServer {
 
     /// What the operator can see of each container's storage: FS Protect
     /// ciphertext for conclave containers, raw files for plain ones
-    /// (§6.2's plausible-deniability inspection surface).
-    pub fn operator_storage_view(&self) -> Vec<(u64, Vec<([u8; 32], Vec<u8>)>)> {
+    /// (§6.2's plausible-deniability inspection surface). Each entry pairs
+    /// the container id with its [`ContainerStorageView`].
+    pub fn operator_storage_view(&self) -> Vec<(u64, ContainerStorageView)> {
         self.containers
             .iter()
             .filter_map(|(id, c)| {
@@ -241,7 +243,12 @@ impl BentoServer {
     }
 
     /// Bytes arrived on a client stream.
-    pub fn on_local_stream_data(&mut self, deps: &mut Deps<'_, '_>, stream: LocalStream, data: Vec<u8>) {
+    pub fn on_local_stream_data(
+        &mut self,
+        deps: &mut Deps<'_, '_>,
+        stream: LocalStream,
+        data: Vec<u8>,
+    ) {
         let frames = match self.streams.get_mut(&stream.0) {
             Some(st) => {
                 st.assembler.push(&data);
@@ -252,9 +259,13 @@ impl BentoServer {
         for frame in frames {
             match BentoMsg::decode(&frame) {
                 Ok(msg) => self.handle_msg(deps, stream, msg),
-                Err(_) => self.reply(deps, stream, &BentoMsg::Rejected {
-                    reason: "malformed frame".into(),
-                }),
+                Err(_) => self.reply(
+                    deps,
+                    stream,
+                    &BentoMsg::Rejected {
+                        reason: "malformed frame".into(),
+                    },
+                ),
             }
         }
     }
@@ -294,9 +305,13 @@ impl BentoServer {
             BentoMsg::Shutdown { token } => self.handle_shutdown(deps, stream, token),
             // Client-bound messages arriving at the server are protocol
             // violations; refuse quietly.
-            _ => self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "unexpected message".into(),
-            }),
+            _ => self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "unexpected message".into(),
+                },
+            ),
         }
     }
 
@@ -308,9 +323,13 @@ impl BentoServer {
         client_hello: Option<Vec<u8>>,
     ) {
         if self.live_functions() >= self.policy.max_functions as usize {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "function limit reached".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "function limit reached".into(),
+                },
+            );
             return;
         }
         let offered = match image {
@@ -318,9 +337,13 @@ impl BentoServer {
             ImageKind::Sgx => self.policy.offers_sgx,
         };
         if !offered {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "image not offered".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "image not offered".into(),
+                },
+            );
             return;
         }
         let id = self.next_container;
@@ -331,9 +354,13 @@ impl BentoServer {
             ImageKind::Plain => (None, None, None),
             ImageKind::Sgx => {
                 let Some(hello) = client_hello else {
-                    self.reply(deps, stream, &BentoMsg::Rejected {
-                        reason: "SGX image requires attestation hello".into(),
-                    });
+                    self.reply(
+                        deps,
+                        stream,
+                        &BentoMsg::Rejected {
+                            reason: "SGX image requires attestation hello".into(),
+                        },
+                    );
                     return;
                 };
                 // The conclave's footprint is the runtime base plus the
@@ -346,9 +373,13 @@ impl BentoServer {
                     self.platform.tcb_version,
                 );
                 if !self.epc.register(id, footprint) {
-                    self.reply(deps, stream, &BentoMsg::Rejected {
-                        reason: "enclave exceeds EPC".into(),
-                    });
+                    self.reply(
+                        deps,
+                        stream,
+                        &BentoMsg::Rejected {
+                            reason: "enclave exceeds EPC".into(),
+                        },
+                    );
                     return;
                 }
                 self.epc.touch(id);
@@ -364,9 +395,13 @@ impl BentoServer {
                     Err(e) => {
                         drop(ias);
                         self.epc.unregister(id);
-                        self.reply(deps, stream, &BentoMsg::Rejected {
-                            reason: format!("attestation failed: {e}"),
-                        });
+                        self.reply(
+                            deps,
+                            stream,
+                            &BentoMsg::Rejected {
+                                reason: format!("attestation failed: {e}"),
+                            },
+                        );
                         return;
                     }
                 }
@@ -522,9 +557,13 @@ impl BentoServer {
         {
             self.reply(deps, stream, &BentoMsg::UploadOk { container_id });
         } else {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "function terminated during install".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "function terminated during install".into(),
+                },
+            );
         }
     }
 
@@ -550,16 +589,24 @@ impl BentoServer {
         input: Vec<u8>,
     ) {
         let Some(id) = self.find_by_invocation(&token) else {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "bad invocation token".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "bad invocation token".into(),
+                },
+            );
             return;
         };
         let entry = self.containers.get_mut(&id).expect("exists");
         if entry.function.is_none() {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "no function uploaded".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "no function uploaded".into(),
+                },
+            );
             return;
         }
         entry.invoker = Some(stream);
@@ -574,9 +621,13 @@ impl BentoServer {
         // The invocation token must NOT be sufficient: only the shutdown
         // token terminates (§5.3).
         let Some(id) = self.find_by_shutdown(&token) else {
-            self.reply(deps, stream, &BentoMsg::Rejected {
-                reason: "bad shutdown token".into(),
-            });
+            self.reply(
+                deps,
+                stream,
+                &BentoMsg::Rejected {
+                    reason: "bad shutdown token".into(),
+                },
+            );
             return;
         };
         self.teardown_container(deps, id, "shutdown token presented");
@@ -696,7 +747,11 @@ impl BentoServer {
                 self.net_conns.insert(real, (id, conn));
             }
             FnAction::NetSend { conn, data } => {
-                let real = self.containers.get(&id).and_then(|c| c.conns.get(&conn)).copied();
+                let real = self
+                    .containers
+                    .get(&id)
+                    .and_then(|c| c.conns.get(&conn))
+                    .copied();
                 if let Some(real) = real {
                     if self.charge_network(deps, id, data.len() as u64) {
                         deps.ctx.send(real, data);
@@ -759,10 +814,7 @@ impl BentoServer {
                     self.notify_circuit_failed(deps, id, circ);
                     return;
                 }
-                match deps
-                    .tor
-                    .connect_onion(deps.ctx, tor_net::OnionAddr(addr))
-                {
+                match deps.tor.connect_onion(deps.ctx, tor_net::OnionAddr(addr)) {
                     Some(h) => self.bind_circuit(id, circ, h),
                     None => self.notify_circuit_failed(deps, id, circ),
                 }
@@ -845,7 +897,11 @@ impl BentoServer {
                 n_intro,
                 auto_rendezvous,
             } => {
-                if self.firewall.check(id, StemCall::CreateHiddenService).is_err() {
+                if self
+                    .firewall
+                    .check(id, StemCall::CreateHiddenService)
+                    .is_err()
+                {
                     return;
                 }
                 let mut host = HiddenServiceHost::new(seed, n_intro as usize, auto_rendezvous);
@@ -868,7 +924,11 @@ impl BentoServer {
                 self.firewall.grant_hs(id, gid);
             }
             FnAction::HsHandleIntro { hs, blob } => {
-                let gid = self.containers.get(&id).and_then(|c| c.hss.get(&hs)).copied();
+                let gid = self
+                    .containers
+                    .get(&id)
+                    .and_then(|c| c.hss.get(&hs))
+                    .copied();
                 let Some(gid) = gid else { return };
                 if self.firewall.hs_owner(gid) != Some(id) {
                     return;
@@ -1096,7 +1156,9 @@ impl BentoServer {
     ) {
         match hev {
             HsEvent::Published(_) => {
-                self.run_function(deps, container, move |f, api| f.on_hs_published(api, fn_handle));
+                self.run_function(deps, container, move |f, api| {
+                    f.on_hs_published(api, fn_handle)
+                });
             }
             HsEvent::Introduction(blob) => {
                 self.run_function(deps, container, move |f, api| {

@@ -60,7 +60,14 @@ impl BentoNetwork {
         make_registry: fn() -> FunctionRegistry,
         relay_iface: Iface,
     ) -> BentoNetwork {
-        Self::build_full(seed, n_boxes, policy, make_registry, relay_iface, relay_iface)
+        Self::build_full(
+            seed,
+            n_boxes,
+            policy,
+            make_registry,
+            relay_iface,
+            relay_iface,
+        )
     }
 
     /// Fully explicit construction: separate interfaces for the plain
@@ -87,9 +94,8 @@ impl BentoNetwork {
         let mut boxes = Vec::new();
         for i in 0..n_boxes {
             let mut cfg = RelayConfig::middle(&format!("bento{i}"), [0xB0 + i as u8; 32]);
-            cfg.flags = RelayFlags::default().with(
-                RelayFlags::EXIT | RelayFlags::FAST | RelayFlags::BENTO | RelayFlags::GUARD,
-            );
+            cfg.flags = RelayFlags::default()
+                .with(RelayFlags::EXIT | RelayFlags::FAST | RelayFlags::BENTO | RelayFlags::GUARD);
             cfg.exit_policy = ExitPolicy::web_only();
             cfg.bento_port = Some(BENTO_PORT);
             cfg.authority_addr = Some(net.authority);

@@ -61,17 +61,18 @@ impl Function for HogFn {
 struct ProbeFn;
 impl Function for ProbeFn {
     fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {
-        let mut report = Vec::new();
-        // The manifest didn't request Write: must be refused.
-        report.push(match api.fs_write("x", b"y") {
-            Err(_) => b'W',
-            Ok(_) => b'!',
-        });
-        // Port 22 isn't in the web-only exit policy: must be refused.
-        report.push(match api.connect(simnet::NodeId(0), 22) {
-            Err(_) => b'C',
-            Ok(_) => b'!',
-        });
+        let report = vec![
+            // The manifest didn't request Write: must be refused.
+            match api.fs_write("x", b"y") {
+                Err(_) => b'W',
+                Ok(_) => b'!',
+            },
+            // Port 22 isn't in the web-only exit policy: must be refused.
+            match api.connect(simnet::NodeId(0), 22) {
+                Err(_) => b'C',
+                Ok(_) => b'!',
+            },
+        ];
         api.output(report);
         api.output_end();
     }
@@ -114,25 +115,32 @@ fn establish(
 ) -> (simnet::NodeId, bento::BoxConn, u64, Token, Token) {
     let client = bn.add_bento_client("alice");
     bn.net.sim.run_until(secs(2));
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        assert!(!boxes.is_empty(), "bento boxes in consensus");
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            assert!(!boxes.is_empty(), "bento boxes in consensus");
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("session")
+        });
     bn.net.sim.run_until(secs(5));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(
-            n.bento_events
-                .iter()
-                .any(|e| matches!(e, BentoEvent::Connected(c) if *c == conn)),
-            "bento stream connected; events: {:?}",
-            n.bento_events
-        );
-        n.bento.request_container(ctx, &mut n.tor, conn, image);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(
+                n.bento_events
+                    .iter()
+                    .any(|e| matches!(e, BentoEvent::Connected(c) if *c == conn)),
+                "bento stream connected; events: {:?}",
+                n.bento_events
+            );
+            n.bento.request_container(ctx, &mut n.tor, conn, image);
+        });
     bn.net.sim.run_until(secs(8));
     let (container, inv, shut) = bn
         .net
@@ -147,25 +155,31 @@ fn full_lifecycle_plain_image() {
     let mut bn = BentoNetwork::build(101, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, inv, shut) = establish(&mut bn, ImageKind::Plain);
     // Upload echo.
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
-        n.bento
-            .invoke(ctx, &mut n.tor, conn, inv, b"hello bento".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
+            n.bento
+                .invoke(ctx, &mut n.tor, conn, inv, b"hello bento".to_vec());
+        });
     bn.net.sim.run_until(secs(14));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert_eq!(n.output_bytes(conn), b"hello bento");
-        assert!(n.output_done(conn));
-        n.bento.shutdown(ctx, &mut n.tor, conn, shut);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert_eq!(n.output_bytes(conn), b"hello bento");
+            assert!(n.output_done(conn));
+            n.bento.shutdown(ctx, &mut n.tor, conn, shut);
+        });
     bn.net.sim.run_until(secs(17));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n
@@ -175,37 +189,43 @@ fn full_lifecycle_plain_image() {
     });
     // The box no longer runs the function.
     let bx = bn.boxes[0];
-    bn.net
-        .sim
-        .with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
-            assert_eq!(n.bento.live_functions(), 0);
-        });
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 0);
+    });
 }
 
 #[test]
 fn sgx_image_attests_and_uploads_sealed() {
     let mut bn = BentoNetwork::build(102, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Sgx);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        // No attestation failure events.
-        assert!(!n
-            .bento_events
-            .iter()
-            .any(|e| matches!(e, BentoEvent::AttestationFailed(..))));
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo-store")
-                .with_disk(1 << 20)
-                .with_sgx(),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            // No attestation failure events.
+            assert!(!n
+                .bento_events
+                .iter()
+                .any(|e| matches!(e, BentoEvent::AttestationFailed(..))));
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo-store")
+                    .with_disk(1 << 20)
+                    .with_sgx(),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn), "sealed upload accepted: {:?}", n.bento_events);
-        n.bento
-            .invoke(ctx, &mut n.tor, conn, inv, b"secret payload".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(
+                n.upload_ok(conn),
+                "sealed upload accepted: {:?}",
+                n.bento_events
+            );
+            n.bento
+                .invoke(ctx, &mut n.tor, conn, inv, b"secret payload".to_vec());
+        });
     bn.net.sim.run_until(secs(14));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.output_bytes(conn), b"secret payload");
@@ -216,19 +236,23 @@ fn sgx_image_attests_and_uploads_sealed() {
 fn wrong_invocation_token_rejected() {
     let mut bn = BentoNetwork::build(103, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        // An attacker without the token cannot inject input (§6.1).
-        n.bento
-            .invoke(ctx, &mut n.tor, conn, Token([0xEE; 32]), b"inject".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            // An attacker without the token cannot inject input (§6.1).
+            n.bento
+                .invoke(ctx, &mut n.tor, conn, Token([0xEE; 32]), b"inject".to_vec());
+        });
     bn.net.sim.run_until(secs(14));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.output_bytes(conn).is_empty(), "no output for bad token");
@@ -240,29 +264,31 @@ fn wrong_invocation_token_rejected() {
 fn invocation_token_cannot_shut_down() {
     let mut bn = BentoNetwork::build(104, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        // Presenting the invocation token as a shutdown token must fail —
-        // the §5.3 sharing model depends on it.
-        n.bento.shutdown(ctx, &mut n.tor, conn, inv);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            // Presenting the invocation token as a shutdown token must fail —
+            // the §5.3 sharing model depends on it.
+            n.bento.shutdown(ctx, &mut n.tor, conn, inv);
+        });
     bn.net.sim.run_until(secs(14));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.rejection(conn), Some("bad shutdown token"));
     });
     let bx = bn.boxes[0];
-    bn.net
-        .sim
-        .with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
-            assert_eq!(n.bento.live_functions(), 1, "function still running");
-        });
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 1, "function still running");
+    });
 }
 
 #[test]
@@ -270,13 +296,15 @@ fn manifest_exceeding_policy_rejected() {
     // A no-storage node must refuse a function whose manifest wants disk.
     let mut bn = BentoNetwork::build(105, 1, MiddleboxPolicy::no_storage(), registry);
     let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo-store").with_disk(1 << 20),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo-store").with_disk(1 << 20),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(!n.upload_ok(conn));
@@ -288,13 +316,15 @@ fn manifest_exceeding_policy_rejected() {
 fn unknown_function_rejected() {
     let mut bn = BentoNetwork::build(106, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("not-in-registry"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("not-in-registry"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.rejection(conn).unwrap().contains("unknown function"));
@@ -305,19 +335,23 @@ fn unknown_function_rejected() {
 fn sandbox_enforces_manifest_at_runtime() {
     let mut bn = BentoNetwork::build(107, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        // The probe asks only for Connect; not Write.
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("probe").with_syscalls([SyscallClass::Connect]),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            // The probe asks only for Connect; not Write.
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("probe").with_syscalls([SyscallClass::Connect]),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn), "{:?}", n.bento_events);
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn), "{:?}", n.bento_events);
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+        });
     bn.net.sim.run_until(secs(14));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         // 'W' = write refused by seccomp; 'C' = connect refused by the
@@ -331,15 +365,18 @@ fn policy_query_returns_node_policy() {
     let mut bn = BentoNetwork::build(108, 1, MiddleboxPolicy::no_storage(), registry);
     let client = bn.add_bento_client("alice");
     bn.net.sim.run_until(secs(2));
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        let c = n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap();
-        n.bento.get_policy(ctx, &mut n.tor, c);
-        c
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            let c = n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).unwrap();
+            n.bento.get_policy(ctx, &mut n.tor, c);
+            c
+        });
     bn.net.sim.run_until(secs(6));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         let got = n.bento_events.iter().find_map(|e| match e {
@@ -392,10 +429,12 @@ fn function_limit_enforced() {
     let mut bn = BentoNetwork::build(110, 1, policy, registry);
     let (client, conn, _c1, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
     // A second container request must be refused.
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento
-            .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        });
     bn.net.sim.run_until(secs(11));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.rejection(conn), Some("function limit reached"));
@@ -406,24 +445,28 @@ fn function_limit_enforced() {
 fn second_upload_to_same_container_rejected() {
     let mut bn = BentoNetwork::build(111, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, _inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn));
-        // A second upload (e.g. trying to swap the code under the same
-        // tokens) must be refused.
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("probe"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn));
+            // A second upload (e.g. trying to swap the code under the same
+            // tokens) must be refused.
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("probe"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(14));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.rejection(conn), Some("container not accepting uploads"));
@@ -453,13 +496,17 @@ fn cross_client_sealed_upload_rejected() {
     });
     bn.net.sim.run_until(secs(17));
     bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
-        assert!(n.container_ready(conn_b).is_some(), "bob has his own channel");
+        assert!(
+            n.container_ready(conn_b).is_some(),
+            "bob has his own channel"
+        );
         // Target Alice's container with Bob's channel.
         let spec = FunctionSpec {
             params: vec![],
             manifest: Manifest::minimal("echo").with_sgx(),
         };
-        n.bento.upload(ctx, &mut n.tor, conn_b, alice_container, &spec);
+        n.bento
+            .upload(ctx, &mut n.tor, conn_b, alice_container, &spec);
     });
     bn.net.sim.run_until(secs(21));
     bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, _| {
@@ -493,11 +540,13 @@ fn outputs_route_to_most_recent_invoker() {
     bn.net.sim.run_until(secs(16));
     // Alice invokes, then Bob invokes: each gets their own output.
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn_a, inv, b"for alice".to_vec());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn_a, inv, b"for alice".to_vec());
     });
     bn.net.sim.run_until(secs(19));
     bn.net.sim.with_node::<BentoClientNode, _>(bob, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn_b, inv, b"for bob".to_vec());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn_b, inv, b"for bob".to_vec());
     });
     bn.net.sim.run_until(secs(24));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, _| {
@@ -508,36 +557,45 @@ fn outputs_route_to_most_recent_invoker() {
     });
 }
 
-
 #[test]
 fn resource_exhaustion_kills_function_not_box() {
     let mut bn = BentoNetwork::build(114, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("hog"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("hog"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn));
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn));
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+        });
     bn.net.sim.run_until(secs(14));
     // The hog's container was OOM/CPU-killed; its output never escaped.
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
-        assert!(n.output_bytes(conn).is_empty(), "killed function emits nothing");
+        assert!(
+            n.output_bytes(conn).is_empty(),
+            "killed function emits nothing"
+        );
     });
     let bx = bn.boxes[0];
     bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
         assert_eq!(n.bento.live_functions(), 0, "container torn down");
     });
     // The box still serves new work: the same client installs echo.
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        });
     bn.net.sim.run_until(secs(18));
     let (c2, inv2, _s2) = bn
         .net
@@ -555,23 +613,27 @@ fn resource_exhaustion_kills_function_not_box() {
         })
         .expect("fresh container after the kill");
     assert_ne!(c2, container);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("echo"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, c2, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, c2, &spec);
+        });
     bn.net.sim.run_until(secs(22));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn, inv2, b"box is fine".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .invoke(ctx, &mut n.tor, conn, inv2, b"box is fine".to_vec());
+        });
     bn.net.sim.run_until(secs(26));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.output_bytes(conn), b"box is fine");
     });
 }
-
 
 #[test]
 fn network_budget_kills_flooder() {
@@ -584,18 +646,22 @@ fn network_budget_kills_flooder() {
         n.bento.set_function_network_budget(1 << 20);
     });
     let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: Manifest::minimal("flooder"),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("flooder"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(11));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.upload_ok(conn));
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn));
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+        });
     // Note: applying actions stops as soon as the container dies, so only
     // the data within budget ever leaves the box.
     bn.net.sim.run_until(secs(40));

@@ -62,13 +62,21 @@ impl RemoteBox {
         if circ != self.circ || self.stream.is_some() {
             return false;
         }
-        let s = api.open_stream(self.circ, FnStreamTarget::Node(self.box_addr, self.box_port));
+        let s = api.open_stream(
+            self.circ,
+            FnStreamTarget::Node(self.box_addr, self.box_port),
+        );
         self.stream = Some(s);
         true
     }
 
     /// Feed `on_stream_connected`; returns true if consumed.
-    pub fn on_stream_connected(&mut self, api: &mut FunctionApi<'_>, circ: u64, stream: u64) -> bool {
+    pub fn on_stream_connected(
+        &mut self,
+        api: &mut FunctionApi<'_>,
+        circ: u64,
+        stream: u64,
+    ) -> bool {
         if !self.owns_stream(circ, stream) {
             return false;
         }
@@ -114,8 +122,8 @@ impl RemoteBox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bento::function::FnAction;
     use bento::function::ContainerRuntime;
+    use bento::function::FnAction;
     use bento::protocol::ImageKind;
     use sandbox::cgroup::ResourceLimits;
     use sandbox::container::Container;
@@ -148,7 +156,10 @@ mod tests {
         let mut link = RemoteBox::connect(&mut a, NodeId(9), 5005);
         assert!(matches!(
             a.actions()[0],
-            FnAction::BuildCircuit { exit_to: Some((NodeId(9), 5005)), .. }
+            FnAction::BuildCircuit {
+                exit_to: Some((NodeId(9), 5005)),
+                ..
+            }
         ));
         // Messages before connection are queued.
         link.send(&mut a, &BentoMsg::GetPolicy);
@@ -176,6 +187,8 @@ mod tests {
         let m2 = link.on_stream_data(&mut a, circ, stream, tail).unwrap();
         assert_eq!(m2, vec![BentoMsg::ShutdownAck]);
         // Foreign streams are not consumed.
-        assert!(link.on_stream_data(&mut a, circ, stream + 1, b"x").is_none());
+        assert!(link
+            .on_stream_data(&mut a, circ, stream + 1, b"x")
+            .is_none());
     }
 }

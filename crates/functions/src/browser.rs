@@ -88,7 +88,11 @@ pub fn manifest(compose: bool) -> Manifest {
         .with_sgx();
     m.memory = 20 << 20; // the paper's measured 16–20 MB envelope
     if compose {
-        m = m.with_stem([StemCall::NewCircuit, StemCall::OpenStream, StemCall::SendStream]);
+        m = m.with_stem([
+            StemCall::NewCircuit,
+            StemCall::OpenStream,
+            StemCall::SendStream,
+        ]);
     }
     m
 }

@@ -201,7 +201,7 @@ mod tests {
         assert!(decompress(&[]).is_none());
         assert!(decompress(&[0x05, 0x02]).is_none()); // bad op
         assert!(decompress(&[0x04, 0x01, 0x02, 0x01, 0x05]).is_none()); // dist > output
-        // Truncated literal run.
+                                                                        // Truncated literal run.
         assert!(decompress(&[0x10, 0x00, 0xFF, 0x01]).is_none());
         // Length mismatch.
         let mut c = compress(b"hello world");

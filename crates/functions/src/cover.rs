@@ -245,7 +245,10 @@ mod tests {
         let mut api = FunctionApi::for_testing(&mut rt, 1);
         f.on_invoke(&mut api, req.encode());
         let circ = match api.actions()[0] {
-            FnAction::BuildCircuit { circ, exit_to: None } => circ,
+            FnAction::BuildCircuit {
+                circ,
+                exit_to: None,
+            } => circ,
             ref other => panic!("expected BuildCircuit, got {other:?}"),
         };
         let mut api = FunctionApi::for_testing(&mut rt, 2);

@@ -193,7 +193,14 @@ mod tests {
     #[test]
     fn put_then_get_roundtrip() {
         let mut rt = runtime();
-        let mut f = Dropbox::new(&Params { max_gets: 2, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut f = Dropbox::new(
+            &Params {
+                max_gets: 2,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+        );
         let mut api = FunctionApi::for_testing(&mut rt, 1);
         f.on_invoke(&mut api, b"Pdata bytes".to_vec());
         assert_eq!(outputs(api.actions()), vec![b"OK".to_vec()]);
@@ -205,13 +212,22 @@ mod tests {
     #[test]
     fn get_limit_triggers_self_destruct() {
         let mut rt = runtime();
-        let mut f = Dropbox::new(&Params { max_gets: 1, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut f = Dropbox::new(
+            &Params {
+                max_gets: 1,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+        );
         let mut api = FunctionApi::for_testing(&mut rt, 1);
         f.on_invoke(&mut api, b"PX".to_vec());
         let mut api = FunctionApi::for_testing(&mut rt, 2);
         f.on_invoke(&mut api, b"G".to_vec());
         assert!(
-            api.actions().iter().any(|a| matches!(a, FnAction::Terminate)),
+            api.actions()
+                .iter()
+                .any(|a| matches!(a, FnAction::Terminate)),
             "after the last get, the dropbox terminates"
         );
         assert!(!api.fs_exists("drop/data"), "data deleted");
@@ -220,7 +236,14 @@ mod tests {
     #[test]
     fn expiry_timer_set_and_destructs() {
         let mut rt = runtime();
-        let mut f = Dropbox::new(&Params { max_gets: 4, expiry_ms: 1234, max_bytes: 0 }.encode());
+        let mut f = Dropbox::new(
+            &Params {
+                max_gets: 4,
+                expiry_ms: 1234,
+                max_bytes: 0,
+            }
+            .encode(),
+        );
         let mut api = FunctionApi::for_testing(&mut rt, 1);
         f.on_install(&mut api);
         assert!(api
@@ -232,14 +255,24 @@ mod tests {
         f.on_invoke(&mut api, b"Psecret".to_vec());
         let mut api = FunctionApi::for_testing(&mut rt, 3);
         f.on_timer(&mut api, EXPIRY_TAG);
-        assert!(api.actions().iter().any(|a| matches!(a, FnAction::Terminate)));
+        assert!(api
+            .actions()
+            .iter()
+            .any(|a| matches!(a, FnAction::Terminate)));
         assert!(!api.fs_exists("drop/data"));
     }
 
     #[test]
     fn get_before_put_and_bad_commands_error() {
         let mut rt = runtime();
-        let mut f = Dropbox::new(&Params { max_gets: 1, expiry_ms: 0, max_bytes: 0 }.encode());
+        let mut f = Dropbox::new(
+            &Params {
+                max_gets: 1,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
+        );
         let mut api = FunctionApi::for_testing(&mut rt, 1);
         f.on_invoke(&mut api, b"G".to_vec());
         assert_eq!(outputs(api.actions()), vec![b"ERR:empty".to_vec()]);
@@ -250,7 +283,11 @@ mod tests {
 
     #[test]
     fn params_roundtrip_and_defaults() {
-        let p = Params { max_gets: 7, expiry_ms: 9999, max_bytes: 0 };
+        let p = Params {
+            max_gets: 7,
+            expiry_ms: 9999,
+            max_bytes: 0,
+        };
         assert_eq!(Params::decode(&p.encode()), p);
         let d = Params::decode(b"");
         assert_eq!(d.max_gets, 4);

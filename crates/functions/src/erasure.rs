@@ -202,7 +202,12 @@ mod tests {
         let shards = encode(&file, 4, 8);
         assert!(decode(&shards[..3]).is_none());
         // Duplicate indices don't count toward k.
-        let dup = vec![shards[0].clone(), shards[0].clone(), shards[0].clone(), shards[0].clone()];
+        let dup = vec![
+            shards[0].clone(),
+            shards[0].clone(),
+            shards[0].clone(),
+            shards[0].clone(),
+        ];
         assert!(decode(&dup).is_none());
     }
 

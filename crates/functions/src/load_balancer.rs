@@ -112,8 +112,12 @@ pub fn lb_manifest() -> Manifest {
 
 /// Manifest for a replica.
 pub fn replica_manifest() -> Manifest {
-    let mut m = Manifest::minimal("hs-replica")
-        .with_stem([StemCall::CreateHiddenService, StemCall::NewCircuit, StemCall::OpenStream, StemCall::SendStream]);
+    let mut m = Manifest::minimal("hs-replica").with_stem([
+        StemCall::CreateHiddenService,
+        StemCall::NewCircuit,
+        StemCall::OpenStream,
+        StemCall::SendStream,
+    ]);
     m.memory = 24 << 20;
     m
 }
@@ -214,11 +218,23 @@ impl Function for HsReplica {
         self.report_load(api);
     }
 
-    fn on_incoming_stream(&mut self, api: &mut FunctionApi<'_>, circ: u64, stream: u64, _port: u16) {
+    fn on_incoming_stream(
+        &mut self,
+        api: &mut FunctionApi<'_>,
+        circ: u64,
+        stream: u64,
+        _port: u16,
+    ) {
         self.serving.on_incoming_stream(api, circ, stream);
     }
 
-    fn on_stream_data(&mut self, api: &mut FunctionApi<'_>, circ: u64, stream: u64, _data: Vec<u8>) {
+    fn on_stream_data(
+        &mut self,
+        api: &mut FunctionApi<'_>,
+        circ: u64,
+        stream: u64,
+        _data: Vec<u8>,
+    ) {
         self.serving.on_stream_data(api, circ, stream);
     }
 
@@ -391,13 +407,11 @@ impl LoadBalancer {
                 (_, BentoMsg::Rejected { .. }) => {
                     r.phase = ReplicaPhase::Failed;
                 }
-                (_, BentoMsg::Output { data }) => {
+                (_, BentoMsg::Output { data })
                     // Load report: 'L' + u32 active sessions.
-                    if data.len() == 5 && data[0] == b'L' {
-                        r.assumed_load =
-                            u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
+                    if data.len() == 5 && data[0] == b'L' => {
+                        r.assumed_load = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
                     }
-                }
                 _ => {}
             }
         }
@@ -417,11 +431,7 @@ impl Function for LoadBalancer {
     fn on_install(&mut self, api: &mut FunctionApi<'_>) {
         // Establish intro points and publish ONE descriptor; introductions
         // are surfaced (auto_rendezvous = false) so we decide who answers.
-        self.hs = Some(api.create_hs(
-            self.params.service.seed,
-            self.params.n_intro as u32,
-            false,
-        ));
+        self.hs = Some(api.create_hs(self.params.service.seed, self.params.n_intro as u32, false));
     }
 
     fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {
@@ -442,7 +452,13 @@ impl Function for LoadBalancer {
         self.serving.on_client_circuit(circ);
     }
 
-    fn on_incoming_stream(&mut self, api: &mut FunctionApi<'_>, circ: u64, stream: u64, _port: u16) {
+    fn on_incoming_stream(
+        &mut self,
+        api: &mut FunctionApi<'_>,
+        circ: u64,
+        stream: u64,
+        _port: u16,
+    ) {
         self.serving.on_incoming_stream(api, circ, stream);
     }
 

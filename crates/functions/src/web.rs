@@ -129,13 +129,7 @@ impl SiteModel {
 
     /// Total page weight (HTML + assets) in bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.html.inline_len as u64
-            + self
-                .html
-                .assets
-                .iter()
-                .map(|(_, s)| *s as u64)
-                .sum::<u64>()
+        self.html.inline_len as u64 + self.html.assets.iter().map(|(_, s)| *s as u64).sum::<u64>()
     }
 
     /// The HTML path of this site.

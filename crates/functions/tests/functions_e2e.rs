@@ -32,28 +32,35 @@ fn install(
     t0: u64,
 ) -> (bento::BoxConn, Token, Token) {
     let image = spec.manifest.image;
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        n.bento
-            .connect_box(ctx, &mut n.tor, &boxes[box_idx])
-            .expect("session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[box_idx])
+                .expect("session")
+        });
     bn.net.sim.run_until(secs(t0 + 3));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, image);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.request_container(ctx, &mut n.tor, conn, image);
+        });
     bn.net.sim.run_until(secs(t0 + 6));
     let (container, inv, shut) = bn
         .net
         .sim
         .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
         .expect("container ready");
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(t0 + 9));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
@@ -79,19 +86,25 @@ fn browser_fetches_compresses_and_pads() {
         2,
     );
     let padding = 1 << 20;
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let req = BrowseRequest {
-            server,
-            port: HTTP_PORT,
-            path: site.html_path(),
-            padding,
-            dropbox_on: None,
-        };
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let req = BrowseRequest {
+                server,
+                port: HTTP_PORT,
+                path: site.html_path(),
+                padding,
+                dropbox_on: None,
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        });
     bn.net.sim.run_until(secs(90));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
-        assert!(n.output_done(conn), "browse completed: {:?}", n.bento_events.len());
+        assert!(
+            n.output_done(conn),
+            "browse completed: {:?}",
+            n.bento_events.len()
+        );
         // Output 1 = compressed digest, output 2 = padding.
         let outputs: Vec<&Vec<u8>> = n
             .bento_events
@@ -106,7 +119,10 @@ fn browser_fetches_compresses_and_pads() {
         // The digest contains the HTML followed by every asset.
         let html = site.html.encode();
         assert_eq!(&digest[..html.len()], &html[..]);
-        assert_eq!(digest.len() as u64, site.total_bytes() + html.len() as u64 - site.html.inline_len as u64);
+        assert_eq!(
+            digest.len() as u64,
+            site.total_bytes() + html.len() as u64 - site.html.inline_len as u64
+        );
         // Total transfer is a multiple of the padding quantum.
         let total = (outputs[0].len() + outputs[1].len()) as u64;
         assert_eq!(total % padding, 0, "padded to a multiple of {padding}");
@@ -131,17 +147,19 @@ fn browser_composes_with_dropbox_figure2() {
         },
         2,
     );
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let req = BrowseRequest {
-            server,
-            port: HTTP_PORT,
-            path: site.html_path(),
-            padding: 0,
-            dropbox_on: Some((dropbox_box, BENTO_PORT)),
-        };
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-        // Alice "goes offline completely during the website download".
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let req = BrowseRequest {
+                server,
+                port: HTTP_PORT,
+                path: site.html_path(),
+                padding: 0,
+                dropbox_on: Some((dropbox_box, BENTO_PORT)),
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+            // Alice "goes offline completely during the website download".
+        });
     bn.net.sim.run_until(secs(120));
     // The browser's final output is the dropbox locator.
     let locator = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
@@ -151,18 +169,23 @@ fn browser_composes_with_dropbox_figure2() {
     assert!(locator.starts_with(b"DROPBOX:"), "locator: {locator:?}");
     let token = Token::from_bytes(&locator[12..44]).expect("token bytes");
     // Alice comes back online and fetches from the dropbox directly.
-    let conn2 = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        let info = boxes.iter().find(|b| b.addr == dropbox_box).unwrap();
-        n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
-    });
+    let conn2 = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            let info = boxes.iter().find(|b| b.addr == dropbox_box).unwrap();
+            n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
+        });
     bn.net.sim.run_until(secs(125));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn2, token, b"G".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.invoke(ctx, &mut n.tor, conn2, token, b"G".to_vec());
+        });
     bn.net.sim.run_until(secs(180));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         let fetched = n.output_bytes(conn2);
@@ -187,15 +210,17 @@ fn cover_emits_fixed_rate_downstream_junk() {
         },
         2,
     );
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let req = CoverRequest {
-            interval_ms: 100,
-            count: 20,
-            chunk: 498,
-            mode: Mode::Downstream,
-        };
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let req = CoverRequest {
+                interval_ms: 100,
+                count: 20,
+                chunk: 498,
+                mode: Mode::Downstream,
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        });
     bn.net.sim.run_until(secs(30));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         let junk: Vec<usize> = n
@@ -232,23 +257,29 @@ fn dropbox_over_network_put_get_limit() {
         },
         2,
     );
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let mut put = vec![b'P'];
-        put.extend_from_slice(&vec![0xAD; 50_000]);
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, put);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let mut put = vec![b'P'];
+            put.extend_from_slice(&vec![0xAD; 50_000]);
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, put);
+        });
     bn.net.sim.run_until(secs(15));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        assert!(n.output_bytes(conn).ends_with(b"OK"));
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.output_bytes(conn).ends_with(b"OK"));
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
+        });
     bn.net.sim.run_until(secs(40));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let out = n.output_bytes(conn);
-        assert!(out.len() >= 50_002 && out[2..].iter().all(|&b| b == 0xAD));
-        // max_gets = 1: the dropbox has self-destructed; further gets fail.
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let out = n.output_bytes(conn);
+            assert!(out.len() >= 50_002 && out[2..].iter().all(|&b| b == 0xAD));
+            // max_gets = 1: the dropbox has self-destructed; further gets fail.
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, b"G".to_vec());
+        });
     bn.net.sim.run_until(secs(50));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(
@@ -276,18 +307,17 @@ fn shard_deploys_and_any_k_reconstruct() {
         2,
     );
     let file: Vec<u8> = (0..60_000u32).map(|i| (i * 31 % 251) as u8).collect();
-    let targets: Vec<(NodeId, u16)> = bn.boxes[1..4]
-        .iter()
-        .map(|b| (*b, BENTO_PORT))
-        .collect();
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let req = ShardRequest {
-            k: 2,
-            targets,
-            file: file.clone(),
-        };
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-    });
+    let targets: Vec<(NodeId, u16)> = bn.boxes[1..4].iter().map(|b| (*b, BENTO_PORT)).collect();
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let req = ShardRequest {
+                k: 2,
+                targets,
+                file: file.clone(),
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        });
     bn.net.sim.run_until(secs(120));
     let locators = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.output_done(conn), "shard deployment finished");
@@ -297,19 +327,24 @@ fn shard_deploys_and_any_k_reconstruct() {
     // Fetch only k = 2 shards (skip the first) and reconstruct.
     let mut pieces = Vec::new();
     for (i, loc) in locators.iter().enumerate().skip(1) {
-        let conn_i = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                .into_iter()
-                .cloned()
-                .collect();
-            let info = boxes.iter().find(|b| b.addr == loc.box_addr).unwrap();
-            n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
-        });
+        let conn_i = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let info = boxes.iter().find(|b| b.addr == loc.box_addr).unwrap();
+                n.bento.connect_box(ctx, &mut n.tor, info).unwrap()
+            });
         bn.net.sim.run_until(secs(125 + i as u64 * 20));
-        bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-            n.bento
-                .invoke(ctx, &mut n.tor, conn_i, Token(loc.token), b"G".to_vec());
-        });
+        bn.net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                n.bento
+                    .invoke(ctx, &mut n.tor, conn_i, Token(loc.token), b"G".to_vec());
+            });
         bn.net.sim.run_until(secs(140 + i as u64 * 20));
         let bytes = bn
             .net
@@ -378,11 +413,10 @@ fn load_balancer_serves_and_scales() {
                     "rendezvous ready for client; events: {:?}",
                     n.events
                 );
-                let s = n
-                    .tor
+
+                n.tor
                     .open_stream(ctx, r, StreamTarget::Hs(HS_VIRTUAL_PORT))
-                    .expect("stream");
-                s
+                    .expect("stream")
             });
         streams.push(s);
     }
@@ -426,16 +460,18 @@ fn multipath_fetch_reassembles_over_k_circuits() {
         },
         2,
     );
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let req = MultipathRequest {
-            server,
-            port: HTTP_PORT,
-            path: "/big".into(),
-            total_len: body.len() as u64,
-            k: 3,
-        };
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let req = MultipathRequest {
+                server,
+                port: HTTP_PORT,
+                path: "/big".into(),
+                total_len: body.len() as u64,
+                k: 3,
+            };
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+        });
     bn.net.sim.run_until(secs(90));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.output_done(conn), "multipath finished");

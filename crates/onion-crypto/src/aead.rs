@@ -5,7 +5,7 @@
 //! attested channel a Bento client uploads its function over.
 
 use crate::chacha20::{ChaCha20, NONCE_LEN};
-use crate::hmac::{ct_eq, hkdf, hmac_sha256};
+use crate::hmac::{ct_eq, hkdf, hmac_sha256_parts};
 
 /// Tag length in bytes (full HMAC-SHA256 output).
 pub const TAG_LEN: usize = 32;
@@ -56,22 +56,58 @@ impl AeadKey {
     }
 }
 
-fn mac_input(nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> Vec<u8> {
-    let mut m = Vec::with_capacity(NONCE_LEN + 16 + aad.len() + ct.len());
-    m.extend_from_slice(nonce);
-    m.extend_from_slice(&(aad.len() as u64).to_be_bytes());
-    m.extend_from_slice(aad);
-    m.extend_from_slice(&(ct.len() as u64).to_be_bytes());
-    m.extend_from_slice(ct);
-    m
+/// The MAC covers `nonce || len(aad) || aad || len(ct) || ct`, streamed
+/// into HMAC as parts — the encoding is never materialized.
+fn compute_tag(key: &AeadKey, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+    hmac_sha256_parts(
+        &key.mac,
+        &[
+            nonce,
+            &(aad.len() as u64).to_be_bytes(),
+            aad,
+            &(ct.len() as u64).to_be_bytes(),
+            ct,
+        ],
+    )
+}
+
+/// Encrypt and authenticate in place: `buf` (the plaintext) becomes
+/// `ciphertext || tag`, growing by [`TAG_LEN`]. No scratch allocation
+/// beyond the tag append.
+pub fn seal_in_place(key: &AeadKey, nonce: &[u8; NONCE_LEN], aad: &[u8], buf: &mut Vec<u8>) {
+    ChaCha20::new(&key.enc, nonce).apply(buf);
+    let tag = compute_tag(key, nonce, aad, buf);
+    buf.extend_from_slice(&tag);
+}
+
+/// Verify and decrypt in place: `buf` (`ciphertext || tag`) becomes the
+/// plaintext, shrinking by [`TAG_LEN`]. On error `buf` is left unmodified.
+pub fn open_in_place(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut Vec<u8>,
+) -> Result<(), AeadError> {
+    if buf.len() < TAG_LEN {
+        return Err(AeadError::TooShort);
+    }
+    let split = buf.len() - TAG_LEN;
+    let (ct, tag) = buf.split_at(split);
+    let expect = compute_tag(key, nonce, aad, ct);
+    if !ct_eq(&expect, tag) {
+        return Err(AeadError::BadTag);
+    }
+    buf.truncate(split);
+    ChaCha20::new(&key.enc, nonce).apply(buf);
+    Ok(())
 }
 
 /// Encrypt and authenticate: returns `ciphertext || tag`.
 pub fn seal(key: &AeadKey, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-    let mut out = ChaCha20::new(&key.enc, nonce).apply_copy(plaintext);
-    let tag = hmac_sha256(&key.mac, &mac_input(nonce, aad, &out));
-    out.extend_from_slice(&tag);
-    out
+    let mut buf = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    buf.extend_from_slice(plaintext);
+    seal_in_place(key, nonce, aad, &mut buf);
+    buf
 }
 
 /// Verify and decrypt `ciphertext || tag`.
@@ -81,15 +117,9 @@ pub fn open(
     aad: &[u8],
     sealed: &[u8],
 ) -> Result<Vec<u8>, AeadError> {
-    if sealed.len() < TAG_LEN {
-        return Err(AeadError::TooShort);
-    }
-    let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-    let expect = hmac_sha256(&key.mac, &mac_input(nonce, aad, ct));
-    if !ct_eq(&expect, tag) {
-        return Err(AeadError::BadTag);
-    }
-    Ok(ChaCha20::new(&key.enc, nonce).apply_copy(ct))
+    let mut buf = sealed.to_vec();
+    open_in_place(key, nonce, aad, &mut buf)?;
+    Ok(buf)
 }
 
 #[cfg(test)]
@@ -149,12 +179,18 @@ mod tests {
     fn wrong_key_rejected() {
         let sealed = seal(&key(), &[1u8; 12], b"", b"data");
         let other = AeadKey::from_master(&[43u8; 32]);
-        assert_eq!(open(&other, &[1u8; 12], b"", &sealed), Err(AeadError::BadTag));
+        assert_eq!(
+            open(&other, &[1u8; 12], b"", &sealed),
+            Err(AeadError::BadTag)
+        );
     }
 
     #[test]
     fn short_input_rejected() {
-        assert_eq!(open(&key(), &[0u8; 12], b"", &[0u8; 31]), Err(AeadError::TooShort));
+        assert_eq!(
+            open(&key(), &[0u8; 12], b"", &[0u8; 31]),
+            Err(AeadError::TooShort)
+        );
     }
 
     #[test]

@@ -158,7 +158,7 @@ impl MerkleSigner {
     /// Generate a signer from a seed. `height` of 4–8 is typical; keygen cost
     /// is `2^height * 67 * 16` hashes.
     pub fn generate(seed: [u8; 32], height: usize) -> Self {
-        assert!(height >= 1 && height <= 16, "unreasonable tree height");
+        assert!((1..=16).contains(&height), "unreasonable tree height");
         let n_leaves = 1usize << height;
         let mut leaves = Vec::with_capacity(n_leaves);
         for leaf in 0..n_leaves {

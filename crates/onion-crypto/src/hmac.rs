@@ -9,6 +9,12 @@ const BLOCK: usize = 64;
 
 /// HMAC-SHA256 of `msg` under `key`.
 pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256_parts(key, &[msg])
+}
+
+/// HMAC over multiple message parts, streamed straight into the inner hash
+/// (the message is never concatenated into a scratch buffer).
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
     let mut k = [0u8; BLOCK];
     if key.len() > BLOCK {
         let d = {
@@ -26,25 +32,15 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
         ipad[i] ^= k[i];
         opad[i] ^= k[i];
     }
-    let inner = {
-        let mut h = Sha256::new();
-        h.update(&ipad);
-        h.update(msg);
-        h.finalize()
-    };
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
     let mut h = Sha256::new();
     h.update(&opad);
-    h.update(&inner);
+    h.update(&inner.finalize());
     h.finalize()
-}
-
-/// HMAC over multiple message parts without concatenation allocation.
-pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
-    let mut joined = Vec::new();
-    for p in parts {
-        joined.extend_from_slice(p);
-    }
-    hmac_sha256(key, &joined)
 }
 
 /// HKDF-Extract: a pseudorandom key from input keying material and salt.
@@ -136,7 +132,10 @@ mod tests {
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaa; 131];
-        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let out = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&out),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -38,7 +38,7 @@ pub use chacha20::ChaCha20;
 pub use hashsig::{MerkleSigner, MerkleVerifyKey, Signature};
 pub use hmac::{hkdf, hmac_sha256};
 pub use ntor::{client_begin, client_finish, server_respond, CircuitKeys, NtorError};
-pub use sha256::Sha256;
 pub use sha256::sha256 as sha256_digest;
-pub use x25519::{x25519_base, PublicKey, StaticSecret};
+pub use sha256::Sha256;
 pub use x25519::x25519 as x25519_mul;
+pub use x25519::{x25519_base, PublicKey, StaticSecret};

@@ -274,7 +274,10 @@ mod tests {
         // Attacker replaces Y with its own ephemeral key.
         let mallory = StaticSecret::random(&mut rng);
         reply[..32].copy_from_slice(mallory.public_key().as_bytes());
-        assert!(matches!(client_finish(&state, &reply), Err(NtorError::AuthFailed)));
+        assert!(matches!(
+            client_finish(&state, &reply),
+            Err(NtorError::AuthFailed)
+        ));
     }
 
     #[test]
@@ -299,7 +302,10 @@ mod tests {
             Err(NtorError::Malformed)
         ));
         let (state, _skin) = client_begin(&mut rng, node_id, identity.public_key());
-        assert!(matches!(client_finish(&state, b"short"), Err(NtorError::Malformed)));
+        assert!(matches!(
+            client_finish(&state, b"short"),
+            Err(NtorError::Malformed)
+        ));
     }
 
     #[test]
@@ -321,6 +327,9 @@ mod tests {
         let (state, onionskin) = client_begin(&mut rng, node_id, identity.public_key());
         let (mut reply, _) = server_respond(&mut rng, node_id, &identity, &onionskin).unwrap();
         reply[40] ^= 1;
-        assert!(matches!(client_finish(&state, &reply), Err(NtorError::AuthFailed)));
+        assert!(matches!(
+            client_finish(&state, &reply),
+            Err(NtorError::AuthFailed)
+        ));
     }
 }

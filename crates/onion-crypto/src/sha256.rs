@@ -76,25 +76,47 @@ impl Sha256 {
     }
 
     /// Finish and produce the digest.
-    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
-        let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
-        // Manually absorb the length without counting it in total_len.
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        self.clone_finalize()
+    }
+
+    /// Produce the digest of everything absorbed so far without consuming
+    /// the hasher — the running state is untouched and can keep absorbing.
+    ///
+    /// Equivalent to `self.clone().finalize()` but pads into a scratch
+    /// block instead of cloning the whole hasher.
+    pub fn clone_finalize(&self) -> [u8; DIGEST_LEN] {
         let mut out = [0u8; DIGEST_LEN];
-        for (i, w) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
-        }
+        self.finalize_into(&mut out);
         out
     }
 
+    /// [`Self::clone_finalize`] writing into a caller-provided buffer.
+    pub fn finalize_into(&self, out: &mut [u8; DIGEST_LEN]) {
+        let mut state = self.state;
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Build the final padded block(s) directly: the buffered tail,
+        // 0x80, zeros, then the 8-byte big-endian bit length. Two blocks
+        // when the tail leaves fewer than 9 free bytes.
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            Self::compress_into(&mut state, &block);
+            block = [0u8; 64];
+        }
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        Self::compress_into(&mut state, &block);
+        for (chunk, w) in out.chunks_exact_mut(4).zip(state.iter()) {
+            chunk.copy_from_slice(&w.to_be_bytes());
+        }
+    }
+
     fn compress(&mut self, block: &[u8; 64]) {
+        Self::compress_into(&mut self.state, block);
+    }
+
+    fn compress_into(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -112,7 +134,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
@@ -133,14 +155,14 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property-based tests of the crypto substrate.
 
-use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::aead::{open, open_in_place, seal, seal_in_place, AeadKey, TAG_LEN};
 use onion_crypto::chacha20::ChaCha20;
 use onion_crypto::hashsig::{MerkleSigner, Signature};
 use onion_crypto::sha256::{sha256, Sha256};
@@ -57,6 +57,65 @@ proptest! {
         let idx = flip_byte % bad.len();
         bad[idx] ^= 1 << flip_bit;
         prop_assert!(open(&key, &nonce, &aad, &bad).is_err());
+    }
+
+    /// Streaming through a *random sequence* of chunk sizes equals one-shot:
+    /// every boundary between the buffered path, the narrow pass, and the
+    /// wide pass is crossed at some point.
+    #[test]
+    fn chacha_random_chunk_sizes(data in proptest::collection::vec(any::<u8>(), 1..4096),
+                                 cuts in proptest::collection::vec(1usize..1200, 1..16)) {
+        let key = [3u8; 32];
+        let nonce = [1u8; 12];
+        let whole = ChaCha20::new(&key, &nonce).apply_copy(&data);
+        let mut c = ChaCha20::new(&key, &nonce);
+        let mut pieced = Vec::new();
+        let mut rest: &[u8] = &data;
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = cuts[i % cuts.len()].min(rest.len());
+            i += 1;
+            pieced.extend_from_slice(&c.apply_copy(&rest[..take]));
+            rest = &rest[take..];
+        }
+        prop_assert_eq!(pieced, whole);
+    }
+
+    /// `clone_finalize` equals `clone().finalize()` at any prefix length and
+    /// leaves the running state untouched.
+    #[test]
+    fn sha256_clone_finalize(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                             split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        prop_assert_eq!(h.clone_finalize(), h.clone().finalize());
+        prop_assert_eq!(h.clone_finalize(), sha256(&data[..split]));
+        // The peek must not disturb the running digest.
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// The in-place AEAD agrees with the allocating API in both directions.
+    #[test]
+    fn aead_in_place_matches(master in proptest::array::uniform32(any::<u8>()),
+                             nonce in proptest::array::uniform12(any::<u8>()),
+                             aad in proptest::collection::vec(any::<u8>(), 0..64),
+                             pt in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let key = AeadKey::from_master(&master);
+        let mut buf = pt.clone();
+        seal_in_place(&key, &nonce, &aad, &mut buf);
+        prop_assert_eq!(&buf, &seal(&key, &nonce, &aad, &pt));
+        prop_assert_eq!(buf.len(), pt.len() + TAG_LEN);
+        open_in_place(&key, &nonce, &aad, &mut buf).unwrap();
+        prop_assert_eq!(&buf, &pt);
+        // A tampered buffer is rejected with the ciphertext left intact.
+        let mut bad = seal(&key, &nonce, &aad, &pt);
+        let idx = bad.len() - 1;
+        bad[idx] ^= 1;
+        let snapshot = bad.clone();
+        prop_assert!(open_in_place(&key, &nonce, &aad, &mut bad).is_err());
+        prop_assert_eq!(bad, snapshot);
     }
 
     /// Signature decode never panics, and decode(encode(sig)) is identity.

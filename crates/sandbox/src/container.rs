@@ -235,12 +235,16 @@ impl Container {
     /// Charge disk usage and kill the container on overrun (public for
     /// mediating runtimes; see [`Container::check_class`]).
     pub fn charge_disk(&mut self, bytes: u64) -> Result<(), ContainerError> {
-        self.cgroup.charge_disk(bytes).map_err(|e| self.resource_kill(e))
+        self.cgroup
+            .charge_disk(bytes)
+            .map_err(|e| self.resource_kill(e))
     }
 
     /// Charge CPU time and kill the container on overrun.
     pub fn charge_cpu(&mut self, ms: u64) -> Result<(), ContainerError> {
-        self.cgroup.charge_cpu(ms).map_err(|e| self.resource_kill(e))
+        self.cgroup
+            .charge_cpu(ms)
+            .map_err(|e| self.resource_kill(e))
     }
 
     /// Execute a mediated syscall.
@@ -424,7 +428,10 @@ mod tests {
             path: "big".into(),
             data: vec![0u8; 65],
         });
-        assert!(matches!(r, Err(ContainerError::Fs(FsError::QuotaExceeded { .. }))));
+        assert!(matches!(
+            r,
+            Err(ContainerError::Fs(FsError::QuotaExceeded { .. }))
+        ));
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl SeccompFilter {
     /// The paper's recommended function baseline: no process spawning, no
     /// listening sockets; everything else mediated elsewhere.
     pub fn function_baseline() -> SeccompFilter {
-        SeccompFilter::allow_all().deny(SyscallClass::Fork).deny(SyscallClass::Exec)
+        SeccompFilter::allow_all()
+            .deny(SyscallClass::Fork)
+            .deny(SyscallClass::Exec)
     }
 
     /// Add an allow override.

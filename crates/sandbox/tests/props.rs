@@ -15,8 +15,8 @@ enum FsOp {
 }
 
 fn fs_op() -> impl Strategy<Value = FsOp> {
-    let path = prop::sample::select(vec!["a", "b", "dir/c", "../x", "d/e/f"])
-        .prop_map(|s| s.to_string());
+    let path =
+        prop::sample::select(vec!["a", "b", "dir/c", "../x", "d/e/f"]).prop_map(|s| s.to_string());
     let data = proptest::collection::vec(any::<u8>(), 0..200);
     prop_oneof![
         (path.clone(), data.clone()).prop_map(|(p, d)| FsOp::Write(p, d)),

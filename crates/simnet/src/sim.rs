@@ -261,7 +261,8 @@ impl SimCore {
         } else {
             self.active_up[sender.0 as usize] += 1;
             self.active_down[receiver.0 as usize] += 1;
-            let up = self.ifaces[sender.0 as usize].up_share(self.active_up[sender.0 as usize] as usize);
+            let up =
+                self.ifaces[sender.0 as usize].up_share(self.active_up[sender.0 as usize] as usize);
             let down = self.ifaces[receiver.0 as usize]
                 .down_share(self.active_down[receiver.0 as usize] as usize);
             let c = &self.conns[conn.0 as usize];
@@ -446,7 +447,9 @@ impl Simulator {
             me: id,
         };
         let r = f(
-            node.as_any_mut().downcast_mut::<T>().expect("node type mismatch"),
+            node.as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch"),
             &mut ctx,
         );
         self.nodes[id.0 as usize] = Some(node);
@@ -666,7 +669,11 @@ mod tests {
             fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _m: Vec<u8>) {}
         }
         let mut sim = Simulator::with_seed(7);
-        let col = sim.add_node("col", Iface::residential(), Box::new(Collector { got: vec![] }));
+        let col = sim.add_node(
+            "col",
+            Iface::residential(),
+            Box::new(Collector { got: vec![] }),
+        );
         let _snd = sim.add_node("snd", Iface::residential(), Box::new(Burst { target: col }));
         sim.run_to_quiescence();
         let c: &Collector = sim.node_ref(col);
@@ -840,19 +847,34 @@ mod tests {
 
         let solo_time = {
             let mut sim = Simulator::with_seed(6);
-            let sink = sim.add_node("sink", slow_recv, Box::new(Sink { completions: vec![] }));
+            let sink = sim.add_node(
+                "sink",
+                slow_recv,
+                Box::new(Sink {
+                    completions: vec![],
+                }),
+            );
             sim.add_node("s1", fast, Box::new(Source { target: sink }));
             sim.run_to_quiescence();
             sim.node_ref::<Sink>(sink).completions[0].as_secs_f64()
         };
         let duo_time = {
             let mut sim = Simulator::with_seed(6);
-            let sink = sim.add_node("sink", slow_recv, Box::new(Sink { completions: vec![] }));
+            let sink = sim.add_node(
+                "sink",
+                slow_recv,
+                Box::new(Sink {
+                    completions: vec![],
+                }),
+            );
             sim.add_node("s1", fast, Box::new(Source { target: sink }));
             sim.add_node("s2", fast, Box::new(Source { target: sink }));
             sim.run_to_quiescence();
             let s: &Sink = sim.node_ref(sink);
-            s.completions.iter().map(|t| t.as_secs_f64()).fold(0.0, f64::max)
+            s.completions
+                .iter()
+                .map(|t| t.as_secs_f64())
+                .fold(0.0, f64::max)
         };
         assert!(
             duo_time > 1.6 * solo_time && duo_time < 2.6 * solo_time,

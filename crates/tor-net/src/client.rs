@@ -10,8 +10,7 @@
 
 use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, MAX_RELAY_DATA};
 use crate::dir::{
-    Consensus, DirMsg, Fingerprint, HsDescriptor, OnionAddr, RelayFlags, RelayInfo,
-    SignedConsensus,
+    Consensus, DirMsg, Fingerprint, HsDescriptor, OnionAddr, RelayFlags, RelayInfo, SignedConsensus,
 };
 use crate::ports::DIR_PORT;
 use crate::relay::{CIRC_WINDOW, SENDME_INCREMENT};
@@ -262,7 +261,10 @@ impl TorClient {
 
     /// Number of hops (including any virtual hop) on a circuit.
     pub fn hops(&self, circ: CircuitHandle) -> usize {
-        self.circuits.get(circ.0).map(|c| c.crypto.len()).unwrap_or(0)
+        self.circuits
+            .get(circ.0)
+            .map(|c| c.crypto.len())
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -271,11 +273,7 @@ impl TorClient {
 
     /// Choose a 3-hop path meeting `req` at the terminal position. Relays
     /// are weighted by bandwidth; hops are distinct.
-    pub fn select_path(
-        &self,
-        ctx: &mut Ctx<'_>,
-        req: TerminalReq,
-    ) -> Option<Vec<Fingerprint>> {
+    pub fn select_path(&self, ctx: &mut Ctx<'_>, req: TerminalReq) -> Option<Vec<Fingerprint>> {
         self.select_path_avoiding(ctx, req, &[])
     }
 
@@ -313,9 +311,9 @@ impl TorClient {
                 r
             }
             TerminalReq::HsDir => cons.pick_weighted(rng, RelayFlags::HSDIR, |r| !avoided(r))?,
-            TerminalReq::Bento => {
-                cons.pick_weighted(rng, RelayFlags::BENTO, |r| !avoided(r) && r.bento_port.is_some())?
-            }
+            TerminalReq::Bento => cons.pick_weighted(rng, RelayFlags::BENTO, |r| {
+                !avoided(r) && r.bento_port.is_some()
+            })?,
         };
         let exit_fp = exit.fingerprint;
         let guard = cons.pick_weighted(rng, RelayFlags::GUARD, |r| {
@@ -403,7 +401,8 @@ impl TorClient {
         c.alive = false;
         let destroy = Cell::new(c.circ_id, CellCmd::Destroy);
         let conn = c.conn;
-        self.circ_lookup.remove(&(conn, self.circuits[circ.0].circ_id));
+        self.circ_lookup
+            .remove(&(conn, self.circuits[circ.0].circ_id));
         self.send_cell(ctx, conn, destroy);
     }
 
@@ -488,7 +487,11 @@ impl TorClient {
                     s.connected = true;
                 }
             }
-            self.send_relay_last(ctx, circ.0, RelayCell::new(RelayCmd::Connected, stream, vec![]));
+            self.send_relay_last(
+                ctx,
+                circ.0,
+                RelayCell::new(RelayCmd::Connected, stream, vec![]),
+            );
         } else {
             if let Some(c) = self.circuits.get_mut(circ.0) {
                 c.streams.remove(&stream);
@@ -645,12 +648,15 @@ impl TorClient {
         }
         if self.links.remove(&conn).is_some() {
             self.links_by_peer.retain(|_, c| *c != conn);
-            let slots: Vec<usize> = self
+            let mut slots: Vec<usize> = self
                 .circ_lookup
                 .iter()
                 .filter(|((c, _), _)| *c == conn)
                 .map(|(_, &s)| s)
                 .collect();
+            // HashMap iteration order is random per process; teardown order
+            // feeds the shared RNG, so sort to keep runs deterministic.
+            slots.sort_unstable();
             for slot in slots {
                 self.circuit_closed(ctx, slot);
             }
@@ -1022,7 +1028,8 @@ impl TorClient {
                 // normal path; also surface stream events for the
                 // rendezvous circuit itself.
                 if self.hs_conns[idx].rendezvous_circ == circ.0 {
-                    self.events.push_back(TorEvent::StreamConnected(circ, stream));
+                    self.events
+                        .push_back(TorEvent::StreamConnected(circ, stream));
                 }
             }
             TorEvent::CircuitClosed(circ) => {
@@ -1155,7 +1162,11 @@ impl TorClient {
         data.extend_from_slice(&addr.0);
         data.extend_from_slice(eph.public_key().as_bytes());
         data.extend_from_slice(&sealed);
-        self.send_relay_last(ctx, intro_slot, RelayCell::new(RelayCmd::Introduce1, 0, data));
+        self.send_relay_last(
+            ctx,
+            intro_slot,
+            RelayCell::new(RelayCmd::Introduce1, 0, data),
+        );
         self.hs_conns[idx].phase = HsPhase::Introduced;
     }
 

@@ -448,7 +448,10 @@ impl HsDescriptor {
     }
 
     /// Sign and encode with the service's signer.
-    pub fn encode_signed(&self, signer: &mut onion_crypto::hashsig::MerkleSigner) -> Option<Vec<u8>> {
+    pub fn encode_signed(
+        &self,
+        signer: &mut onion_crypto::hashsig::MerkleSigner,
+    ) -> Option<Vec<u8>> {
         let body = self.body_bytes();
         let sig = signer.sign(&body)?;
         let mut w = Writer::new();

@@ -14,9 +14,9 @@
 //! service's key material ("copies all files including the hostname and
 //! private key", §8.2), so a replica's RENDEZVOUS1 authenticates correctly.
 
+use crate::cell::RelayCmd;
 use crate::client::{CircuitHandle, TerminalReq, TorClient, TorEvent};
 use crate::dir::{Consensus, DirMsg, Fingerprint, HsDescriptor, OnionAddr};
-use crate::cell::RelayCmd;
 use onion_crypto::aead::{open as aead_open, AeadKey};
 use onion_crypto::hashsig::MerkleSigner;
 use onion_crypto::hmac::hkdf;
@@ -24,7 +24,7 @@ use onion_crypto::ntor;
 use onion_crypto::sha256::sha256;
 use onion_crypto::x25519::{PublicKey, StaticSecret};
 use simnet::Ctx;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 pub use crate::dir::OnionAddr as HsAddr;
 
@@ -116,7 +116,9 @@ pub struct HiddenServiceHost {
     pub replay_rejections: u64,
     onion_addr: OnionAddr,
     /// intro circuit slot -> (fingerprint, established).
-    intro_circs: HashMap<usize, (Fingerprint, bool)>,
+    /// Keyed by circuit handle; a `BTreeMap` so every iteration (notably
+    /// the descriptor's intro point list) is deterministic.
+    intro_circs: BTreeMap<usize, (Fingerprint, bool)>,
     hsdir_circ: Option<CircuitHandle>,
     desc_bytes: Option<Vec<u8>>,
     pending_rendezvous: HashMap<usize, PendingRendezvous>,
@@ -143,7 +145,7 @@ impl HiddenServiceHost {
             seen_cookies: std::collections::HashSet::new(),
             replay_rejections: 0,
             onion_addr,
-            intro_circs: HashMap::new(),
+            intro_circs: BTreeMap::new(),
             hsdir_circ: None,
             desc_bytes: None,
             pending_rendezvous: HashMap::new(),
@@ -264,7 +266,8 @@ impl HiddenServiceHost {
         // E2E handshake: we are the "server"; our identity is the enc key.
         let mut svc_id = [0u8; 20];
         svc_id.copy_from_slice(&addr[..20]);
-        let Ok((reply, keys)) = ntor::server_respond(ctx.rng(), svc_id, &self.enc_secret, onionskin)
+        let Ok((reply, keys)) =
+            ntor::server_respond(ctx.rng(), svc_id, &self.enc_secret, onionskin)
         else {
             return false;
         };
@@ -394,8 +397,8 @@ impl HiddenServiceHost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use onion_crypto::hashsig::MerkleSigner;
     use crate::dir::{ExitPolicy, RelayFlags, RelayInfo};
+    use onion_crypto::hashsig::MerkleSigner;
     use simnet::NodeId;
 
     fn consensus_with_hsdirs(n: u8) -> Consensus {

@@ -46,8 +46,8 @@ pub mod stream_frame;
 
 pub use cell::{Cell, CellCmd, RelayCmd, CELL_LEN, MAX_RELAY_DATA};
 pub use client::{CircuitHandle, StreamTarget, TorClient, TorEvent};
-pub use dir::{Consensus, ExitPolicy, Fingerprint, RelayFlags, RelayInfo};
 pub use dir::OnionAddr;
+pub use dir::{Consensus, ExitPolicy, Fingerprint, RelayFlags, RelayInfo};
 pub use hs::{HiddenServiceHost, HsEvent};
 pub use netbuild::{NetworkBuilder, TestClientNode, TorNetwork, WebServerNode};
 pub use relay::{LocalStream, RelayConfig, RelayCore, RelayEvent, RelayNode};

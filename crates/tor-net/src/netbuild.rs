@@ -131,17 +131,15 @@ impl NetworkBuilder {
             ..SimConfig::default()
         });
         let signer = Rc::new(RefCell::new(MerkleSigner::generate(
-            [0xA0; 32],
-            4, // 16 consensus signatures available
+            [0xA0; 32], 4, // 16 consensus signatures available
         )));
         let authority_key = signer.borrow().verify_key();
 
         let mut relays = Vec::new();
         // The authority is itself a guard+hsdir relay.
         let mut auth_cfg = RelayConfig::middle("authority", [0xA1; 32]);
-        auth_cfg.flags = RelayFlags::default().with(
-            RelayFlags::AUTHORITY | RelayFlags::GUARD | RelayFlags::FAST | RelayFlags::HSDIR,
-        );
+        auth_cfg.flags = RelayFlags::default()
+            .with(RelayFlags::AUTHORITY | RelayFlags::GUARD | RelayFlags::FAST | RelayFlags::HSDIR);
         auth_cfg.bandwidth = self.relay_bandwidth;
         auth_cfg.authority_signer = Some(signer);
         auth_cfg.consensus_delay = self.consensus_delay;
@@ -150,7 +148,12 @@ impl NetworkBuilder {
         let authority = sim.add_node("authority", self.relay_iface, Box::new(auth_node));
         relays.push((authority, auth_fp));
 
-        let add_relay = |sim: &mut Simulator, name: String, seed_byte: u8, flags: RelayFlags, policy: ExitPolicy, bento: bool| {
+        let add_relay = |sim: &mut Simulator,
+                         name: String,
+                         seed_byte: u8,
+                         flags: RelayFlags,
+                         policy: ExitPolicy,
+                         bento: bool| {
             let mut cfg = RelayConfig::middle(&name, [seed_byte; 32]);
             cfg.flags = flags;
             cfg.exit_policy = policy;

@@ -301,7 +301,13 @@ impl RelayCore {
     }
 
     /// Delegate of [`Node::on_conn_open`]. Claims OR- and DIR-port conns.
-    pub fn on_conn_open(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId, peer: NodeId, port: u16) -> bool {
+    pub fn on_conn_open(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        peer: NodeId,
+        port: u16,
+    ) -> bool {
         match port {
             OR_PORT => {
                 self.links.insert(
@@ -349,7 +355,11 @@ impl RelayCore {
             for chunk in pending {
                 ctx.send(conn, chunk);
             }
-            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::Connected, stream_id, vec![]));
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::Connected, stream_id, vec![]),
+            );
             return true;
         }
         false
@@ -391,12 +401,15 @@ impl RelayCore {
         if let Some(link) = self.links.remove(&conn) {
             self.links_by_peer.remove(&link.peer);
             // Tear down circuits using this link.
-            let slots: Vec<usize> = self
+            let mut slots: Vec<usize> = self
                 .circ_lookup
                 .iter()
                 .filter(|((c, _), _)| *c == conn)
                 .map(|(_, &s)| s)
                 .collect();
+            // Sorted so teardown order (which feeds events and the RNG)
+            // doesn't depend on HashMap iteration order.
+            slots.sort_unstable();
             for slot in slots {
                 self.teardown_circuit(ctx, slot, false);
             }
@@ -408,7 +421,11 @@ impl RelayCore {
         if let Some((slot, stream_id)) = self.exit_conns.remove(&conn) {
             if let Some(Some(circ)) = self.circuits.get_mut(slot) {
                 if circ.streams.remove(&stream_id).is_some() && circ.alive {
-                    self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, stream_id, vec![]));
+                    self.send_to_origin(
+                        ctx,
+                        slot,
+                        RelayCell::new(RelayCmd::End, stream_id, vec![]),
+                    );
                 }
             }
             return true;
@@ -449,7 +466,11 @@ impl RelayCore {
         if let Some((slot, stream_id)) = self.local_streams.remove(&stream.0) {
             if let Some(Some(circ)) = self.circuits.get_mut(slot) {
                 if circ.streams.remove(&stream_id).is_some() && circ.alive {
-                    self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, stream_id, vec![]));
+                    self.send_to_origin(
+                        ctx,
+                        slot,
+                        RelayCell::new(RelayCmd::End, stream_id, vec![]),
+                    );
                 }
             }
         }
@@ -486,7 +507,8 @@ impl RelayCore {
 
     fn handle_create(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
         let onionskin = &cell.payload[..ntor::ONIONSKIN_LEN];
-        let result = ntor::server_respond(ctx.rng(), self.fingerprint, &self.onion_secret, onionskin);
+        let result =
+            ntor::server_respond(ctx.rng(), self.fingerprint, &self.onion_secret, onionskin);
         let Ok((reply, keys)) = result else {
             let destroy = Cell::new(cell.circ_id, CellCmd::Destroy);
             self.send_cell(ctx, conn, &destroy);
@@ -730,7 +752,11 @@ impl RelayCore {
     fn handle_begin(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
         // data = 0 | addr(4) | port(2): open an external connection.
         if rc.data.len() != 7 || rc.data[0] != 0 {
-            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, rc.stream_id, vec![]));
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::End, rc.stream_id, vec![]),
+            );
             return;
         }
         let addr = NodeId(u32::from_be_bytes([
@@ -768,7 +794,11 @@ impl RelayCore {
         }
         // Exit policy check (never exit back into ourselves otherwise).
         if addr == me || !self.cfg.exit_policy.allows(addr, port) {
-            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::End, rc.stream_id, vec![]));
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::End, rc.stream_id, vec![]),
+            );
             return;
         }
         let conn = ctx.connect(addr, port);
@@ -900,8 +930,9 @@ impl RelayCore {
                 }
                 StreamKind::Local(id) => {
                     self.local_streams.remove(&id);
-                    self.events
-                        .push_back(RelayEvent::LocalStreamClosed { stream: LocalStream(id) });
+                    self.events.push_back(RelayEvent::LocalStreamClosed {
+                        stream: LocalStream(id),
+                    });
                 }
                 StreamKind::Dir(_) => {}
             }
@@ -919,7 +950,11 @@ impl RelayCore {
         if let Some(c) = self.circuits[slot].as_mut() {
             c.intro_service = Some(addr);
         }
-        self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::IntroEstablished, 0, vec![]));
+        self.send_to_origin(
+            ctx,
+            slot,
+            RelayCell::new(RelayCmd::IntroEstablished, 0, vec![]),
+        );
     }
 
     fn handle_introduce1(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
@@ -931,7 +966,11 @@ impl RelayCore {
         let addr = OnionAddr(addr);
         let Some(&service_slot) = self.intro_points.get(&addr) else {
             // Unknown service: NACK with a nonempty payload.
-            self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::IntroduceAck, 0, vec![1]));
+            self.send_to_origin(
+                ctx,
+                slot,
+                RelayCell::new(RelayCmd::IntroduceAck, 0, vec![1]),
+            );
             return;
         };
         // Forward the whole payload to the service as INTRODUCE2.
@@ -992,7 +1031,8 @@ impl RelayCore {
             DirMsg::PublishDesc(bytes) => {
                 if self.cfg.authority_signer.is_some() {
                     if let Ok(info) = RelayInfo::decode(&bytes) {
-                        self.received_descs.retain(|d| d.fingerprint != info.fingerprint);
+                        self.received_descs
+                            .retain(|d| d.fingerprint != info.fingerprint);
                         self.received_descs.push(info);
                     }
                 }
@@ -1025,7 +1065,7 @@ impl RelayCore {
             return;
         };
         let mut relays = self.received_descs.clone();
-        relays.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        relays.sort_by_key(|a| a.fingerprint);
         let consensus = Consensus { epoch: 1, relays };
         let body = consensus.encode();
         let signature = signer
@@ -1073,8 +1113,9 @@ impl RelayCore {
                 }
                 StreamKind::Local(id) => {
                     self.local_streams.remove(&id);
-                    self.events
-                        .push_back(RelayEvent::LocalStreamClosed { stream: LocalStream(id) });
+                    self.events.push_back(RelayEvent::LocalStreamClosed {
+                        stream: LocalStream(id),
+                    });
                 }
                 StreamKind::Dir(_) => {}
             }

@@ -57,9 +57,13 @@ impl LayerCrypto {
     pub fn seal(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
         payload[1] = 0;
         payload[2] = 0; // recognized
-        payload[5..9].copy_from_slice(&[0; 4]); // digest placeholder
-        self.send_digest.update(&payload[..]);
-        let full = self.send_digest.clone().finalize();
+                        // Absorb the payload with the digest field zeroed by feeding three
+                        // slices — no zeroed copy of the cell is ever materialized.
+        self.send_digest
+            .update(&payload[..5])
+            .update(&[0; 4])
+            .update(&payload[9..]);
+        let full = self.send_digest.clone_finalize();
         payload[5..9].copy_from_slice(&full[..4]);
         self.send_cipher.apply(payload);
     }
@@ -79,20 +83,19 @@ impl LayerCrypto {
         if payload[1] != 0 || payload[2] != 0 {
             return false;
         }
-        let mut zeroed = *payload;
-        let mut received = [0u8; 4];
-        received.copy_from_slice(&zeroed[5..9]);
-        zeroed[5..9].copy_from_slice(&[0; 4]);
+        // Digest the cell as three slices (digest field replaced by zeros)
+        // against a single trial clone — no payload copy, and the check
+        // itself peeks via `clone_finalize` rather than cloning the hasher.
         let mut trial = self.recv_digest.clone();
-        trial.update(&zeroed[..]);
-        let full = trial.clone().finalize();
-        if full[..4] != received {
+        trial
+            .update(&payload[..5])
+            .update(&[0; 4])
+            .update(&payload[9..]);
+        let full = trial.clone_finalize();
+        if full[..4] != payload[5..9] {
             return false;
         }
         self.recv_digest = trial;
-        // Normalize the payload to its digest-zeroed form so parsers see a
-        // canonical layout (the digest has served its purpose).
-        payload[5..9].copy_from_slice(&received);
         true
     }
 }
@@ -273,7 +276,10 @@ mod tests {
         payload[100] ^= 0x01; // on-path tagging attempt
         assert!(!relays[0].unseal(&mut payload));
         assert!(!relays[1].unseal(&mut payload));
-        assert!(!relays[2].unseal(&mut payload), "tampered cell must not verify");
+        assert!(
+            !relays[2].unseal(&mut payload),
+            "tampered cell must not verify"
+        );
     }
 
     #[test]

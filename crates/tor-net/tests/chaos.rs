@@ -20,10 +20,7 @@ fn run_chaos(seed: u64) -> (u64, u64) {
         .exits(3)
         .hsdirs(2)
         .build();
-    let server = net.add_web_server(
-        "web",
-        vec![("/".to_string(), vec![vec![0xAAu8; 40_000]])],
-    );
+    let server = net.add_web_server("web", vec![("/".to_string(), vec![vec![0xAAu8; 40_000]])]);
     let service = {
         let hs = HiddenServiceHost::new([0x99; 32], 2, true);
         let mut node = TestClientNode::new(net.authority, net.authority_key).with_hs(hs);
@@ -35,8 +32,7 @@ fn run_chaos(seed: u64) -> (u64, u64) {
     let clients: Vec<_> = (0..8)
         .map(|i| net.add_client(&format!("chaos{i}")))
         .collect();
-    net.sim
-        .run_until(SimTime::ZERO + SimDuration::from_secs(6));
+    net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
 
     let mut driver = StdRng::seed_from_u64(seed ^ 0xC4A05);
     let mut known: Vec<Vec<CircuitHandle>> = vec![Vec::new(); clients.len()];
@@ -57,7 +53,8 @@ fn run_chaos(seed: u64) -> (u64, u64) {
                         for &h in circs.iter().rev() {
                             if n.tor.is_ready(h) {
                                 if let Some(s) =
-                                    n.tor.open_stream(ctx, h, StreamTarget::Node(server, HTTP_PORT))
+                                    n.tor
+                                        .open_stream(ctx, h, StreamTarget::Node(server, HTTP_PORT))
                                 {
                                     n.tor.send_stream(ctx, h, s, &encode_frame(b"/"));
                                 }
@@ -88,8 +85,7 @@ fn run_chaos(seed: u64) -> (u64, u64) {
                         // Bogus target: a stream to a port nothing allows.
                         for &h in circs.iter().rev() {
                             if n.tor.is_ready(h) {
-                                let _ =
-                                    n.tor.open_stream(ctx, h, StreamTarget::Node(server, 2222));
+                                let _ = n.tor.open_stream(ctx, h, StreamTarget::Node(server, 2222));
                                 break;
                             }
                         }
@@ -130,9 +126,16 @@ fn run_chaos(seed: u64) -> (u64, u64) {
 fn chaos_run_survives_and_is_deterministic() {
     let (events_a, delivered_a) = run_chaos(2024);
     assert!(delivered_a > 200_000, "real data flowed: {delivered_a}");
-    assert!(events_a > 50_000, "the run did substantial work: {events_a}");
+    assert!(
+        events_a > 50_000,
+        "the run did substantial work: {events_a}"
+    );
     let (events_b, delivered_b) = run_chaos(2024);
-    assert_eq!((events_a, delivered_a), (events_b, delivered_b), "deterministic");
+    assert_eq!(
+        (events_a, delivered_a),
+        (events_b, delivered_b),
+        "deterministic"
+    );
 }
 
 #[test]

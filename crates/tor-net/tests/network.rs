@@ -60,16 +60,18 @@ fn exit_stream_fetches_web_page() {
     net.sim.run_until(secs(4));
     let stream = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
         assert!(n.tor.is_ready(circ));
-        let s = n
-            .tor
+
+        n.tor
             .open_stream(ctx, circ, StreamTarget::Node(server, HTTP_PORT))
-            .expect("stream");
-        s
+            .expect("stream")
     });
     net.sim.run_until(secs(5));
     net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
-        assert!(n.has_event(|e| matches!(e, TorEvent::StreamConnected(c, s) if *c == circ && *s == stream)));
-        n.tor.send_stream(ctx, circ, stream, &encode_frame(b"/index"));
+        assert!(n.has_event(
+            |e| matches!(e, TorEvent::StreamConnected(c, s) if *c == circ && *s == stream)
+        ));
+        n.tor
+            .send_stream(ctx, circ, stream, &encode_frame(b"/index"));
     });
     net.sim.run_until(secs(30));
     net.sim.with_node::<TestClientNode, _>(client, |n, _| {
@@ -202,11 +204,9 @@ fn hidden_service_end_to_end() {
     });
     // Open a stream and exchange data (service echoes).
     let stream = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
-        let s = n
-            .tor
+        n.tor
             .open_stream(ctx, rendezvous, StreamTarget::Hs(HS_VIRTUAL_PORT))
-            .expect("stream");
-        s
+            .expect("stream")
     });
     net.sim.with_node::<TestClientNode, _>(service, |n, _| {
         n.echo = true;
@@ -246,9 +246,9 @@ fn hidden_service_bulk_transfer_with_flow_control() {
         assert!(n.hs.as_ref().unwrap().is_published());
         n.hs.as_ref().unwrap().onion_addr()
     });
-    let rendezvous = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
-        n.tor.connect_onion(ctx, onion).unwrap()
-    });
+    let rendezvous = net
+        .sim
+        .with_node::<TestClientNode, _>(client, |n, ctx| n.tor.connect_onion(ctx, onion).unwrap());
     net.sim.run_until(secs(12));
     let stream = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
         assert!(n.has_event(|e| matches!(e, TorEvent::RendezvousReady(h) if *h == rendezvous)));
@@ -328,9 +328,11 @@ fn pow_gated_service_rejects_unpaid_introductions() {
         n.hs.as_ref().unwrap().onion_addr()
     });
     // The freeloader introduces without solving the puzzle.
-    let r_free = net.sim.with_node::<TestClientNode, _>(freeloader, |n, ctx| {
-        n.tor.connect_onion(ctx, onion).unwrap()
-    });
+    let r_free = net
+        .sim
+        .with_node::<TestClientNode, _>(freeloader, |n, ctx| {
+            n.tor.connect_onion(ctx, onion).unwrap()
+        });
     // The payer attaches the proof of work.
     let r_paid = net.sim.with_node::<TestClientNode, _>(payer, |n, ctx| {
         n.tor.connect_onion_with_pow(ctx, onion, 8).unwrap()
@@ -378,13 +380,11 @@ fn destroy_circuit_tears_down_exit_stream() {
     });
     // Let a little data flow, then kill the circuit mid-download.
     net.sim.run_until(secs(5));
-    let got_before = net
-        .sim
-        .with_node::<TestClientNode, _>(client, |n, ctx| {
-            let g = n.stream_bytes(circ, stream).len();
-            n.tor.destroy_circuit(ctx, circ);
-            g
-        });
+    let got_before = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
+        let g = n.stream_bytes(circ, stream).len();
+        n.tor.destroy_circuit(ctx, circ);
+        g
+    });
     net.sim.run_until(secs(8));
     let shortly_after = net
         .sim
@@ -557,9 +557,9 @@ fn replayed_introduction_is_dropped() {
         assert!(n.hs.as_ref().unwrap().is_published());
         n.hs.as_ref().unwrap().onion_addr()
     });
-    let r = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
-        n.tor.connect_onion(ctx, onion).unwrap()
-    });
+    let r = net
+        .sim
+        .with_node::<TestClientNode, _>(client, |n, ctx| n.tor.connect_onion(ctx, onion).unwrap());
     net.sim.run_until(secs(10));
     // Manual mode surfaced the introduction; process it once, then replay.
     let blob = net.sim.with_node::<TestClientNode, _>(service, |n, _| {
@@ -572,7 +572,10 @@ fn replayed_introduction_is_dropped() {
     net.sim.with_node::<TestClientNode, _>(service, |n, ctx| {
         let (hs, tor) = (n.hs.as_mut().unwrap(), &mut n.tor);
         assert!(hs.handle_introduction(ctx, tor, &blob), "first is answered");
-        assert!(!hs.handle_introduction(ctx, tor, &blob), "replay is dropped");
+        assert!(
+            !hs.handle_introduction(ctx, tor, &blob),
+            "replay is dropped"
+        );
         assert_eq!(hs.replay_rejections, 1);
     });
     net.sim.run_until(secs(16));

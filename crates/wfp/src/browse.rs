@@ -100,9 +100,9 @@ impl BrowseNode {
         for ev in self.tor.poll_events() {
             match ev {
                 TorEvent::CircuitReady(h) if Some(h) == self.circ => {
-                    self.stream = self
-                        .tor
-                        .open_stream(ctx, h, StreamTarget::Node(self.server, HTTP_PORT));
+                    self.stream =
+                        self.tor
+                            .open_stream(ctx, h, StreamTarget::Node(self.server, HTTP_PORT));
                     self.phase = Phase::AwaitStream;
                 }
                 TorEvent::StreamConnected(h, s)
@@ -148,17 +148,15 @@ impl BrowseNode {
                         }
                     }
                 }
-                TorEvent::CircuitClosed(h) if Some(h) == self.circ => {
-                    if self.phase != Phase::Idle {
-                        self.fail();
-                    }
+                TorEvent::CircuitClosed(h) if Some(h) == self.circ && self.phase != Phase::Idle => {
+                    self.fail();
                 }
                 TorEvent::StreamEnded(h, s)
-                    if Some(h) == self.circ && Some(s) == self.stream =>
+                    if Some(h) == self.circ
+                        && Some(s) == self.stream
+                        && self.phase != Phase::Idle =>
                 {
-                    if self.phase != Phase::Idle {
-                        self.fail();
-                    }
+                    self.fail();
                 }
                 _ => {}
             }

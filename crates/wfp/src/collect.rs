@@ -102,8 +102,7 @@ fn collect_standard(cfg: &CollectConfig) -> Vec<Trace> {
         Box::new(BrowseNode::new(net.authority, net.authority_key)),
     );
     net.sim.enable_sniffer(client);
-    net.sim
-        .run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
 
     let mut traces = Vec::new();
     for visit in 0..cfg.n_visits {
@@ -112,13 +111,11 @@ fn collect_standard(cfg: &CollectConfig) -> Vec<Trace> {
             // per-visit, so drop prior history.
             net.sim.sniffer_mut(client).clear();
             let mark = net.sim.sniffer(client).len();
-            let done_before = net
-                .sim
-                .with_node::<BrowseNode, _>(client, |n, ctx| {
-                    let d = n.visits_done + n.visits_failed;
-                    n.start_visit(ctx, server, &site.html_path_variant(visit));
-                    d
-                });
+            let done_before = net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
+                let d = n.visits_done + n.visits_failed;
+                n.start_visit(ctx, server, &site.html_path_variant(visit));
+                d
+            });
             // Run until the visit completes or times out.
             let deadline = net.sim.now() + SimDuration::from_secs(cfg.visit_timeout_s);
             loop {
@@ -151,27 +148,41 @@ fn collect_standard(cfg: &CollectConfig) -> Vec<Trace> {
 
 fn collect_browser(cfg: &CollectConfig, padding: u64) -> Vec<Trace> {
     let sites = corpus(cfg.n_sites, cfg.corpus_seed);
-    let mut bn = BentoNetwork::build(cfg.seed, 1, MiddleboxPolicy::permissive(), standard_registry);
-    let server = bn.net.add_web_server("web", all_pages(&sites, cfg.n_visits, cfg.jitter_pct));
+    let mut bn = BentoNetwork::build(
+        cfg.seed,
+        1,
+        MiddleboxPolicy::permissive(),
+        standard_registry,
+    );
+    let server = bn
+        .net
+        .add_web_server("web", all_pages(&sites, cfg.n_visits, cfg.jitter_pct));
     let client = bn.add_bento_client("victim");
     bn.net
         .sim
         .run_until(SimTime::ZERO + SimDuration::from_secs(2));
     // Install the Browser function once (the paper's "small upload").
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("box session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("box session")
+        });
     bn.net
         .sim
         .run_until(SimTime::ZERO + SimDuration::from_secs(5));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento
-            .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+        });
     bn.net
         .sim
         .run_until(SimTime::ZERO + SimDuration::from_secs(8));
@@ -180,13 +191,15 @@ fn collect_browser(cfg: &CollectConfig, padding: u64) -> Vec<Trace> {
         .sim
         .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
         .expect("container");
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest: browser::manifest(false),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: browser::manifest(false),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net
         .sim
         .run_until(SimTime::ZERO + SimDuration::from_secs(12));
@@ -223,17 +236,19 @@ fn collect_browser(cfg: &CollectConfig, padding: u64) -> Vec<Trace> {
             // circuits rotate: this also keeps circuit-window (SENDME)
             // phase from leaking visit order into the trace.
             let (visit_conn, conns_before) =
-                bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-                    let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                        .into_iter()
-                        .cloned()
-                        .collect();
-                    let c = n
-                        .bento
-                        .connect_box(ctx, &mut n.tor, &boxes[0])
-                        .expect("box session");
-                    (c, connections(n))
-                });
+                bn.net
+                    .sim
+                    .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        let c = n
+                            .bento
+                            .connect_box(ctx, &mut n.tor, &boxes[0])
+                            .expect("box session");
+                        (c, connections(n))
+                    });
             // Wait for the session stream, then invoke.
             let deadline = bn.net.sim.now() + SimDuration::from_secs(cfg.visit_timeout_s);
             loop {
@@ -250,18 +265,22 @@ fn collect_browser(cfg: &CollectConfig, padding: u64) -> Vec<Trace> {
                     break;
                 }
             }
-            let ends_before = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-                let req = BrowseRequest {
-                    server,
-                    port: HTTP_PORT,
-                    path: site.html_path_variant(visit),
-                    padding,
-                    dropbox_on: None,
-                };
-                let e = ends(n);
-                n.bento.invoke(ctx, &mut n.tor, visit_conn, inv, req.encode());
-                e
-            });
+            let ends_before = bn
+                .net
+                .sim
+                .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                    let req = BrowseRequest {
+                        server,
+                        port: HTTP_PORT,
+                        path: site.html_path_variant(visit),
+                        padding,
+                        dropbox_on: None,
+                    };
+                    let e = ends(n);
+                    n.bento
+                        .invoke(ctx, &mut n.tor, visit_conn, inv, req.encode());
+                    e
+                });
             loop {
                 let now = bn.net.sim.now();
                 if now >= deadline {
@@ -281,9 +300,11 @@ fn collect_browser(cfg: &CollectConfig, padding: u64) -> Vec<Trace> {
                 traces.push(Trace::from_events(label, &events));
             }
             // Tear the visit session down (circuits are per-visit).
-            bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-                n.bento.close_box(ctx, &mut n.tor, visit_conn);
-            });
+            bn.net
+                .sim
+                .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                    n.bento.close_box(ctx, &mut n.tor, visit_conn);
+                });
             let now = bn.net.sim.now();
             bn.net.sim.run_until(now + SimDuration::from_millis(500));
         }

@@ -12,11 +12,7 @@ pub fn extract(trace: &Trace) -> Vec<f64> {
     let mut f = Vec::with_capacity(FEATURE_DIM);
     let bytes_in = trace.bytes_in();
     let bytes_out = trace.bytes_out();
-    let n_in = trace
-        .packets
-        .iter()
-        .filter(|p| p.signed_size < 0.0)
-        .count() as f64;
+    let n_in = trace.packets.iter().filter(|p| p.signed_size < 0.0).count() as f64;
     let n_out = trace.len() as f64 - n_in;
     // Volume family (log-scaled to tame the dynamic range).
     f.push((1.0 + bytes_in).ln());
@@ -81,7 +77,11 @@ pub fn extract(trace: &Trace) -> Vec<f64> {
         cums.push(cum);
     }
     for i in 1..=8 {
-        let idx = if n == 0 { 0 } else { (i * n / 8).saturating_sub(1) };
+        let idx = if n == 0 {
+            0
+        } else {
+            (i * n / 8).saturating_sub(1)
+        };
         f.push(cums.get(idx).copied().unwrap_or(0.0).ln_1p());
     }
     // Rounded total size (the coarse feature padding is designed to kill).

@@ -65,7 +65,11 @@ impl Mlp {
         let scale1 = (2.0 / dim.max(1) as f64).sqrt();
         let scale2 = (2.0 / cfg.hidden as f64).sqrt();
         let mut w1: Vec<Vec<f64>> = (0..cfg.hidden)
-            .map(|_| (0..dim).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1)
+                    .collect()
+            })
             .collect();
         let mut b1 = vec![0.0; cfg.hidden];
         let mut w2: Vec<Vec<f64>> = (0..n_classes)
@@ -217,7 +221,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let rows = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
         let labels = vec![0, 0, 1, 1];
         let a = Mlp::fit(MlpConfig::default(), &rows, &labels);
         let b = Mlp::fit(MlpConfig::default(), &rows, &labels);

@@ -1,8 +1,8 @@
 //! The adversary's observation: a directional, timestamped packet trace.
 
-use simnet::trace::TraceEvent;
 #[cfg(test)]
 use simnet::trace::Direction;
+use simnet::trace::TraceEvent;
 use simnet::SimTime;
 
 /// One observed transmission: (seconds since trace start, signed size).

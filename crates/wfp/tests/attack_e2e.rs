@@ -41,9 +41,7 @@ fn accuracy_staircase_shape() {
     );
     let acc_browser0 = closed_world_accuracy(&browser0);
 
-    let browser7 = collect_traces(&cfg(Defense::BentoBrowser {
-        padding: 7 << 20,
-    }));
+    let browser7 = collect_traces(&cfg(Defense::BentoBrowser { padding: 7 << 20 }));
     let acc_browser7 = closed_world_accuracy(&browser7);
 
     eprintln!(

@@ -29,16 +29,25 @@ fn main() {
 
     // Install Browser on box A.
     let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
         // Box A must be a *different* machine from the Dropbox host.
         let box_a = boxes.iter().find(|b| b.addr != box_b).expect("two boxes");
-        println!("box A: {:?} hosts Browser; box B gets the Dropbox", box_a.nickname);
-        n.bento.connect_box(ctx, &mut n.tor, box_a).expect("session")
+        println!(
+            "box A: {:?} hosts Browser; box B gets the Dropbox",
+            box_a.nickname
+        );
+        n.bento
+            .connect_box(ctx, &mut n.tor, box_a)
+            .expect("session")
     });
     bn.net.sim.run_until(secs(5));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
         // Browser's manifest targets the SGX conclave image.
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
     });
     bn.net.sim.run_until(secs(8));
     let (container, invocation, _) = bn
@@ -65,7 +74,8 @@ fn main() {
             padding: 0,
             dropbox_on: Some((box_b, BENTO_PORT)),
         };
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, req.encode());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, invocation, req.encode());
         println!("Alice kicked off Browser→Dropbox and went offline.");
     });
 
@@ -81,7 +91,10 @@ fn main() {
 
     // Alice returns later and fetches from box B directly.
     let conn2 = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
         let b = boxes.iter().find(|b| b.addr == box_b).unwrap();
         n.bento.connect_box(ctx, &mut n.tor, b).unwrap()
     });

@@ -36,12 +36,18 @@ fn main() {
 
     // Install the Browser function in an SGX conclave (attested upload).
     let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento
+            .connect_box(ctx, &mut n.tor, &boxes[0])
+            .expect("session")
     });
     bn.net.sim.run_until(secs(5));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
     });
     bn.net.sim.run_until(secs(9));
     let (container, invocation, _) = bn
@@ -71,14 +77,18 @@ fn main() {
             padding,
             dropbox_on: None,
         };
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, req.encode());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, invocation, req.encode());
     });
     bn.net.sim.run_until(secs(120));
 
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, _| {
         assert!(n.output_done(conn), "browse completed");
         let bytes = n.output_bytes(conn);
-        println!("\nAlice received {} KB (digest + padding)", bytes.len() / 1024);
+        println!(
+            "\nAlice received {} KB (digest + padding)",
+            bytes.len() / 1024
+        );
     });
     let sniff = bn.net.sim.sniffer(alice);
     let up = sniff.total_bytes(Direction::Outgoing);

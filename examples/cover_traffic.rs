@@ -35,12 +35,18 @@ fn main() {
     let alice = bn.add_bento_client("alice");
     bn.net.sim.run_until(secs(2));
     let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento
+            .connect_box(ctx, &mut n.tor, &boxes[0])
+            .expect("session")
     });
     bn.net.sim.run_until(secs(5));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
     });
     bn.net.sim.run_until(secs(8));
     let (container, invocation, _) = bn
@@ -67,7 +73,8 @@ fn main() {
             chunk: 498,
             mode: Mode::Downstream,
         };
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, req.encode());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, invocation, req.encode());
     });
     bn.net.sim.run_until(secs(80));
 
@@ -75,7 +82,13 @@ fn main() {
     for w in 0..6 {
         let from = 15 + w * 10;
         let kb = window_kb(&bn, alice, from, from + 10);
-        println!("  [{:>3}s..{:>3}s)  {:>8.1} KB  {}", from, from + 10, kb, bar(kb));
+        println!(
+            "  [{:>3}s..{:>3}s)  {:>8.1} KB  {}",
+            from,
+            from + 10,
+            kb,
+            bar(kb)
+        );
     }
     println!("\nEvery window carries the same fixed-rate stream: whether Alice");
     println!("was actually doing anything inside any window is not observable");

@@ -34,33 +34,46 @@ fn main() {
 
     let replica_boxes: Vec<(NodeId, u16)> =
         bn.boxes[1..3].iter().map(|b| (*b, BENTO_PORT)).collect();
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("session")
+        });
     bn.net.sim.run_until(secs(5));
-    bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        });
     bn.net.sim.run_until(secs(8));
     let (container, invocation, _) = bn
         .net
         .sim
         .with_node::<BentoClientNode, _>(operator, |n, _| n.container_ready(conn))
         .expect("container");
-    bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-        let spec = FunctionSpec {
-            params: LbParams {
-                service: ServiceParams { seed, file_len },
-                n_intro: 3,
-                max_per_replica: 1, // aggressive watermark for the demo
-                replica_boxes: replica_boxes.clone(),
-            }
-            .encode(),
-            manifest: lb_manifest(),
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            let spec = FunctionSpec {
+                params: LbParams {
+                    service: ServiceParams { seed, file_len },
+                    n_intro: 3,
+                    max_per_replica: 1, // aggressive watermark for the demo
+                    replica_boxes: replica_boxes.clone(),
+                }
+                .encode(),
+                manifest: lb_manifest(),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(25));
     println!("LoadBalancer installed; descriptor published.");
 
@@ -73,13 +86,9 @@ fn main() {
     let mut rend = Vec::new();
     for (i, &c) in clients.iter().enumerate() {
         bn.net.sim.run_until(secs(27 + i as u64));
-        rend.push(
-            bn.net
-                .sim
-                .with_node::<TestClientNode, _>(c, |n, ctx| {
-                    n.tor.connect_onion(ctx, onion).expect("connect")
-                }),
-        );
+        rend.push(bn.net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+            n.tor.connect_onion(ctx, onion).expect("connect")
+        }));
     }
     bn.net.sim.run_until(secs(45));
     for (i, (&c, &r)) in clients.iter().zip(&rend).enumerate() {
@@ -110,15 +119,21 @@ fn main() {
         assert_eq!(got as u64, file_len);
     }
     // Ask the balancer how many machines ended up serving.
-    bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, vec![]);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, ctx| {
+            n.bento.invoke(ctx, &mut n.tor, conn, invocation, vec![]);
+        });
     bn.net.sim.run_until(secs(130));
-    bn.net.sim.with_node::<BentoClientNode, _>(operator, |n, _| {
-        let out = n.output_bytes(conn);
-        if out.len() >= 13 && out.starts_with(b"machines:") {
-            let machines = u32::from_be_bytes([out[9], out[10], out[11], out[12]]);
-            println!("balancer reports {machines} machine(s) serving (watermark 1 forced scale-up)");
-        }
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, _| {
+            let out = n.output_bytes(conn);
+            if out.len() >= 13 && out.starts_with(b"machines:") {
+                let machines = u32::from_be_bytes([out[9], out[10], out[11], out[12]]);
+                println!(
+                    "balancer reports {machines} machine(s) serving (watermark 1 forced scale-up)"
+                );
+            }
+        });
 }

@@ -27,12 +27,18 @@ fn main() {
     bn.net.sim.run_until(secs(2));
 
     let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
+        n.bento
+            .connect_box(ctx, &mut n.tor, &boxes[0])
+            .expect("session")
     });
     bn.net.sim.run_until(secs(5));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
     });
     bn.net.sim.run_until(secs(8));
     let (container, invocation, _) = bn
@@ -58,7 +64,8 @@ fn main() {
             total_len: body.len() as u64,
             k: 3,
         };
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, req.encode());
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, invocation, req.encode());
     });
     bn.net.sim.run_until(secs(120));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, _| {
@@ -69,6 +76,8 @@ fn main() {
             "received {} KiB, byte-identical to the origin resource.",
             got.len() / 1024
         );
-        println!("see `cargo run -p bench --release --bin multipath_sweep` for the k-scaling ablation.");
+        println!(
+            "see `cargo run -p bench --release --bin multipath_sweep` for the k-scaling ablation."
+        );
     });
 }

@@ -27,9 +27,15 @@ fn main() {
     // 1. Discover Bento boxes in the consensus and open a session (a Tor
     //    circuit terminating at the box, then a stream to its Bento port).
     let conn = bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor).into_iter().cloned().collect();
+        let boxes: Vec<_> = BentoClient::discover_boxes(&n.tor)
+            .into_iter()
+            .cloned()
+            .collect();
         println!("discovered {} bento box(es) in the consensus", boxes.len());
-        let conn = n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session");
+        let conn = n
+            .bento
+            .connect_box(ctx, &mut n.tor, &boxes[0])
+            .expect("session");
         n.bento.get_policy(ctx, &mut n.tor, conn);
         conn
     });
@@ -49,7 +55,8 @@ fn main() {
             }
         }
         // 3. Request a container; the box returns invocation + shutdown tokens.
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
+        n.bento
+            .request_container(ctx, &mut n.tor, conn, ImageKind::Plain);
     });
     bn.net.sim.run_until(secs(10));
     let (container, invocation, shutdown) = bn
@@ -62,7 +69,12 @@ fn main() {
     // 4. Upload the Dropbox function with its manifest.
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
         let spec = FunctionSpec {
-            params: dropbox::Params { max_gets: 2, expiry_ms: 0, max_bytes: 0 }.encode(),
+            params: dropbox::Params {
+                max_gets: 2,
+                expiry_ms: 0,
+                max_bytes: 0,
+            }
+            .encode(),
             manifest: dropbox::manifest(),
         };
         n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
@@ -78,8 +90,12 @@ fn main() {
     });
     bn.net.sim.run_until(secs(18));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {
-        println!("put acknowledged: {:?}", String::from_utf8_lossy(&n.output_bytes(conn)));
-        n.bento.invoke(ctx, &mut n.tor, conn, invocation, b"G".to_vec());
+        println!(
+            "put acknowledged: {:?}",
+            String::from_utf8_lossy(&n.output_bytes(conn))
+        );
+        n.bento
+            .invoke(ctx, &mut n.tor, conn, invocation, b"G".to_vec());
     });
     bn.net.sim.run_until(secs(22));
     bn.net.sim.with_node::<BentoClientNode, _>(alice, |n, ctx| {

@@ -31,6 +31,9 @@ cargo run --release -p bench --bin multipath_sweep
 echo "== padding-quantum ablation =="
 cargo run --release -p bench --bin padding_sweep
 
+echo "== per-cell crypto data plane baseline =="
+cargo run --release -p bench --bin bench_cells -- --label optimized
+
 echo "== criterion microbenches =="
 cargo bench --workspace
 

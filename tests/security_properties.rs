@@ -61,30 +61,39 @@ fn setup(
 ) -> (simnet::NodeId, bento::BoxConn, bento::tokens::Token) {
     let client = bn.add_bento_client("tester");
     bn.net.sim.run_until(secs(t0 + 2));
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("session")
+        });
     bn.net.sim.run_until(secs(t0 + 5));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, image);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.request_container(ctx, &mut n.tor, conn, image);
+        });
     bn.net.sim.run_until(secs(t0 + 9));
     let (container, inv, _) = bn
         .net
         .sim
         .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
         .expect("container ready");
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let spec = FunctionSpec {
-            params: vec![],
-            manifest,
-        };
-        n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest,
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
     bn.net.sim.run_until(secs(t0 + 13));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(n.upload_ok(conn), "{:?}", n.bento_events);
@@ -98,9 +107,11 @@ fn setup(
 fn stem_firewall_blocks_unrequested_circuits() {
     let mut bn = BentoNetwork::build(301, 1, MiddleboxPolicy::permissive(), registry);
     let (client, conn, inv) = setup(&mut bn, ImageKind::Plain, Manifest::minimal("sneaky"), 0);
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, vec![]);
+        });
     bn.net.sim.run_until(secs(17));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         let out = n.output_bytes(conn);
@@ -124,9 +135,11 @@ fn operator_cannot_read_fs_protect_contents() {
     let manifest = Manifest::minimal("keeper").with_disk(1 << 20).with_sgx();
     let (client, conn, inv) = setup(&mut bn, ImageKind::Sgx, manifest, 0);
     let secret = b"the dissident list: alice, bob, carol".to_vec();
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.invoke(ctx, &mut n.tor, conn, inv, secret.clone());
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento.invoke(ctx, &mut n.tor, conn, inv, secret.clone());
+        });
     bn.net.sim.run_until(secs(18));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert_eq!(n.output_bytes(conn), b"stored");
@@ -157,17 +170,25 @@ fn stale_tcb_box_fails_attestation() {
     bn.ias.borrow_mut().set_min_tcb(99);
     let client = bn.add_bento_client("cautious");
     bn.net.sim.run_until(secs(2));
-    let conn = bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-            .into_iter()
-            .cloned()
-            .collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
-    });
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("session")
+        });
     bn.net.sim.run_until(secs(5));
-    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, ctx| {
-        n.bento.request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
-    });
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, ImageKind::Sgx);
+        });
     bn.net.sim.run_until(secs(10));
     bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
         assert!(
@@ -190,8 +211,18 @@ fn function_cap_holds_across_clients() {
     let mut policy = MiddleboxPolicy::permissive();
     policy.max_functions = 2;
     let mut bn = BentoNetwork::build(304, 1, policy, registry);
-    let (_c1, _conn1, _) = setup(&mut bn, ImageKind::Plain, Manifest::minimal("keeper").with_disk(1024), 0);
-    let (_c2, _conn2, _) = setup(&mut bn, ImageKind::Plain, Manifest::minimal("keeper").with_disk(1024), 13);
+    let (_c1, _conn1, _) = setup(
+        &mut bn,
+        ImageKind::Plain,
+        Manifest::minimal("keeper").with_disk(1024),
+        0,
+    );
+    let (_c2, _conn2, _) = setup(
+        &mut bn,
+        ImageKind::Plain,
+        Manifest::minimal("keeper").with_disk(1024),
+        13,
+    );
     // A third client is refused.
     let c3 = bn.add_bento_client("third");
     bn.net.sim.run_until(secs(29));
@@ -200,7 +231,9 @@ fn function_cap_holds_across_clients() {
             .into_iter()
             .cloned()
             .collect();
-        n.bento.connect_box(ctx, &mut n.tor, &boxes[0]).expect("session")
+        n.bento
+            .connect_box(ctx, &mut n.tor, &boxes[0])
+            .expect("session")
     });
     bn.net.sim.run_until(secs(33));
     bn.net.sim.with_node::<BentoClientNode, _>(c3, |n, ctx| {

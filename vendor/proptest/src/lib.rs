@@ -1,0 +1,607 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`]/[`prop_assert!`] macros, the [`strategy::Strategy`]
+//! trait with `prop_map`, ranges/`any`/`Just`/tuples as strategies, and the
+//! `collection::vec`, `array::uniform*`, `option::of`, `sample::select`,
+//! and `prop_oneof!` combinators.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed instead), and string strategies interpret only the simple
+//! `<class>{lo,hi}` regex shape the tests use. Case count defaults to 64
+//! and follows the `PROPTEST_CASES` environment variable.
+
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failed property with an explanation.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The per-case random source strategies draw from (SplitMix64).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded constructor; the seed is reported on failure.
+        pub fn new(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// How many cases each property runs (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drive `f` over `cases` deterministic seeds; panic on first failure.
+    pub fn run(cases: u64, name: &str, f: impl Fn(&mut TestRng) -> TestCaseResult) {
+        // Stable name hash (FNV-1a) so reruns replay identical cases.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        for case in 0..cases {
+            let seed = h ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+            let mut rng = TestRng::new(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!("property '{name}' failed at case {case} (seed {seed:#018x}): {e}");
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A cheaply clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    #[derive(Clone)]
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (self.start as i128 + (wide % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (lo as i128 + (wide % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    impl_float_ranges!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// String strategies from a simplified regex: an optional char-class
+    /// token followed by `{lo,hi}`. Anything unrecognized falls back to
+    /// printable ASCII of length 0–32.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = match self.rfind('{').zip(self.rfind('}')) {
+                Some((open, close)) if open < close => {
+                    let body = &self[open + 1..close];
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().unwrap_or(0usize),
+                            b.trim().parse().unwrap_or(32usize),
+                        ),
+                        None => {
+                            let n = body.trim().parse().unwrap_or(8usize);
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (0, 32),
+            };
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            // `\PC` (any non-control char) gets occasional multibyte
+            // chars; other classes degrade to printable ASCII.
+            let non_control = self.starts_with("\\PC");
+            (0..len)
+                .map(|_| {
+                    if non_control && rng.below(8) == 0 {
+                        ['é', 'Ω', '→', '🦀', '中', 'ß', '¿', '☂'][rng.below(8) as usize]
+                    } else {
+                        (0x20u8 + rng.below(0x5f) as u8) as char
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($t:ident),+) => {
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
+
+    /// The strategy behind [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`uniform12`]/[`uniform32`].
+    #[derive(Clone)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// A 12-element array of values from `elem`.
+    pub fn uniform12<S: Strategy>(elem: S) -> UniformArray<S, 12> {
+        UniformArray(elem)
+    }
+
+    /// A 32-element array of values from `elem`.
+    pub fn uniform32<S: Strategy>(elem: S) -> UniformArray<S, 32> {
+        UniformArray(elem)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`select`].
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select from empty collection");
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniformly one of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// The `prop::` path tests reach combinators through.
+pub mod prop {
+    pub use crate::{array, collection, option, sample, strategy};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests: each `fn` runs its body over many generated
+/// inputs. Parameters are `pat in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                $crate::test_runner::case_count(),
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_outcome: $crate::test_runner::TestCaseResult = (|| {
+                        { $body }
+                        Ok(())
+                    })();
+                    __proptest_outcome
+                },
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: bind one `proptest!` parameter list entry at a time.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Generated values respect range strategies and shorthand types.
+        #[test]
+        fn ranges_and_shorthand(a in 3u8..7, b in 10usize..=12, c: u16, flag: bool) {
+            prop_assert!((3..7).contains(&a));
+            prop_assert!((10..=12).contains(&b));
+            let _ = (c, flag);
+        }
+
+        /// Collections honor their length bounds; maps apply.
+        #[test]
+        fn combinators(v in prop::collection::vec(any::<u8>(), 2..5),
+                       arr in prop::array::uniform12(any::<u8>()),
+                       opt in prop::option::of(1u8..3),
+                       pick in prop::sample::select(vec![10u8, 20, 30]),
+                       mapped in (0u8..4).prop_map(|x| x * 2),
+                       s in "\\PC{0,16}",
+                       choice in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(arr.len(), 12);
+            if let Some(x) = opt { prop_assert!((1..3).contains(&x)); }
+            prop_assert!([10, 20, 30].contains(&pick));
+            prop_assert!(mapped % 2 == 0 && mapped <= 6);
+            prop_assert!(s.chars().count() <= 16);
+            prop_assert!((1..5).contains(&choice));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_seed() {
+        crate::test_runner::run(8, "always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}
