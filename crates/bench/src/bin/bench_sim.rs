@@ -1,0 +1,321 @@
+//! Machine-readable throughput baseline for the **simulator data plane** —
+//! the layer around the per-cell crypto that `BENCH_cells.json` already
+//! tracks.
+//!
+//! Two single-run workloads, measured in simulator events per wall-clock
+//! second:
+//!
+//! * `relay_events_per_sec` — a client fetches a multi-MB page through a
+//!   3-hop circuit; every cell crosses the full relay forwarding path
+//!   (decode, unseal, re-queue) at every hop. This is the headline number:
+//!   it pays the per-cell allocation tax the zero-churn work removes.
+//! * `storm_events_per_sec` — a pure-simnet echo storm with no crypto and
+//!   no allocation in the nodes; isolates raw event-loop overhead.
+//!
+//! Plus a **multi-core sweep**: the same 8-trial fetch sweep run
+//! sequentially and through [`bench::runner`], reporting wall-clock speedup
+//! and verifying the two modes produce identical per-trial `SimStats`.
+//!
+//! Results merge into `results/BENCH_sim.json` under a run label
+//! (`--label baseline|optimized`); when both labels are present the file
+//! also carries speedups, like `BENCH_cells.json`.
+//!
+//! `cargo run -p bench --release --bin bench_sim -- [--label L] [--mb N]
+//!  [--threads N] [--smoke]`
+
+use bench::runner::{available_threads, run_trials, threads_for};
+use bench::{arg_flag, arg_str, arg_u64};
+use simnet::{ConnId, Ctx, Iface, Node, NodeId, SimDuration, SimTime, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+use tor_net::client::TerminalReq;
+use tor_net::netbuild::{NetworkBuilder, TestClientNode};
+use tor_net::ports::HTTP_PORT;
+use tor_net::stream_frame::encode_frame;
+use tor_net::{StreamTarget, TorEvent};
+
+const NAMES: [&str; 3] = [
+    "events_per_sec",
+    "relay_events_per_sec",
+    "storm_events_per_sec",
+];
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Generously-provisioned relay links: transfers finish fast in sim time, so
+/// wall clock is dominated by per-event processing, which is what we measure.
+fn fast_iface() -> Iface {
+    Iface::symmetric(SimDuration::from_millis(5), 50_000_000)
+}
+
+/// Fetch `mb` MiB through a fresh 3-hop circuit; returns the run's SimStats
+/// fields (for determinism checks) and the wall seconds spent simulating.
+fn relay_fetch(seed: u64, mb: u64) -> ((u64, u64, u64, u64), f64) {
+    let file_len = (mb << 20) as usize;
+    let mut net = NetworkBuilder::new()
+        .seed(seed)
+        .middles(4)
+        .exits(2)
+        .relay_iface(fast_iface())
+        .build();
+    let page = vec![vec![0x5Au8; file_len]];
+    let server = net.add_web_server("web", vec![("/big".to_string(), page)]);
+    let client = net.add_client("alice");
+    net.sim.run_until(secs(2));
+    let circ = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
+        let path = n
+            .tor
+            .select_path(ctx, TerminalReq::ExitTo(server, HTTP_PORT))
+            .expect("exit path");
+        n.tor.build_circuit(ctx, path).expect("circuit build")
+    });
+    net.sim.run_until(secs(4));
+    let stream = net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
+        assert!(n.tor.is_ready(circ), "circuit ready");
+        n.tor
+            .open_stream(ctx, circ, StreamTarget::Node(server, HTTP_PORT))
+            .expect("stream")
+    });
+    net.sim.run_until(secs(5));
+    net.sim.with_node::<TestClientNode, _>(client, |n, ctx| {
+        assert!(n.has_event(
+            |e| matches!(e, TorEvent::StreamConnected(c, s) if *c == circ && *s == stream)
+        ));
+        n.tor.send_stream(ctx, circ, stream, &encode_frame(b"/big"));
+    });
+    // The measured section: the bulk transfer itself.
+    let t = Instant::now();
+    loop {
+        let now = net.sim.now();
+        net.sim.run_until(now + SimDuration::from_secs(1));
+        let got = net
+            .sim
+            .with_node::<TestClientNode, _>(client, |n, _| n.stream_len(circ, stream));
+        if got >= file_len {
+            break;
+        }
+        assert!(
+            net.sim.now() < secs(600),
+            "fetch stalled: {got} of {file_len} bytes"
+        );
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let s = net.sim.stats();
+    (
+        (
+            s.events,
+            s.msgs_delivered,
+            s.bytes_delivered,
+            s.conns_opened,
+        ),
+        wall,
+    )
+}
+
+/// Echo hub: bounces every message straight back on its connection.
+struct Hub;
+impl Node for Hub {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+        ctx.send(conn, msg);
+    }
+}
+
+/// Spoke: fires a fixed number of round trips at the hub, reusing the
+/// reply buffer so the workload itself allocates nothing per round.
+struct Spoke {
+    hub: NodeId,
+    rounds: u32,
+}
+impl Node for Spoke {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let c = ctx.connect(self.hub, 80);
+        ctx.send(c, vec![0u8; 514]);
+    }
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.send(conn, msg);
+        }
+    }
+}
+
+/// Pure event-loop churn: `spokes` nodes ping-ponging `rounds` messages
+/// each against one hub. Returns (events, wall seconds).
+fn storm(seed: u64, spokes: u32, rounds: u32) -> (u64, f64) {
+    let mut sim = Simulator::with_seed(seed);
+    let iface = Iface::symmetric(SimDuration::from_micros(200), 0);
+    let hub = sim.add_node("hub", iface, Box::new(Hub));
+    for i in 0..spokes {
+        sim.add_node(format!("spoke{i}"), iface, Box::new(Spoke { hub, rounds }));
+    }
+    let t = Instant::now();
+    sim.run_to_quiescence();
+    (sim.stats().events, t.elapsed().as_secs_f64())
+}
+
+fn parse_run(json: &str, label: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if line.starts_with(&format!("\"{label}\": {{")) {
+            in_section = true;
+            continue;
+        }
+        if in_section {
+            if line.starts_with('}') {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let name = k.trim().trim_matches('"').to_string();
+                if let Ok(value) = v.trim().trim_end_matches(',').parse::<f64>() {
+                    out.push((name, value));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let label = arg_str("--label", "optimized");
+    let smoke = arg_flag("--smoke");
+    let mb = arg_u64("--mb", if smoke { 1 } else { 16 });
+    let sweep_mb = arg_u64("--sweep-mb", if smoke { 1 } else { 4 });
+    let n_trials = arg_u64("--trials", if smoke { 2 } else { 8 }) as usize;
+    let samples = if smoke { 1 } else { 5 };
+    let storm_rounds = if smoke { 2_000 } else { 100_000 };
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+
+    // ---- single-run workloads (median over identical-seed samples) ----
+    println!("single-run relay fetch: {mb} MiB over a 3-hop circuit ({samples} samples)");
+    let mut relay_samples = Vec::new();
+    let mut stats = (0, 0, 0, 0);
+    for _ in 0..samples {
+        let (s, wall) = relay_fetch(7, mb);
+        stats = s;
+        relay_samples.push(s.0 as f64 / wall.max(1e-9));
+    }
+    let relay_eps = median(relay_samples);
+    println!(
+        "  {} events per run  ->  median {:.0} events/s ({} msgs delivered)",
+        stats.0, relay_eps, stats.1
+    );
+    println!("pure-simnet echo storm: 8 spokes x {storm_rounds} rounds ({samples} samples)");
+    let mut storm_samples = Vec::new();
+    let mut storm_events = 0;
+    for _ in 0..samples {
+        let (ev, wall) = storm(11, 8, storm_rounds);
+        storm_events = ev;
+        storm_samples.push(ev as f64 / wall.max(1e-9));
+    }
+    let storm_eps = median(storm_samples);
+    println!("  {storm_events} events per run  ->  median {storm_eps:.0} events/s");
+
+    // ---- multi-core sweep: sequential vs parallel runner ----
+    println!("sweep: {n_trials} independent {sweep_mb} MiB fetch trials");
+    let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb).0;
+    let t = Instant::now();
+    let seq: Vec<_> = (0..n_trials as u64).map(|i| trial(i)()).collect();
+    let seq_wall = t.elapsed().as_secs_f64();
+    let threads = threads_for(n_trials);
+    let jobs: Vec<bench::runner::Trial<(u64, u64, u64, u64)>> = (0..n_trials as u64)
+        .map(|i| Box::new(trial(i)) as bench::runner::Trial<_>)
+        .collect();
+    let t = Instant::now();
+    let par = run_trials(threads, jobs);
+    let par_wall = t.elapsed().as_secs_f64();
+    let deterministic = seq == par;
+    let sweep_speedup = seq_wall / par_wall.max(1e-9);
+    println!(
+        "  sequential {seq_wall:.2}s, parallel({threads} threads) {par_wall:.2}s  ->  \
+         {sweep_speedup:.2}x  (deterministic: {deterministic})"
+    );
+    assert!(
+        deterministic,
+        "parallel sweep must reproduce the sequential results exactly"
+    );
+
+    // ---- merge into results/BENCH_sim.json ----
+    let fresh: Vec<(&str, f64)> = vec![
+        ("events_per_sec", relay_eps),
+        ("relay_events_per_sec", relay_eps),
+        ("storm_events_per_sec", storm_eps),
+        ("sweep_trials", n_trials as f64),
+        ("sweep_seq_s", seq_wall),
+        ("sweep_par_s", par_wall),
+        ("sweep_speedup", sweep_speedup),
+        ("sweep_threads", threads as f64),
+        ("host_cores", available_threads() as f64),
+        ("deterministic", if deterministic { 1.0 } else { 0.0 }),
+    ];
+
+    let path = std::path::Path::new("results").join("BENCH_sim.json");
+    let previous = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut runs: Vec<(String, Vec<(String, f64)>)> = ["baseline", "optimized"]
+        .iter()
+        .filter(|l| **l != label)
+        .map(|l| (l.to_string(), parse_run(&previous, l)))
+        .filter(|(_, vals)| !vals.is_empty())
+        .collect();
+    runs.push((
+        label.clone(),
+        fresh.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+    ));
+    runs.sort_by_key(|(l, _)| l.clone()); // baseline before optimized
+
+    let lookup = |which: &str, name: &str| -> Option<f64> {
+        runs.iter()
+            .find(|(l, _)| l == which)
+            .and_then(|(_, vals)| vals.iter().find(|(n, _)| n == name))
+            .map(|(_, v)| *v)
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"unit\": \"events_per_sec\",");
+    let _ = writeln!(json, "  \"workload\": \"3-hop relay fetch + echo storm\",");
+    let _ = writeln!(json, "  \"runs\": {{");
+    for (ri, (run_label, vals)) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    \"{run_label}\": {{");
+        for (i, (name, v)) in vals.iter().enumerate() {
+            let comma = if i + 1 == vals.len() { "" } else { "," };
+            let _ = writeln!(json, "      \"{name}\": {v:.3}{comma}");
+        }
+        let comma = if ri + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup\": {{");
+    let speedups: Vec<(&str, Option<f64>)> = NAMES
+        .iter()
+        .map(|name| {
+            let s = match (lookup("baseline", name), lookup("optimized", name)) {
+                (Some(b), Some(o)) if b > 0.0 => Some(o / b),
+                _ => None,
+            };
+            (*name, s)
+        })
+        .collect();
+    let present: Vec<&(&str, Option<f64>)> = speedups.iter().filter(|(_, s)| s.is_some()).collect();
+    for (i, (name, s)) in present.iter().enumerate() {
+        let comma = if i + 1 == present.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {:.2}{comma}", s.unwrap());
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+
+    for (name, s) in &speedups {
+        if let Some(s) = s {
+            println!("  speedup {name:<24} {s:>6.2}x");
+        }
+    }
+    println!("wrote {}", path.display());
+}

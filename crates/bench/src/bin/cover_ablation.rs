@@ -9,6 +9,7 @@
 //!
 //! `cargo run -p bench --release --bin cover_ablation`
 
+use bench::runner::{run_sweep, Trial};
 use bench::write_report;
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -152,8 +153,12 @@ fn run(with_cover: bool) -> (f64, f64) {
 }
 
 fn main() {
-    let (q0, a0) = run(false);
-    let (q1, a1) = run(true);
+    // Both conditions are independent simulations — run them through the
+    // shared trial runner (results stay in [no-cover, with-cover] order).
+    let jobs: Vec<Trial<(f64, f64)>> = vec![Box::new(|| run(false)), Box::new(|| run(true))];
+    let mut results = run_sweep("cover_ablation", jobs);
+    let (q0, a0) = results.remove(0);
+    let (q1, a1) = results.remove(0);
     let ratio0 = a0 / q0.max(1.0);
     let ratio1 = a1 / q1.max(1.0);
     let mut report = String::new();

@@ -7,6 +7,7 @@
 //! `cargo run -p bench --release --bin figure5`
 //! Watermark ablation: `--watermark N`. Scale: `--clients N --mb N`.
 
+use bench::runner::{run_sweep, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -193,9 +194,12 @@ fn main() {
     let svc_seed = [0x5E; 32];
     let onion = HiddenServiceHost::new(svc_seed, 0, true).onion_addr();
 
-    // ---------------- Without LoadBalancer ----------------
+    // The two conditions are independent simulations; express them as
+    // trials so the shared runner can overlap them (`--threads 2`) while
+    // keeping without/with results in a fixed order.
     println!("== without LoadBalancer: single hidden service ==");
-    let without = {
+    println!("== with LoadBalancer: watermark {watermark}, up to 4 machines ==");
+    let without_trial = move || {
         let mut bn = BentoNetwork::build_with_iface(
             seed,
             1,
@@ -213,11 +217,7 @@ fn main() {
         bn.net.sim.run_until(secs(20));
         run_clients(&mut bn, onion, n_clients, file_len, 22)
     };
-    emit("figure5_without_lb.csv", &without, n_clients);
-
-    // ---------------- With LoadBalancer ----------------
-    println!("== with LoadBalancer: watermark {watermark}, up to 4 machines ==");
-    let with_lb = {
+    let with_lb_trial = move || {
         // Four Bento boxes: the balancer's box plus three replica boxes —
         // each box's access link is the same as the single service above.
         let mut bn = BentoNetwork::build_full(
@@ -282,6 +282,11 @@ fn main() {
         r.machines = 1; // reported via logs; the LB box is always serving
         r
     };
+    let jobs: Vec<Trial<RunResult>> = vec![Box::new(without_trial), Box::new(with_lb_trial)];
+    let mut results = run_sweep("figure5", jobs);
+    let without = results.remove(0);
+    let with_lb = results.remove(0);
+    emit("figure5_without_lb.csv", &without, n_clients);
     emit("figure5_with_lb.csv", &with_lb, n_clients);
 
     // Summary table.

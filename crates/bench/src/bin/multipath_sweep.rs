@@ -9,6 +9,7 @@
 //!
 //! `cargo run -p bench --release --bin multipath_sweep`
 
+use bench::runner::{run_sweep, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -22,18 +23,10 @@ fn secs(s: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(s)
 }
 
-fn main() {
-    let mb = arg_u64("--mb", 4);
-    let file_len = mb << 20;
-    let body: Vec<u8> = (0..file_len).map(|i| (i * 131 % 251) as u8).collect();
-    println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
-    println!(
-        "{:<4} {:>12} {:>12} {:>14}",
-        "k", "fetch (s)", "speedup", "end-to-end (s)"
-    );
-    let mut rows = Vec::new();
-    let mut base = 0.0f64;
-    for k in [1u8, 2, 3, 4] {
+/// One sweep point: fetch `body` over `k` circuits on a fresh network;
+/// returns (fetch-stage seconds, end-to-end seconds).
+fn run_k(k: u8, file_len: u64, body: &[u8]) -> (f64, f64) {
+    {
         // Fresh network per k: many middle relays so circuits rarely share
         // links; each relay capped so one circuit ≈ 200 KB/s.
         let mut bn = BentoNetwork::build_full(
@@ -46,7 +39,7 @@ fn main() {
         );
         let server = bn
             .net
-            .add_web_server("web", vec![("/big".to_string(), vec![body.clone()])]);
+            .add_web_server("web", vec![("/big".to_string(), vec![body.to_vec()])]);
         // The fetch stage is what multipath parallelizes; observe it on the
         // web server's link. (The function's output leg back to the client
         // rides ONE session circuit and is unchanged by k.)
@@ -155,9 +148,34 @@ fn main() {
             .last()
             .map(|l| l.time.since(events[0].time).as_secs_f64())
             .unwrap_or(0.0);
-        if k == 1 {
-            base = fetch;
-        }
+        (fetch, e2e)
+    }
+}
+
+fn main() {
+    let mb = arg_u64("--mb", 4);
+    let file_len = mb << 20;
+    let body: Vec<u8> = (0..file_len).map(|i| (i * 131 % 251) as u8).collect();
+    println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
+    let ks = [1u8, 2, 3, 4];
+    // Each k is an independent simulation on a fresh network: a list of
+    // trial closures for the shared runner. The k=1 result anchors the
+    // speedup column, so compute it after collection.
+    let jobs: Vec<Trial<(f64, f64)>> = ks
+        .iter()
+        .map(|&k| {
+            let body = body.clone();
+            Box::new(move || run_k(k, file_len, &body)) as Trial<(f64, f64)>
+        })
+        .collect();
+    let results = run_sweep("multipath_sweep", jobs);
+    println!(
+        "{:<4} {:>12} {:>12} {:>14}",
+        "k", "fetch (s)", "speedup", "end-to-end (s)"
+    );
+    let base = results[0].0;
+    let mut rows = Vec::new();
+    for (&k, &(fetch, e2e)) in ks.iter().zip(results.iter()) {
         println!(
             "{:<4} {:>12.1} {:>11.2}x {:>14.1}",
             k,

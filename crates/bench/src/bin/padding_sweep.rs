@@ -7,6 +7,7 @@
 //! `cargo run -p bench --release --bin padding_sweep`
 //! (`--sites N --visits N` to rescale; default 40×6 to keep it minutes.)
 
+use bench::runner::{run_sweep, Trial};
 use bench::{arg_u64, write_csv};
 use wfp::{closed_world_accuracy, collect_traces, CollectConfig, Defense};
 
@@ -19,20 +20,29 @@ fn main() {
         "padding sweep ({n_sites} sites x {n_visits} visits); chance = {:.1}%",
         100.0 / n_sites as f64
     );
+    // One trial per padding quantum: trace collection is seeded per-config,
+    // so every point is an independent simulation.
+    let jobs: Vec<Trial<f64>> = paddings
+        .iter()
+        .map(|&padding| {
+            Box::new(move || {
+                let cfg = CollectConfig {
+                    n_sites,
+                    n_visits,
+                    seed,
+                    corpus_seed: 77,
+                    defense: Defense::BentoBrowser { padding },
+                    visit_timeout_s: 300,
+                    jitter_pct: 3,
+                };
+                closed_world_accuracy(&collect_traces(&cfg))
+            }) as Trial<f64>
+        })
+        .collect();
+    let accuracies = run_sweep("padding_sweep", jobs);
     println!("{:<12} {:>10}", "padding", "accuracy %");
     let mut rows = Vec::new();
-    for padding in paddings {
-        let cfg = CollectConfig {
-            n_sites,
-            n_visits,
-            seed,
-            corpus_seed: 77,
-            defense: Defense::BentoBrowser { padding },
-            visit_timeout_s: 300,
-            jitter_pct: 3,
-        };
-        let traces = collect_traces(&cfg);
-        let acc = closed_world_accuracy(&traces);
+    for (&padding, &acc) in paddings.iter().zip(accuracies.iter()) {
         let label = if padding == 0 {
             "none".to_string()
         } else if padding < 1 << 20 {
@@ -41,7 +51,7 @@ fn main() {
             format!("{}MB", padding >> 20)
         };
         println!("{:<12} {:>10.2}", label, acc * 100.0);
-        rows.push(format!("{padding},{:.4}", acc));
+        rows.push(format!("{padding},{acc:.4}"));
     }
     write_csv("padding_sweep.csv", "padding_bytes,accuracy", &rows);
 }

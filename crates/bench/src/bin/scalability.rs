@@ -6,6 +6,7 @@
 //!
 //! `cargo run -p bench --release --bin scalability`
 
+use bench::runner::{run_sweep, Trial};
 use bench::{arg_u64, write_report};
 use bento::protocol::FunctionSpec;
 use bento::server::{CONCLAVE_OVERHEAD, FN_BASE_MEMORY};
@@ -53,30 +54,38 @@ fn main() {
     ));
 
     // ---- Paging model: more loaded functions than fit, invoked round-robin.
+    // Each N is an independent model run; sweep them as trial closures.
     report.push_str("== EPC paging: N loaded conclaves, round-robin invocation ==\n");
     report.push_str("loaded   invocations   pages_in   pages_out   evictions   paging_cost\n");
-    for n in [2u64, 3, 4, 6, 8, 12] {
-        let mut epc = Epc::default();
-        for id in 0..n {
-            epc.register(id, footprint);
-        }
-        let rounds = 50;
-        for r in 0..rounds {
-            for id in 0..n {
-                let _ = r;
-                epc.touch(id);
-            }
-        }
-        let s = epc.stats();
-        report.push_str(&format!(
-            "{:<8} {:<13} {:<10} {:<11} {:<11} {:>8} us\n",
-            n,
-            rounds * n,
-            s.pages_in,
-            s.pages_out,
-            s.evictions,
-            s.cost_micros()
-        ));
+    let jobs: Vec<Trial<String>> = [2u64, 3, 4, 6, 8, 12]
+        .iter()
+        .map(|&n| {
+            Box::new(move || {
+                let mut epc = Epc::default();
+                for id in 0..n {
+                    epc.register(id, footprint);
+                }
+                let rounds = 50;
+                for _ in 0..rounds {
+                    for id in 0..n {
+                        epc.touch(id);
+                    }
+                }
+                let s = epc.stats();
+                format!(
+                    "{:<8} {:<13} {:<10} {:<11} {:<11} {:>8} us\n",
+                    n,
+                    rounds * n,
+                    s.pages_in,
+                    s.pages_out,
+                    s.evictions,
+                    s.cost_micros()
+                )
+            }) as Trial<String>
+        })
+        .collect();
+    for row in run_sweep("epc_paging", jobs) {
+        report.push_str(&row);
     }
     report.push('\n');
 

@@ -8,6 +8,7 @@
 //!
 //! `cargo run -p bench --release --bin table2`
 
+use bench::runner::{run_sweep, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -63,145 +64,166 @@ fn relay_iface() -> Iface {
     Iface::symmetric(SimDuration::from_millis(15), 110_000)
 }
 
-fn main() {
-    let seed = arg_u64("--seed", 3);
-    let sites = domains(77);
-    let paddings = [0u64, 1 << 20, 7 << 20];
-
-    // Standard Tor times.
-    let standard: Vec<f64> = {
-        let mut net = tor_net::netbuild::NetworkBuilder::new()
-            .seed(seed)
-            .middles(6)
-            .exits(3)
-            .relay_iface(relay_iface())
-            .build();
-        let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
-        let server = net.add_web_server("web", pages);
-        let client = net.sim.add_node(
-            "alice",
-            Iface::residential(),
-            Box::new(BrowseNode::new(net.authority, net.authority_key)),
-        );
-        net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
-        sites
-            .iter()
-            .map(|site| {
-                let t0 = net.sim.now();
-                let before = net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
-                    let d = n.visits_done;
-                    n.start_visit(ctx, server, &site.html_path());
-                    d
-                });
-                loop {
-                    let now = net.sim.now();
-                    net.sim.run_until(now + SimDuration::from_millis(100));
-                    let done = net
-                        .sim
-                        .with_node::<BrowseNode, _>(client, |n, _| n.visits_done);
-                    if done > before || net.sim.now().since(t0).as_secs_f64() > 600.0 {
-                        break;
-                    }
-                }
-                net.sim.now().since(t0).as_secs_f64()
-            })
-            .collect()
-    };
-
-    // Browser times per padding level.
-    let mut browser_times: Vec<Vec<f64>> = vec![Vec::new(); paddings.len()];
-    for (pi, padding) in paddings.iter().enumerate() {
-        let mut bn = BentoNetwork::build_with_iface(
-            seed ^ (pi as u64 + 1),
-            1,
-            MiddleboxPolicy::permissive(),
-            standard_registry,
-            relay_iface(),
-        );
-        let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
-        let server: NodeId = bn.net.add_web_server("web", pages);
-        let client = bn.add_bento_client("alice");
-        bn.net
-            .sim
-            .run_until(SimTime::ZERO + SimDuration::from_secs(2));
-        let conn = bn
-            .net
-            .sim
-            .with_node::<BentoClientNode, _>(client, |n, ctx| {
-                let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                n.bento
-                    .connect_box(ctx, &mut n.tor, &boxes[0])
-                    .expect("box")
+/// Download each site over standard (function-less) Tor; one trial.
+fn standard_tor_trial(seed: u64, sites: Vec<SiteModel>) -> Vec<f64> {
+    let mut net = tor_net::netbuild::NetworkBuilder::new()
+        .seed(seed)
+        .middles(6)
+        .exits(3)
+        .relay_iface(relay_iface())
+        .build();
+    let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
+    let server = net.add_web_server("web", pages);
+    let client = net.sim.add_node(
+        "alice",
+        Iface::residential(),
+        Box::new(BrowseNode::new(net.authority, net.authority_key)),
+    );
+    net.sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    sites
+        .iter()
+        .map(|site| {
+            let t0 = net.sim.now();
+            let before = net.sim.with_node::<BrowseNode, _>(client, |n, ctx| {
+                let d = n.visits_done;
+                n.start_visit(ctx, server, &site.html_path());
+                d
             });
-        bn.net
-            .sim
-            .run_until(SimTime::ZERO + SimDuration::from_secs(6));
-        bn.net
-            .sim
-            .with_node::<BentoClientNode, _>(client, |n, ctx| {
-                n.bento
-                    .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
-            });
-        bn.net
-            .sim
-            .run_until(SimTime::ZERO + SimDuration::from_secs(10));
-        let (container, inv, _) = bn
-            .net
-            .sim
-            .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
-            .expect("container");
-        bn.net
-            .sim
-            .with_node::<BentoClientNode, _>(client, |n, ctx| {
-                let spec = FunctionSpec {
-                    params: vec![],
-                    manifest: browser::manifest(false),
-                };
-                n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
-            });
-        bn.net
-            .sim
-            .run_until(SimTime::ZERO + SimDuration::from_secs(15));
-        let ends = |n: &BentoClientNode| {
-            n.bento_events
-                .iter()
-                .filter(|e| matches!(e, bento::BentoEvent::OutputEnd(_)))
-                .count()
-        };
-        for site in &sites {
-            let t0 = bn.net.sim.now();
-            let before = bn
-                .net
-                .sim
-                .with_node::<BentoClientNode, _>(client, |n, ctx| {
-                    let e = ends(n);
-                    let req = BrowseRequest {
-                        server,
-                        port: HTTP_PORT,
-                        path: site.html_path(),
-                        padding: *padding,
-                        dropbox_on: None,
-                    };
-                    n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
-                    e
-                });
             loop {
-                let now = bn.net.sim.now();
-                bn.net.sim.run_until(now + SimDuration::from_millis(100));
-                let e = bn
-                    .net
+                let now = net.sim.now();
+                net.sim.run_until(now + SimDuration::from_millis(100));
+                let done = net
                     .sim
-                    .with_node::<BentoClientNode, _>(client, |n, _| ends(n));
-                if e > before || bn.net.sim.now().since(t0).as_secs_f64() > 600.0 {
+                    .with_node::<BrowseNode, _>(client, |n, _| n.visits_done);
+                if done > before || net.sim.now().since(t0).as_secs_f64() > 600.0 {
                     break;
                 }
             }
-            browser_times[pi].push(bn.net.sim.now().since(t0).as_secs_f64());
+            net.sim.now().since(t0).as_secs_f64()
+        })
+        .collect()
+}
+
+/// Download each site through the Browser function at one padding level;
+/// one trial, one fresh Bento network.
+fn browser_trial(seed: u64, pi: usize, padding: u64, sites: Vec<SiteModel>) -> Vec<f64> {
+    let mut bn = BentoNetwork::build_with_iface(
+        seed ^ (pi as u64 + 1),
+        1,
+        MiddleboxPolicy::permissive(),
+        standard_registry,
+        relay_iface(),
+    );
+    let pages = sites.iter().flat_map(|s| s.server_pages()).collect();
+    let server: NodeId = bn.net.add_web_server("web", pages);
+    let client = bn.add_bento_client("alice");
+    bn.net
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(2));
+    let conn = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("box")
+        });
+    bn.net
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(6));
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .request_container(ctx, &mut n.tor, conn, bento::protocol::ImageKind::Sgx);
+        });
+    bn.net
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    let (container, inv, _) = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, _| n.container_ready(conn))
+        .expect("container");
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: browser::manifest(false),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+    bn.net
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(15));
+    let ends = |n: &BentoClientNode| {
+        n.bento_events
+            .iter()
+            .filter(|e| matches!(e, bento::BentoEvent::OutputEnd(_)))
+            .count()
+    };
+    let mut times = Vec::new();
+    for site in &sites {
+        let t0 = bn.net.sim.now();
+        let before = bn
+            .net
+            .sim
+            .with_node::<BentoClientNode, _>(client, |n, ctx| {
+                let e = ends(n);
+                let req = BrowseRequest {
+                    server,
+                    port: HTTP_PORT,
+                    path: site.html_path(),
+                    padding,
+                    dropbox_on: None,
+                };
+                n.bento.invoke(ctx, &mut n.tor, conn, inv, req.encode());
+                e
+            });
+        loop {
+            let now = bn.net.sim.now();
+            bn.net.sim.run_until(now + SimDuration::from_millis(100));
+            let e = bn
+                .net
+                .sim
+                .with_node::<BentoClientNode, _>(client, |n, _| ends(n));
+            if e > before || bn.net.sim.now().since(t0).as_secs_f64() > 600.0 {
+                break;
+            }
         }
+        times.push(bn.net.sim.now().since(t0).as_secs_f64());
     }
+    times
+}
+
+fn main() {
+    let seed = arg_u64("--seed", 3);
+    // `--domains N` truncates the corpus for smoke runs (CI uses 1).
+    let mut sites = domains(77);
+    let n_domains = arg_u64("--domains", sites.len() as u64) as usize;
+    sites.truncate(n_domains.max(1));
+    let paddings = [0u64, 1 << 20, 7 << 20];
+
+    // One trial for standard Tor plus one per padding level, through the
+    // shared runner (`--threads N` parallelizes them; results come back in
+    // trial-index order either way).
+    let mut jobs: Vec<Trial<Vec<f64>>> = Vec::new();
+    {
+        let sites = sites.clone();
+        jobs.push(Box::new(move || standard_tor_trial(seed, sites)));
+    }
+    for (pi, padding) in paddings.iter().copied().enumerate() {
+        let sites = sites.clone();
+        jobs.push(Box::new(move || browser_trial(seed, pi, padding, sites)));
+    }
+    let mut results = run_sweep("table2", jobs);
+    let standard = results.remove(0);
+    let browser_times = results;
 
     // Paper's Table 2 for reference.
     let paper: [[f64; 4]; 5] = [

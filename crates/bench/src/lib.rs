@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod runner;
+
 use std::fs;
 use std::io::Write;
 use std::path::Path;

@@ -312,6 +312,39 @@ impl ChaCha20 {
         }
     }
 
+    /// Finish a sub-group-sized run (`0 < data.len() <= 64 * N`) with a
+    /// single `N`-lane pass: whole blocks are XORed lane by lane, and a
+    /// trailing partial block lands in the keystream buffer so the next
+    /// call resumes mid-block — no scalar per-block passes at all. This is
+    /// what keeps a 509-byte relay payload at one or two wide passes total.
+    #[inline(always)]
+    fn apply_tail<const N: usize>(&mut self, data: &mut [u8]) {
+        debug_assert!(!data.is_empty() && data.len() <= 64 * N);
+        let words = self.wide_block_words::<N>(self.counter);
+        let mut blocks = data.chunks_exact_mut(64);
+        let mut lane = 0;
+        for chunk in &mut blocks {
+            for (pair, bytes) in words.chunks_exact(2).zip(chunk.chunks_exact_mut(8)) {
+                let ks = u64::from(pair[0][lane]) | (u64::from(pair[1][lane]) << 32);
+                let d = u64::from_le_bytes(bytes.try_into().expect("8-byte lane"));
+                bytes.copy_from_slice(&(d ^ ks).to_le_bytes());
+            }
+            lane += 1;
+        }
+        self.counter = self.counter.wrapping_add(lane as u32);
+        let tail = blocks.into_remainder();
+        if !tail.is_empty() {
+            for (i, row) in words.iter().enumerate() {
+                self.block[i * 4..i * 4 + 4].copy_from_slice(&row[lane].to_le_bytes());
+            }
+            self.counter = self.counter.wrapping_add(1);
+            for (byte, ks) in tail.iter_mut().zip(self.block.iter()) {
+                *byte ^= ks;
+            }
+            self.offset = tail.len();
+        }
+    }
+
     fn refill(&mut self) {
         let words = self.block_words(self.counter);
         for (i, word) in words.iter().enumerate() {
@@ -354,24 +387,21 @@ impl ChaCha20 {
             self.apply_wide::<WIDE>(group);
         }
         data = wide.into_remainder();
-        // One narrower pass picks up most of a cell-sized remainder.
-        let mut narrow = data.chunks_exact_mut(64 * NARROW);
-        for group in &mut narrow {
-            self.apply_wide::<NARROW>(group);
-        }
-        data = narrow.into_remainder();
-        // Remaining whole blocks, one at a time.
-        let mut blocks = data.chunks_exact_mut(64);
-        for chunk in &mut blocks {
+        // Everything left fits in one wide or one narrow pass (plus a
+        // buffered partial block); a lone whole block keeps the scalar path.
+        if data.len() > 64 * NARROW {
+            self.apply_tail::<WIDE>(data);
+        } else if data.len() > 64 {
+            self.apply_tail::<NARROW>(data);
+        } else if data.len() == 64 {
             let words = self.block_words(self.counter);
             self.counter = self.counter.wrapping_add(1);
-            Self::xor_block(chunk, &words);
-        }
-        let tail = blocks.into_remainder();
-        if !tail.is_empty() {
+            Self::xor_block(data, &words);
+        } else if !data.is_empty() {
             // Trailing partial block: buffer a fresh keystream block and
             // leave the unused part for the next call.
             self.refill();
+            let tail = data;
             for (byte, ks) in tail.iter_mut().zip(self.block.iter()) {
                 *byte ^= ks;
             }

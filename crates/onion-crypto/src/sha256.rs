@@ -63,10 +63,9 @@ impl Sha256 {
             }
         }
         while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+            let (block, rest) = data.split_at(64);
+            Self::compress_into(&mut self.state, block.try_into().expect("64-byte block"));
+            data = rest;
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -116,45 +115,78 @@ impl Sha256 {
         Self::compress_into(&mut self.state, block);
     }
 
+    /// The FIPS 180-4 compression function, fully unrolled.
+    ///
+    /// The message schedule is kept as a rolling 16-word window updated in
+    /// place (`w[i & 15]`), instead of a precomputed 64-entry array — half
+    /// the memory traffic. The eight working variables rotate by *renaming*
+    /// across the unrolled rounds rather than by shifting eight registers
+    /// every round, so each round is just the two Σ/ch/maj adds.
     fn compress_into(state: &mut [u32; 8], block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        let mut w = [0u32; 16];
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+
+        // One round: consumes the round constant + schedule word, writes the
+        // `$d`/`$h` slots. Callers rotate the variable names between rounds.
+        macro_rules! rnd {
+            ($a:ident, $b:ident, $c:ident, $d:ident,
+             $e:ident, $f:ident, $g:ident, $h:ident, $i:expr, $w:expr) => {
+                let t1 = $h
+                    .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add(K[$i])
+                    .wrapping_add($w);
+                let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                    .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            };
         }
+        // Schedule word for round $i (16..64), updating the rolling window.
+        macro_rules! wnext {
+            ($i:expr) => {{
+                let w15 = w[($i + 1) & 15];
+                let w2 = w[($i + 14) & 15];
+                let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                w[$i & 15] = w[$i & 15]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[($i + 9) & 15])
+                    .wrapping_add(s1);
+                w[$i & 15]
+            }};
+        }
+        // Eight rounds with the register rotation spelled out; `$w` maps a
+        // round index to its schedule word (direct read or rolling update).
+        macro_rules! round8 {
+            ($base:expr, $w:ident) => {
+                rnd!(a, b, c, d, e, f, g, h, $base, $w!($base));
+                rnd!(h, a, b, c, d, e, f, g, $base + 1, $w!($base + 1));
+                rnd!(g, h, a, b, c, d, e, f, $base + 2, $w!($base + 2));
+                rnd!(f, g, h, a, b, c, d, e, $base + 3, $w!($base + 3));
+                rnd!(e, f, g, h, a, b, c, d, $base + 4, $w!($base + 4));
+                rnd!(d, e, f, g, h, a, b, c, $base + 5, $w!($base + 5));
+                rnd!(c, d, e, f, g, h, a, b, $base + 6, $w!($base + 6));
+                rnd!(b, c, d, e, f, g, h, a, $base + 7, $w!($base + 7));
+            };
+        }
+        macro_rules! wdirect {
+            ($i:expr) => {
+                w[$i & 15]
+            };
+        }
+        round8!(0, wdirect);
+        round8!(8, wdirect);
+        round8!(16, wnext);
+        round8!(24, wnext);
+        round8!(32, wnext);
+        round8!(40, wnext);
+        round8!(48, wnext);
+        round8!(56, wnext);
+
         state[0] = state[0].wrapping_add(a);
         state[1] = state[1].wrapping_add(b);
         state[2] = state[2].wrapping_add(c);

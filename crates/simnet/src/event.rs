@@ -87,9 +87,14 @@ pub(crate) struct EventQueue {
 }
 
 impl EventQueue {
+    /// Pre-size for a busy run: even a small Tor network keeps hundreds of
+    /// chunk/arrival events in flight, and growing the heap mid-run both
+    /// reallocates and memmoves every pending event.
+    const INITIAL_CAPACITY: usize = 1024;
+
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(Self::INITIAL_CAPACITY),
             next_seq: 0,
         }
     }
@@ -121,6 +126,15 @@ impl EventQueue {
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Ids of every timer event still in the queue (fired or not), in
+    /// unspecified order. Used to prune the cancelled-timer tombstone set.
+    pub fn live_timer_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.heap.iter().filter_map(|e| match e.kind {
+            EventKind::Timer { id, .. } => Some(id),
+            _ => None,
+        })
     }
 }
 
@@ -209,5 +223,70 @@ mod tests {
             },
         );
         assert_eq!(q.peek_time(), Some(SimTime(10)));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out in strictly increasing `(time, seq)` order for any
+        /// push schedule — the invariant every deterministic run rests on.
+        #[test]
+        fn pops_totally_ordered(times in proptest::collection::vec(0u64..64, 1..256)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(
+                    SimTime(t),
+                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: i as u64 },
+                );
+            }
+            let mut last: Option<(SimTime, u64)> = None;
+            let mut popped = 0usize;
+            while let Some(e) = q.pop() {
+                let key = (e.time, e.seq);
+                if let Some(prev) = last {
+                    prop_assert!(key > prev, "pop order regressed: {prev:?} then {key:?}");
+                }
+                // Equal times pop in insertion order (seq doubles as the
+                // per-queue insertion index).
+                if let EventKind::Timer { id, .. } = e.kind {
+                    prop_assert_eq!(times[id as usize], e.time.0);
+                }
+                last = Some(key);
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+            prop_assert!(q.is_empty());
+        }
+
+        /// `live_timer_ids` reports exactly the timers still queued, at every
+        /// point of a partial drain — the contract tombstone pruning needs.
+        #[test]
+        fn live_timer_ids_track_drain(
+            times in proptest::collection::vec(0u64..32, 0..64),
+            drain in 0usize..80,
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(
+                    SimTime(t),
+                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: 0 },
+                );
+                // Interleave non-timer events: they must never be reported.
+                q.push(SimTime(t), EventKind::ConnEstablished { conn: ConnId(i as u64) });
+            }
+            let mut gone = std::collections::HashSet::new();
+            for _ in 0..drain.min(q.len()) {
+                if let Some(e) = q.pop() {
+                    if let EventKind::Timer { id, .. } = e.kind {
+                        gone.insert(id);
+                    }
+                }
+            }
+            let live: std::collections::HashSet<u64> = q.live_timer_ids().collect();
+            let expect: std::collections::HashSet<u64> = (0..times.len() as u64)
+                .filter(|id| !gone.contains(id))
+                .collect();
+            prop_assert_eq!(live, expect);
+        }
     }
 }

@@ -128,6 +128,20 @@ impl<'a> Ctx<'a> {
         self.core.send(self.me, conn, msg)
     }
 
+    /// Take a cleared buffer with at least `cap` capacity from the run's
+    /// shared pool, allocating only when the pool is empty. Pair with
+    /// [`Ctx::recycle_buf`] to keep per-message sends allocation-free in
+    /// steady state.
+    pub fn take_buf(&mut self, cap: usize) -> Vec<u8> {
+        self.core.pool.take(cap)
+    }
+
+    /// Return a buffer (typically a consumed `on_msg` payload) to the pool
+    /// for reuse by later [`Ctx::take_buf`] calls.
+    pub fn recycle_buf(&mut self, buf: Vec<u8>) {
+        self.core.pool.put(buf);
+    }
+
     /// Gracefully close `conn`: queued messages drain, then the peer sees
     /// [`Node::on_conn_closed`].
     pub fn close(&mut self, conn: ConnId) {
@@ -138,6 +152,7 @@ impl<'a> Ctx<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
+        self.core.pending_timers += 1;
         let at = self.core.now + delay;
         self.core.queue.push(
             at,
@@ -153,6 +168,13 @@ impl<'a> Ctx<'a> {
     /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.core.cancelled_timers.insert(id.0);
+        // Cancelling an already-popped timer leaves a tombstone nothing will
+        // ever collect; when tombstones outnumber timers actually in the
+        // queue by a margin, sweep out the dead ones.
+        if self.core.cancelled_timers.len() > self.core.pending_timers + 64 {
+            let live: std::collections::HashSet<u64> = self.core.queue.live_timer_ids().collect();
+            self.core.cancelled_timers.retain(|t| live.contains(t));
+        }
     }
 
     /// The remote endpoint of `conn`, if this node is an endpoint of it.

@@ -102,6 +102,48 @@ impl Conn {
     }
 }
 
+/// A free-list of cleared `Vec<u8>` buffers shared by every node in a run.
+///
+/// The hot loop moves one 514-byte cell buffer per hop; without reuse each
+/// delivery allocates a fresh `Vec` in [`Ctx::send`] and drops the arrived
+/// one in `on_msg`. Nodes return finished buffers with [`Ctx::recycle_buf`]
+/// and draw replacements with [`Ctx::take_buf`], so a steady-state transfer
+/// recirculates a handful of allocations instead of making millions.
+#[derive(Debug, Default)]
+pub(crate) struct BufPool {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl BufPool {
+    /// Don't hoard: beyond this many parked buffers, returns are dropped.
+    const MAX_BUFS: usize = 4096;
+    /// Oversized buffers (multi-MB dir responses) are not worth keeping.
+    const MAX_CAP: usize = 64 * 1024;
+
+    pub(crate) fn take(&mut self, cap: usize) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(mut buf) => {
+                if buf.capacity() < cap {
+                    buf.reserve(cap - buf.len());
+                }
+                buf
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    pub(crate) fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0
+            || buf.capacity() > Self::MAX_CAP
+            || self.bufs.len() >= Self::MAX_BUFS
+        {
+            return;
+        }
+        buf.clear();
+        self.bufs.push(buf);
+    }
+}
+
 /// Everything in the simulator except the node objects themselves; nodes are
 /// taken out of their slot during dispatch so [`Ctx`] can borrow this core
 /// mutably without aliasing the node.
@@ -112,6 +154,10 @@ pub(crate) struct SimCore {
     pub(crate) cfg: TransportCfg,
     pub(crate) next_timer_id: u64,
     pub(crate) cancelled_timers: HashSet<u64>,
+    /// Timer events still sitting in the queue (fired or cancelled); lets
+    /// [`Ctx::cancel_timer`] bound the tombstone set cheaply.
+    pub(crate) pending_timers: usize,
+    pub(crate) pool: BufPool,
     ifaces: Vec<Iface>,
     names: Vec<String>,
     conns: Vec<Conn>,
@@ -344,6 +390,8 @@ impl Simulator {
                 cfg: cfg.transport,
                 next_timer_id: 0,
                 cancelled_timers: HashSet::new(),
+                pending_timers: 0,
+                pool: BufPool::default(),
                 ifaces: Vec::new(),
                 names: Vec::new(),
                 conns: Vec::new(),
@@ -567,6 +615,7 @@ impl Simulator {
                 self.dispatch(receiver, |n, ctx| n.on_conn_closed(ctx, conn));
             }
             EventKind::Timer { node, id, tag } => {
+                self.core.pending_timers = self.core.pending_timers.saturating_sub(1);
                 if self.core.cancelled_timers.remove(&id) {
                     return;
                 }

@@ -105,6 +105,14 @@ impl Writer {
         }
     }
 
+    /// Reserve space for at least `additional` more bytes, so a frame whose
+    /// size is known up front (or discoverable mid-encode) is written with a
+    /// single allocation instead of doubling growth.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.buf.reserve(additional);
+        self
+    }
+
     /// Finish and return the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

@@ -71,3 +71,104 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Timer semantics at the Simulator level: cancelled timers never fire, live
+// timers all fire exactly once in schedule order — including under enough
+// set/cancel churn to drive the tombstone-pruning sweep in `cancel_timer`.
+// ---------------------------------------------------------------------------
+
+use simnet::{Ctx, Iface as SimIface, Node, SimTime, Simulator};
+
+/// Driver timer tag (re-arms itself to generate churn).
+const DRIVER: u64 = u64::MAX;
+/// Victim timer tag: set and immediately cancelled each churn round, so it
+/// must never reach `on_timer`.
+const VICTIM: u64 = u64::MAX - 1;
+
+struct TimerHarness {
+    /// Delay (µs) of each long-lived timer; its index is its tag.
+    delays: Vec<u64>,
+    /// Which long-lived timers get cancelled right after being set.
+    cancel: Vec<bool>,
+    /// Set/cancel churn rounds to run before the long-lived timers fire.
+    churn_rounds: u32,
+    /// Tags observed in `on_timer`, in firing order.
+    fired: Vec<u64>,
+}
+
+impl Node for TimerHarness {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Long-lived timers, interleaved with their cancellations.
+        let ids: Vec<_> = self
+            .delays
+            .iter()
+            .enumerate()
+            .map(|(i, &us)| ctx.set_timer(SimDuration::from_micros(1_000 + us), i as u64))
+            .collect();
+        for (id, &cancel) in ids.into_iter().zip(self.cancel.iter()) {
+            if cancel {
+                ctx.cancel_timer(id);
+            }
+        }
+        if self.churn_rounds > 0 {
+            ctx.set_timer(SimDuration::from_micros(2), DRIVER);
+        }
+    }
+
+    fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _conn: simnet::ConnId, _msg: Vec<u8>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            DRIVER => {
+                self.churn_rounds -= 1;
+                // A short-lived victim: it pops (tombstoned) before the next
+                // driver tick, leaving a stale tombstone the pruning sweep
+                // must eventually collect — without ever firing it.
+                let victim = ctx.set_timer(SimDuration::from_micros(1), VICTIM);
+                ctx.cancel_timer(victim);
+                if self.churn_rounds > 0 {
+                    ctx.set_timer(SimDuration::from_micros(2), DRIVER);
+                }
+            }
+            _ => self.fired.push(tag),
+        }
+    }
+}
+
+proptest! {
+    /// Same seed in, same firing schedule out: cancelled timers are silent,
+    /// the rest fire exactly once, ordered by (deadline, insertion order).
+    #[test]
+    fn cancelled_timers_never_fire(
+        delays in proptest::collection::vec(0u64..5_000, 1..24),
+        cancel in proptest::collection::vec(any::<bool>(), 24..25),
+        churn_rounds in 0u32..160,
+    ) {
+        let mut sim = Simulator::with_seed(7);
+        let node = sim.add_node(
+            "timers",
+            SimIface::ideal(),
+            Box::new(TimerHarness {
+                delays: delays.clone(),
+                cancel: cancel.clone(),
+                churn_rounds,
+                fired: Vec::new(),
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+        let fired = sim.with_node::<TimerHarness, _>(node, |n, _| n.fired.clone());
+        // Expected: non-cancelled long-lived tags, stably ordered by
+        // deadline (ties resolve to insertion order — the queue's seq).
+        let mut expect: Vec<(u64, u64)> = delays
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !cancel[*i])
+            .map(|(i, &us)| (us, i as u64))
+            .collect();
+        expect.sort();
+        let expect: Vec<u64> = expect.into_iter().map(|(_, tag)| tag).collect();
+        prop_assert_eq!(fired, expect);
+    }
+}

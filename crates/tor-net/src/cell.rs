@@ -196,10 +196,17 @@ impl Cell {
     /// Encode to the 514-byte wire form.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(CELL_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the 514-byte wire form to `out` — the allocation-free variant
+    /// of [`Cell::encode`] for callers reusing pooled buffers.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(CELL_LEN);
         out.extend_from_slice(&self.circ_id.to_be_bytes());
         out.push(self.cmd.to_byte());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Decode from the wire; `None` for wrong length or unknown command.
@@ -216,6 +223,55 @@ impl Cell {
             cmd,
             payload,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // In-place wire accessors: let a relay re-encrypt and forward a cell
+    // inside the buffer it arrived in, instead of decode → mutate → encode.
+    // ------------------------------------------------------------------
+
+    /// The circuit id of an encoded cell, without decoding it.
+    /// `None` unless `wire` is exactly one cell.
+    pub fn peek_circ_id(wire: &[u8]) -> Option<u32> {
+        if wire.len() != CELL_LEN {
+            return None;
+        }
+        Some(u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]))
+    }
+
+    /// The command of an encoded cell, without decoding it.
+    /// `None` for a wrong length or unknown command byte.
+    pub fn peek_cmd(wire: &[u8]) -> Option<CellCmd> {
+        if wire.len() != CELL_LEN {
+            return None;
+        }
+        CellCmd::from_byte(wire[4])
+    }
+
+    /// Rewrite the circuit id of an encoded cell in place.
+    ///
+    /// # Panics
+    /// If `wire` is shorter than a cell header.
+    pub fn set_wire_circ_id(wire: &mut [u8], circ_id: u32) {
+        wire[..4].copy_from_slice(&circ_id.to_be_bytes());
+    }
+
+    /// Mutable view of the payload of an encoded cell, sized for the
+    /// in-place [`crate::relay_crypto`] primitives. `None` for wrong length.
+    pub fn wire_payload_mut(wire: &mut [u8]) -> Option<&mut [u8; PAYLOAD_LEN]> {
+        if wire.len() != CELL_LEN {
+            return None;
+        }
+        (&mut wire[5..]).try_into().ok()
+    }
+
+    /// Immutable view of the payload of an encoded cell. `None` for wrong
+    /// length.
+    pub fn wire_payload(wire: &[u8]) -> Option<&[u8; PAYLOAD_LEN]> {
+        if wire.len() != CELL_LEN {
+            return None;
+        }
+        wire[5..].try_into().ok()
     }
 }
 
@@ -247,13 +303,24 @@ impl RelayCell {
     /// Encode into a cell payload with `recognized = 0` and a zeroed digest
     /// field; [`crate::relay_crypto::LayerCrypto::seal`] fills the digest.
     pub fn encode_payload(&self) -> [u8; PAYLOAD_LEN] {
+        Self::encode_payload_from(self.cmd, self.stream_id, &self.data)
+    }
+
+    /// Encode a relay payload directly from borrowed data, skipping the
+    /// intermediate owned [`RelayCell`] — the zero-copy path for chunking
+    /// stream bytes into DATA cells.
+    ///
+    /// # Panics
+    /// If `data` exceeds [`MAX_RELAY_DATA`].
+    pub fn encode_payload_from(cmd: RelayCmd, stream_id: u16, data: &[u8]) -> [u8; PAYLOAD_LEN] {
+        assert!(data.len() <= MAX_RELAY_DATA, "relay data too large");
         let mut p = [0u8; PAYLOAD_LEN];
-        p[0] = self.cmd.to_byte();
+        p[0] = cmd.to_byte();
         // p[1..3] recognized = 0
-        p[3..5].copy_from_slice(&self.stream_id.to_be_bytes());
+        p[3..5].copy_from_slice(&stream_id.to_be_bytes());
         // p[5..9] digest = 0 (filled by seal)
-        p[9..11].copy_from_slice(&(self.data.len() as u16).to_be_bytes());
-        p[11..11 + self.data.len()].copy_from_slice(&self.data);
+        p[9..11].copy_from_slice(&(data.len() as u16).to_be_bytes());
+        p[11..11 + data.len()].copy_from_slice(data);
         p
     }
 

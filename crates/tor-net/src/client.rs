@@ -8,7 +8,7 @@
 //! (DROP) cells, and runs the client side of the hidden-service rendezvous
 //! protocol — including the end-to-end virtual hop.
 
-use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, MAX_RELAY_DATA};
+use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, CELL_LEN, MAX_RELAY_DATA, PAYLOAD_LEN};
 use crate::dir::{
     Consensus, DirMsg, Fingerprint, HsDescriptor, OnionAddr, RelayFlags, RelayInfo, SignedConsensus,
 };
@@ -459,7 +459,7 @@ impl TorClient {
         data: &[u8],
     ) {
         for chunk in data.chunks(MAX_RELAY_DATA) {
-            self.send_data_cell(ctx, circ.0, stream, chunk.to_vec());
+            self.send_data_chunk(ctx, circ.0, stream, chunk);
         }
     }
 
@@ -605,7 +605,9 @@ impl TorClient {
             link.established = true;
             let queued = std::mem::take(&mut link.queued);
             for cell in queued {
-                ctx.send(conn, cell.encode());
+                let mut wire = ctx.take_buf(CELL_LEN);
+                cell.encode_into(&mut wire);
+                ctx.send(conn, wire);
             }
             return true;
         }
@@ -633,6 +635,7 @@ impl TorClient {
         }
         if self.links.contains_key(&conn) {
             if let Some(cell) = Cell::decode(&msg) {
+                ctx.recycle_buf(msg);
                 self.handle_cell(ctx, conn, cell);
             }
             return true;
@@ -687,17 +690,27 @@ impl TorClient {
                 return;
             }
         }
-        ctx.send(conn, cell.encode());
+        let mut wire = ctx.take_buf(CELL_LEN);
+        cell.encode_into(&mut wire);
+        ctx.send(conn, wire);
     }
 
     fn send_relay_last(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
+        self.send_relay_last_payload(ctx, slot, rc.encode_payload());
+    }
+
+    fn send_relay_last_payload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: usize,
+        mut payload: [u8; PAYLOAD_LEN],
+    ) {
         let Some(c) = self.circuits.get_mut(slot) else {
             return;
         };
         if !c.alive || c.crypto.is_empty() {
             return;
         }
-        let mut payload = rc.encode_payload();
         c.crypto.seal_for_last(&mut payload);
         let cell = Cell {
             circ_id: c.circ_id,
@@ -740,22 +753,22 @@ impl TorClient {
         self.send_cell(ctx, conn, cell);
     }
 
-    fn send_data_cell(&mut self, ctx: &mut Ctx<'_>, slot: usize, stream: u16, chunk: Vec<u8>) {
-        let window_open = {
+    /// Package borrowed stream bytes into one DATA cell; bytes are only
+    /// copied to the heap when the package window is closed and the chunk
+    /// must be queued.
+    fn send_data_chunk(&mut self, ctx: &mut Ctx<'_>, slot: usize, stream: u16, chunk: &[u8]) {
+        {
             let Some(c) = self.circuits.get_mut(slot) else {
                 return;
             };
             if c.package_window <= 0 {
-                c.queued_data.push_back((stream, chunk.clone()));
-                false
-            } else {
-                c.package_window -= 1;
-                true
+                c.queued_data.push_back((stream, chunk.to_vec()));
+                return;
             }
-        };
-        if window_open {
-            self.send_relay_last(ctx, slot, RelayCell::new(RelayCmd::Data, stream, chunk));
+            c.package_window -= 1;
         }
+        let payload = RelayCell::encode_payload_from(RelayCmd::Data, stream, chunk);
+        self.send_relay_last_payload(ctx, slot, payload);
     }
 
     fn flush_queued_data(&mut self, ctx: &mut Ctx<'_>, slot: usize) {

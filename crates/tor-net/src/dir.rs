@@ -224,9 +224,14 @@ pub struct RelayInfo {
 }
 
 impl RelayInfo {
+    /// Upper bound on this entry's encoded size, for pre-sizing writers.
+    fn encoded_size_hint(&self) -> usize {
+        96 + self.nickname.len() + 10 * self.exit_policy.rules.len()
+    }
+
     /// Encode to bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_size_hint());
         self.encode_into(&mut w);
         w.into_bytes()
     }
@@ -307,7 +312,16 @@ pub struct Consensus {
 impl Consensus {
     /// Encode the unsigned body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        // Size the buffer for the whole relay list up front: a consensus is
+        // re-encoded per directory fetch, and growing it entry by entry is
+        // the dominant allocation in the bootstrap phase.
+        let hint: usize = 18
+            + self
+                .relays
+                .iter()
+                .map(RelayInfo::encoded_size_hint)
+                .sum::<usize>();
+        let mut w = Writer::with_capacity(hint);
         w.u64(self.epoch);
         w.varu64(self.relays.len() as u64);
         for rel in &self.relays {
@@ -387,9 +401,10 @@ pub struct SignedConsensus {
 impl SignedConsensus {
     /// Encode (body, signature).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let sig = self.signature.to_bytes();
+        let mut w = Writer::with_capacity(self.body.len() + sig.len() + 20);
         w.bytes(&self.body);
-        w.bytes(&self.signature.to_bytes());
+        w.bytes(&sig);
         w.into_bytes()
     }
 
@@ -435,7 +450,7 @@ impl HsDescriptor {
     }
 
     fn body_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(96 + 32 * self.intro_points.len());
         w.raw(&self.service_key.root);
         w.u8(self.service_key.height);
         w.raw(self.enc_key.as_bytes());
@@ -453,10 +468,10 @@ impl HsDescriptor {
         signer: &mut onion_crypto::hashsig::MerkleSigner,
     ) -> Option<Vec<u8>> {
         let body = self.body_bytes();
-        let sig = signer.sign(&body)?;
-        let mut w = Writer::new();
+        let sig = signer.sign(&body)?.to_bytes();
+        let mut w = Writer::with_capacity(body.len() + sig.len() + 20);
         w.bytes(&body);
-        w.bytes(&sig.to_bytes());
+        w.bytes(&sig);
         Some(w.into_bytes())
     }
 
@@ -523,7 +538,16 @@ pub enum DirMsg {
 impl DirMsg {
     /// Encode.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        // Responses carry a whole consensus or descriptor; reserve for the
+        // payload instead of growing through it.
+        let hint = match self {
+            DirMsg::ConsensusResp(b) | DirMsg::PublishDesc(b) | DirMsg::PublishHsDesc(b) => {
+                b.len() + 10
+            }
+            DirMsg::HsDescResp(Some(b)) => b.len() + 11,
+            _ => 40,
+        };
+        let mut w = Writer::with_capacity(hint);
         match self {
             DirMsg::FetchConsensus => {
                 w.u8(1);

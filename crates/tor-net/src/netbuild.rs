@@ -354,6 +354,21 @@ impl TestClientNode {
         out
     }
 
+    /// Total bytes received on (circ, stream), without concatenating them.
+    ///
+    /// Progress polls (benches, long-transfer tests) want only the count;
+    /// [`Self::stream_bytes`] rebuilds the whole buffer each call, which is
+    /// quadratic when polled during a multi-MB fetch.
+    pub fn stream_len(&self, circ: CircuitHandle, stream: u16) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TorEvent::StreamData(c, s, d) if *c == circ && *s == stream => d.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Whether (circ, stream) has ended.
     pub fn stream_ended(&self, circ: CircuitHandle, stream: u16) -> bool {
         self.events

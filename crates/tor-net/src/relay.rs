@@ -7,7 +7,7 @@
 //! what lets the Bento crate build one host that is simultaneously a Tor
 //! relay, a Bento server and an onion proxy, as in Figure 3 of the paper.
 
-use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, MAX_RELAY_DATA, PAYLOAD_LEN};
+use crate::cell::{Cell, CellCmd, RelayCell, RelayCmd, CELL_LEN, MAX_RELAY_DATA, PAYLOAD_LEN};
 use crate::dir::{
     Consensus, DirMsg, ExitPolicy, Fingerprint, OnionAddr, RelayFlags, RelayInfo, SignedConsensus,
 };
@@ -336,7 +336,7 @@ impl RelayCore {
             link.established = true;
             let queued = std::mem::take(&mut link.queued);
             for cell in queued {
-                self.send_cell(ctx, conn, &cell);
+                self.send_cell(ctx, conn, cell);
             }
             return true;
         }
@@ -368,14 +368,27 @@ impl RelayCore {
     /// Delegate of [`Node::on_msg`].
     pub fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) -> bool {
         if self.links.contains_key(&conn) {
-            if let Some(cell) = Cell::decode(&msg) {
-                self.stats.cells_in += 1;
-                self.handle_cell(ctx, conn, cell);
+            match Cell::peek_cmd(&msg) {
+                Some(CellCmd::Relay) => {
+                    // The hot path: switched in place inside `msg`, which is
+                    // either forwarded as-is or recycled.
+                    self.stats.cells_in += 1;
+                    self.handle_relay_wire(ctx, conn, msg);
+                }
+                Some(_) => {
+                    if let Some(cell) = Cell::decode(&msg) {
+                        self.stats.cells_in += 1;
+                        ctx.recycle_buf(msg);
+                        self.handle_cell(ctx, conn, cell);
+                    }
+                }
+                None => {}
             }
             return true;
         }
         if self.dir_conns.contains_key(&conn) {
             if let Ok(dm) = DirMsg::decode(&msg) {
+                ctx.recycle_buf(msg);
                 if let Some(resp) = self.handle_dir_msg(dm) {
                     ctx.send(conn, resp.encode());
                 }
@@ -385,12 +398,9 @@ impl RelayCore {
         if let Some(&(slot, stream_id)) = self.exit_conns.get(&conn) {
             // Data from an external destination: package into cells.
             for chunk in msg.chunks(MAX_RELAY_DATA) {
-                self.send_to_origin(
-                    ctx,
-                    slot,
-                    RelayCell::new(RelayCmd::Data, stream_id, chunk.to_vec()),
-                );
+                self.send_data_to_origin(ctx, slot, stream_id, chunk);
             }
+            ctx.recycle_buf(msg);
             return true;
         }
         false
@@ -453,11 +463,7 @@ impl RelayCore {
             return;
         };
         for chunk in data.chunks(MAX_RELAY_DATA) {
-            self.send_to_origin(
-                ctx,
-                slot,
-                RelayCell::new(RelayCmd::Data, stream_id, chunk.to_vec()),
-            );
+            self.send_data_to_origin(ctx, slot, stream_id, chunk);
         }
     }
 
@@ -480,15 +486,34 @@ impl RelayCore {
     // Internals.
     // ------------------------------------------------------------------
 
-    fn send_cell(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: &Cell) {
+    fn send_cell(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
         if let Some(link) = self.links.get_mut(&conn) {
             if !link.established {
-                link.queued.push(cell.clone());
+                link.queued.push(cell);
                 return;
             }
         }
         self.stats.cells_out += 1;
-        ctx.send(conn, cell.encode());
+        let mut wire = ctx.take_buf(CELL_LEN);
+        cell.encode_into(&mut wire);
+        ctx.send(conn, wire);
+    }
+
+    /// Send an already-encoded cell buffer without copying it. On the rare
+    /// unestablished-link path the cell is decoded back into the link queue
+    /// and the buffer recycled.
+    fn send_wire(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, wire: Vec<u8>) {
+        if let Some(link) = self.links.get_mut(&conn) {
+            if !link.established {
+                if let Some(cell) = Cell::decode(&wire) {
+                    link.queued.push(cell);
+                }
+                ctx.recycle_buf(wire);
+                return;
+            }
+        }
+        self.stats.cells_out += 1;
+        ctx.send(conn, wire);
     }
 
     fn handle_cell(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
@@ -496,7 +521,9 @@ impl RelayCore {
             CellCmd::Padding => {}
             CellCmd::Create => self.handle_create(ctx, conn, cell),
             CellCmd::Created => self.handle_created(ctx, conn, cell),
-            CellCmd::Relay => self.handle_relay(ctx, conn, cell),
+            // Relay cells never reach here: on_msg routes them to the
+            // in-place wire path (handle_relay_wire).
+            CellCmd::Relay => {}
             CellCmd::Destroy => {
                 if let Some(&slot) = self.circ_lookup.get(&(conn, cell.circ_id)) {
                     self.teardown_circuit(ctx, slot, true);
@@ -511,7 +538,7 @@ impl RelayCore {
             ntor::server_respond(ctx.rng(), self.fingerprint, &self.onion_secret, onionskin);
         let Ok((reply, keys)) = result else {
             let destroy = Cell::new(cell.circ_id, CellCmd::Destroy);
-            self.send_cell(ctx, conn, &destroy);
+            self.send_cell(ctx, conn, destroy);
             return;
         };
         let slot = self.alloc_circuit(RelayCircuit::new(
@@ -521,7 +548,7 @@ impl RelayCore {
         self.circ_lookup.insert((conn, cell.circ_id), slot);
         self.stats.circuits += 1;
         let created = Cell::with_payload(cell.circ_id, CellCmd::Created, &reply);
-        self.send_cell(ctx, conn, &created);
+        self.send_cell(ctx, conn, created);
     }
 
     fn handle_created(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cell: Cell) {
@@ -544,80 +571,105 @@ impl RelayCore {
         self.send_to_origin(ctx, slot, RelayCell::new(RelayCmd::Extended, 0, reply));
     }
 
-    fn handle_relay(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, mut cell: Cell) {
-        let Some(&slot) = self.circ_lookup.get(&(conn, cell.circ_id)) else {
+    /// Relay-cell switching, performed directly on the encoded buffer the
+    /// cell arrived in: this hop's layer is stripped (forward) or added
+    /// (backward) in place, the circuit id is rewritten, and the *same*
+    /// allocation is re-queued toward the next link — a relayed cell costs
+    /// zero heap allocations per hop.
+    fn handle_relay_wire(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, mut msg: Vec<u8>) {
+        let Some(circ_id) = Cell::peek_circ_id(&msg) else {
             return;
         };
-        let Some(circ) = self.circuits[slot].as_ref() else {
+        let Some(&slot) = self.circ_lookup.get(&(conn, circ_id)) else {
+            ctx.recycle_buf(msg);
             return;
         };
-        let from_prev = circ.prev == (conn, cell.circ_id);
+        let from_prev = match self.circuits[slot].as_ref() {
+            Some(c) => c.prev == (conn, circ_id),
+            None => {
+                ctx.recycle_buf(msg);
+                return;
+            }
+        };
         if from_prev {
             // Forward direction: strip our layer, maybe recognize.
-            let recognized = self.circuits[slot]
-                .as_mut()
-                .map(|c| c.crypto.unseal(&mut cell.payload))
-                .unwrap_or(false);
+            let recognized = {
+                let c = self.circuits[slot].as_mut().expect("checked above");
+                match Cell::wire_payload_mut(&mut msg) {
+                    Some(payload) => c.crypto.unseal(payload),
+                    None => {
+                        ctx.recycle_buf(msg);
+                        return;
+                    }
+                }
+            };
             if recognized {
-                if let Some(rc) = RelayCell::parse_payload(&cell.payload) {
+                let rc = Cell::wire_payload(&msg).and_then(RelayCell::parse_payload);
+                ctx.recycle_buf(msg);
+                if let Some(rc) = rc {
                     self.handle_recognized(ctx, slot, rc);
                 }
                 return;
             }
-            // Not for us: pass along.
+            // Not for us: pass along in the buffer it arrived in.
             let next = self.circuits[slot].as_ref().and_then(|c| c.next);
             if let Some((nconn, ncirc)) = next {
-                let fwd = Cell {
-                    circ_id: ncirc,
-                    cmd: CellCmd::Relay,
-                    payload: cell.payload,
-                };
-                self.send_cell(ctx, nconn, &fwd);
+                Cell::set_wire_circ_id(&mut msg, ncirc);
+                self.send_wire(ctx, nconn, msg);
                 return;
             }
             let splice = self.circuits[slot].as_ref().and_then(|c| c.splice);
             if let Some(other) = splice {
-                self.send_spliced(ctx, other, cell.payload);
+                self.send_spliced_wire(ctx, other, msg);
+                return;
             }
-            // else: unrecognized cell at the end of an unspliced circuit —
-            // drop (protocol violation or tagging attack).
+            // Unrecognized cell at the end of an unspliced circuit — drop
+            // (protocol violation or tagging attack).
+            ctx.recycle_buf(msg);
         } else {
             // Backward direction: add our layer, pass toward the origin.
             let prev = {
                 let Some(c) = self.circuits[slot].as_mut() else {
+                    ctx.recycle_buf(msg);
                     return;
                 };
-                c.crypto.encrypt_layer(&mut cell.payload);
+                match Cell::wire_payload_mut(&mut msg) {
+                    Some(payload) => c.crypto.encrypt_layer(payload),
+                    None => {
+                        ctx.recycle_buf(msg);
+                        return;
+                    }
+                }
                 c.prev
             };
-            let back = Cell {
-                circ_id: prev.1,
-                cmd: CellCmd::Relay,
-                payload: cell.payload,
-            };
-            self.send_cell(ctx, prev.0, &back);
+            Cell::set_wire_circ_id(&mut msg, prev.1);
+            self.send_wire(ctx, prev.0, msg);
         }
     }
 
-    /// Inject a payload into a spliced circuit, traveling toward that
-    /// circuit's originator.
-    fn send_spliced(&mut self, ctx: &mut Ctx<'_>, slot: usize, mut payload: [u8; PAYLOAD_LEN]) {
+    /// Inject an encoded relay cell into a spliced circuit, re-encrypting in
+    /// place so it travels toward that circuit's originator.
+    fn send_spliced_wire(&mut self, ctx: &mut Ctx<'_>, slot: usize, mut msg: Vec<u8>) {
         let prev = {
             let Some(c) = self.circuits[slot].as_mut() else {
+                ctx.recycle_buf(msg);
                 return;
             };
             if !c.alive {
+                ctx.recycle_buf(msg);
                 return;
             }
-            c.crypto.encrypt_layer(&mut payload);
+            match Cell::wire_payload_mut(&mut msg) {
+                Some(payload) => c.crypto.encrypt_layer(payload),
+                None => {
+                    ctx.recycle_buf(msg);
+                    return;
+                }
+            }
             c.prev
         };
-        let cell = Cell {
-            circ_id: prev.1,
-            cmd: CellCmd::Relay,
-            payload,
-        };
-        self.send_cell(ctx, prev.0, &cell);
+        Cell::set_wire_circ_id(&mut msg, prev.1);
+        self.send_wire(ctx, prev.0, msg);
     }
 
     /// Seal a relay cell as the terminal hop and send it toward the origin,
@@ -639,18 +691,61 @@ impl RelayCore {
                 c.package_window -= 1;
             }
         }
-        let (prev, payload) = {
-            let c = self.circuits[slot].as_mut().expect("checked above");
-            let mut payload = rc.encode_payload();
+        let payload = rc.encode_payload();
+        self.seal_and_send_to_origin(ctx, slot, payload);
+    }
+
+    /// Package borrowed stream bytes into a DATA cell toward the origin —
+    /// the zero-copy path behind exit, local-service and dir responses. The
+    /// bytes are only copied to the heap when the package window is closed
+    /// and the cell must be queued.
+    fn send_data_to_origin(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: usize,
+        stream_id: u16,
+        chunk: &[u8],
+    ) {
+        {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
+            if !c.alive {
+                return;
+            }
+            if c.package_window <= 0 {
+                c.queued_to_origin.push_back(RelayCell::new(
+                    RelayCmd::Data,
+                    stream_id,
+                    chunk.to_vec(),
+                ));
+                return;
+            }
+            c.package_window -= 1;
+        }
+        let payload = RelayCell::encode_payload_from(RelayCmd::Data, stream_id, chunk);
+        self.seal_and_send_to_origin(ctx, slot, payload);
+    }
+
+    fn seal_and_send_to_origin(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: usize,
+        mut payload: [u8; PAYLOAD_LEN],
+    ) {
+        let prev = {
+            let Some(c) = self.circuits[slot].as_mut() else {
+                return;
+            };
             c.crypto.seal(&mut payload);
-            (c.prev, payload)
+            c.prev
         };
         let cell = Cell {
             circ_id: prev.1,
             cmd: CellCmd::Relay,
             payload,
         };
-        self.send_cell(ctx, prev.0, &cell);
+        self.send_cell(ctx, prev.0, cell);
     }
 
     fn flush_queued_to_origin(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
@@ -746,7 +841,7 @@ impl RelayCore {
         }
         self.circ_lookup.insert((conn, circ_id), slot);
         let create = Cell::with_payload(circ_id, CellCmd::Create, onionskin);
-        self.send_cell(ctx, conn, &create);
+        self.send_cell(ctx, conn, create);
     }
 
     fn handle_begin(&mut self, ctx: &mut Ctx<'_>, slot: usize, rc: RelayCell) {
@@ -893,11 +988,7 @@ impl RelayCore {
                         if let Some(resp) = self.handle_dir_msg(dm) {
                             let framed = encode_frame(&resp.encode());
                             for chunk in framed.chunks(MAX_RELAY_DATA) {
-                                self.send_to_origin(
-                                    ctx,
-                                    slot,
-                                    RelayCell::new(RelayCmd::Data, rc.stream_id, chunk.to_vec()),
-                                );
+                                self.send_data_to_origin(ctx, slot, rc.stream_id, chunk);
                             }
                         }
                     }
@@ -1096,12 +1187,12 @@ impl RelayCore {
             self.circ_lookup.remove(&next);
             if notify {
                 let destroy = Cell::new(next.1, CellCmd::Destroy);
-                self.send_cell(ctx, next.0, &destroy);
+                self.send_cell(ctx, next.0, destroy);
             }
         }
         if notify {
             let destroy = Cell::new(circ.prev.1, CellCmd::Destroy);
-            self.send_cell(ctx, circ.prev.0, &destroy);
+            self.send_cell(ctx, circ.prev.0, destroy);
         }
         for (_, stream) in circ.streams {
             match stream.kind {

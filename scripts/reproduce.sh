@@ -34,6 +34,9 @@ cargo run --release -p bench --bin padding_sweep
 echo "== per-cell crypto data plane baseline =="
 cargo run --release -p bench --bin bench_cells -- --label optimized
 
+echo "== simulator throughput + parallel sweep harness =="
+cargo run --release -p bench --bin bench_sim -- --label optimized
+
 echo "== criterion microbenches =="
 cargo bench --workspace
 
