@@ -14,20 +14,32 @@
 //!
 //! Plus a **multi-core sweep**: the same 8-trial fetch sweep run
 //! sequentially and through [`bench::runner`], reporting wall-clock speedup
-//! and verifying the two modes produce identical per-trial `SimStats`.
+//! and verifying the two modes produce identical per-trial `SimStats` *and*
+//! identical per-trial telemetry snapshots.
+//!
+//! Telemetry: the headline `relay_events_per_sec` is always measured with
+//! recording **off** (comparable with checked-in baselines); a second pass
+//! at `Full` yields `relay_events_per_sec_full` and the
+//! `telemetry_overhead_pct` the CI gate (`telemetry_check`) enforces. The
+//! sweep runs at the `--telemetry` mode and exports
+//! `results/TELEMETRY_bench_sim.json` with per-trial snapshots.
 //!
 //! Results merge into `results/BENCH_sim.json` under a run label
 //! (`--label baseline|optimized`); when both labels are present the file
 //! also carries speedups, like `BENCH_cells.json`.
 //!
 //! `cargo run -p bench --release --bin bench_sim -- [--label L] [--mb N]
-//!  [--threads N] [--smoke]`
+//!  [--threads N] [--smoke] [--telemetry off|summary|full] [--quiet]
+//!  [--json <path>]`
 
-use bench::runner::{available_threads, run_trials, threads_for};
+use bench::runner::{
+    available_threads, export_telemetry, run_trials_traced, threads_for, SweepOpts,
+};
 use bench::{arg_flag, arg_str, arg_u64};
 use simnet::{ConnId, Ctx, Iface, Node, NodeId, SimDuration, SimTime, Simulator};
 use std::fmt::Write as _;
 use std::time::Instant;
+use telemetry::Mode;
 use tor_net::client::TerminalReq;
 use tor_net::netbuild::{NetworkBuilder, TestClientNode};
 use tor_net::ports::HTTP_PORT;
@@ -180,6 +192,7 @@ fn parse_run(json: &str, label: &str) -> Vec<(String, f64)> {
 }
 
 fn main() {
+    let opts = SweepOpts::from_args();
     let label = arg_str("--label", "optimized");
     let smoke = arg_flag("--smoke");
     let mb = arg_u64("--mb", if smoke { 1 } else { 16 });
@@ -193,7 +206,12 @@ fn main() {
     };
 
     // ---- single-run workloads (median over identical-seed samples) ----
-    println!("single-run relay fetch: {mb} MiB over a 3-hop circuit ({samples} samples)");
+    // The headline numbers are always a recording-off measurement so they
+    // stay comparable with checked-in baselines regardless of --telemetry.
+    telemetry::set_mode(Mode::Off);
+    if !opts.quiet {
+        println!("single-run relay fetch: {mb} MiB over a 3-hop circuit ({samples} samples)");
+    }
     let mut relay_samples = Vec::new();
     let mut stats = (0, 0, 0, 0);
     for _ in 0..samples {
@@ -202,11 +220,13 @@ fn main() {
         relay_samples.push(s.0 as f64 / wall.max(1e-9));
     }
     let relay_eps = median(relay_samples);
-    println!(
-        "  {} events per run  ->  median {:.0} events/s ({} msgs delivered)",
-        stats.0, relay_eps, stats.1
-    );
-    println!("pure-simnet echo storm: 8 spokes x {storm_rounds} rounds ({samples} samples)");
+    if !opts.quiet {
+        println!(
+            "  {} events per run  ->  median {:.0} events/s ({} msgs delivered)",
+            stats.0, relay_eps, stats.1
+        );
+        println!("pure-simnet echo storm: 8 spokes x {storm_rounds} rounds ({samples} samples)");
+    }
     let mut storm_samples = Vec::new();
     let mut storm_events = 0;
     for _ in 0..samples {
@@ -215,36 +235,89 @@ fn main() {
         storm_samples.push(ev as f64 / wall.max(1e-9));
     }
     let storm_eps = median(storm_samples);
-    println!("  {storm_events} events per run  ->  median {storm_eps:.0} events/s");
+    if !opts.quiet {
+        println!("  {storm_events} events per run  ->  median {storm_eps:.0} events/s");
+    }
+
+    // ---- telemetry A/B: the same fetch with recording Off vs Full ----
+    // Samples interleave off/full pairs so host-load drift hits both arms
+    // equally, and best-of-N per arm discards the noise floor (best-of is
+    // far more stable than median for throughput, which matters in --smoke
+    // where samples == 1).
+    let ab = samples.max(5);
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::MIN, f64::max);
+    let mut off_eps = Vec::new();
+    let mut full_eps = Vec::new();
+    for _ in 0..ab {
+        telemetry::set_mode(Mode::Off);
+        let (s, wall) = relay_fetch(7, mb);
+        off_eps.push(s.0 as f64 / wall.max(1e-9));
+        telemetry::set_mode(Mode::Full);
+        let (s, wall) = relay_fetch(7, mb);
+        full_eps.push(s.0 as f64 / wall.max(1e-9));
+    }
+    let relay_eps_full = best(&full_eps);
+    let telemetry_overhead_pct = (best(&off_eps) - relay_eps_full) / best(&off_eps) * 100.0;
+    if !opts.quiet {
+        println!(
+            "telemetry A/B (best of {ab}): off {:.0} events/s, full {relay_eps_full:.0} events/s \
+             ->  {telemetry_overhead_pct:.2}% overhead",
+            best(&off_eps)
+        );
+    }
+
+    // The sweep (and its export) runs at the requested --telemetry mode,
+    // starting from a clean registry.
+    telemetry::set_mode(opts.telemetry);
+    telemetry::reset();
 
     // ---- multi-core sweep: sequential vs parallel runner ----
-    println!("sweep: {n_trials} independent {sweep_mb} MiB fetch trials");
+    if !opts.quiet {
+        println!("sweep: {n_trials} independent {sweep_mb} MiB fetch trials");
+    }
     let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb).0;
+    let mk_jobs = || -> Vec<bench::runner::Trial<(u64, u64, u64, u64)>> {
+        (0..n_trials as u64)
+            .map(|i| Box::new(trial(i)) as bench::runner::Trial<_>)
+            .collect()
+    };
     let t = Instant::now();
-    let seq: Vec<_> = (0..n_trials as u64).map(|i| trial(i)()).collect();
+    let seq = run_trials_traced(1, mk_jobs());
     let seq_wall = t.elapsed().as_secs_f64();
     let threads = threads_for(n_trials);
-    let jobs: Vec<bench::runner::Trial<(u64, u64, u64, u64)>> = (0..n_trials as u64)
-        .map(|i| Box::new(trial(i)) as bench::runner::Trial<_>)
-        .collect();
     let t = Instant::now();
-    let par = run_trials(threads, jobs);
+    let par = run_trials_traced(threads, mk_jobs());
     let par_wall = t.elapsed().as_secs_f64();
+    // Equality covers the SimStats AND each trial's telemetry snapshot: the
+    // exported artifact is byte-identical across thread counts.
     let deterministic = seq == par;
     let sweep_speedup = seq_wall / par_wall.max(1e-9);
-    println!(
-        "  sequential {seq_wall:.2}s, parallel({threads} threads) {par_wall:.2}s  ->  \
-         {sweep_speedup:.2}x  (deterministic: {deterministic})"
-    );
+    if !opts.quiet {
+        println!(
+            "  sequential {seq_wall:.2}s, parallel({threads} threads) {par_wall:.2}s  ->  \
+             {sweep_speedup:.2}x  (deterministic: {deterministic})"
+        );
+    }
     assert!(
         deterministic,
-        "parallel sweep must reproduce the sequential results exactly"
+        "parallel sweep must reproduce the sequential results (and telemetry \
+         snapshots) exactly"
     );
+
+    // Fold the sweep's metrics into the process totals in trial-index order
+    // and export them alongside the per-trial snapshots.
+    let trial_snaps: Vec<telemetry::Snapshot> = par.into_iter().map(|(_, snap)| snap).collect();
+    for snap in &trial_snaps {
+        telemetry::merge(snap);
+    }
+    export_telemetry("bench_sim", Some(&trial_snaps));
 
     // ---- merge into results/BENCH_sim.json ----
     let fresh: Vec<(&str, f64)> = vec![
         ("events_per_sec", relay_eps),
         ("relay_events_per_sec", relay_eps),
+        ("relay_events_per_sec_full", relay_eps_full),
+        ("telemetry_overhead_pct", telemetry_overhead_pct),
         ("storm_events_per_sec", storm_eps),
         ("sweep_trials", n_trials as f64),
         ("sweep_seq_s", seq_wall),
@@ -312,10 +385,14 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
 
-    for (name, s) in &speedups {
-        if let Some(s) = s {
-            println!("  speedup {name:<24} {s:>6.2}x");
+    if !opts.quiet {
+        for (name, s) in &speedups {
+            if let Some(s) = s {
+                println!("  speedup {name:<24} {s:>6.2}x");
+            }
         }
+        println!("wrote {}", path.display());
     }
-    println!("wrote {}", path.display());
+    let metric_rows: Vec<String> = fresh.iter().map(|(n, v)| format!("{n},{v:.3}")).collect();
+    opts.write_json_table("bench_sim", "metric,value", &metric_rows);
 }

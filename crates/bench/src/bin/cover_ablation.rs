@@ -9,7 +9,7 @@
 //!
 //! `cargo run -p bench --release --bin cover_ablation`
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::write_report;
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -153,6 +153,7 @@ fn run(with_cover: bool) -> (f64, f64) {
 }
 
 fn main() {
+    let opts = SweepOpts::from_args();
     // Both conditions are independent simulations — run them through the
     // shared trial runner (results stay in [no-cover, with-cover] order).
     let jobs: Vec<Trial<(f64, f64)>> = vec![Box::new(|| run(false)), Box::new(|| run(true))];
@@ -179,10 +180,22 @@ fn main() {
         "\nactivity visibility reduced {:.1}x by fixed-rate cover traffic\n",
         ratio0 / ratio1
     ));
-    print!("{report}");
+    if !opts.quiet {
+        print!("{report}");
+    }
     assert!(
         ratio1 < ratio0 / 3.0,
         "cover should mask activity: {ratio0:.1} -> {ratio1:.1}"
     );
     write_report("cover_ablation.txt", &report);
+    let rows = vec![
+        format!("no cover,{q0:.0},{a0:.0},{ratio0:.2}"),
+        format!("with cover,{q1:.0},{a1:.0},{ratio1:.2}"),
+    ];
+    opts.write_json_table(
+        "cover_ablation",
+        "condition,quiet_bytes,active_bytes,ratio",
+        &rows,
+    );
+    opts.export_telemetry("cover_ablation");
 }

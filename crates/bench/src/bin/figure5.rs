@@ -7,7 +7,7 @@
 //! `cargo run -p bench --release --bin figure5`
 //! Watermark ablation: `--watermark N`. Scale: `--clients N --mb N`.
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -186,6 +186,7 @@ fn emit(name: &str, result: &RunResult, n_clients: usize) {
 }
 
 fn main() {
+    let opts = SweepOpts::from_args();
     let n_clients = arg_u64("--clients", 13) as usize;
     let mb = arg_u64("--mb", 10);
     let watermark = arg_u64("--watermark", 2) as u32;
@@ -197,8 +198,10 @@ fn main() {
     // The two conditions are independent simulations; express them as
     // trials so the shared runner can overlap them (`--threads 2`) while
     // keeping without/with results in a fixed order.
-    println!("== without LoadBalancer: single hidden service ==");
-    println!("== with LoadBalancer: watermark {watermark}, up to 4 machines ==");
+    if !opts.quiet {
+        println!("== without LoadBalancer: single hidden service ==");
+        println!("== with LoadBalancer: watermark {watermark}, up to 4 machines ==");
+    }
     let without_trial = move || {
         let mut bn = BentoNetwork::build_with_iface(
             seed,
@@ -290,10 +293,13 @@ fn main() {
     emit("figure5_with_lb.csv", &with_lb, n_clients);
 
     // Summary table.
-    println!("\nper-client completion times (s):");
-    println!("{:<8} {:>14} {:>14}", "client", "without LB", "with LB");
+    if !opts.quiet {
+        println!("\nper-client completion times (s):");
+        println!("{:<8} {:>14} {:>14}", "client", "without LB", "with LB");
+    }
     let mut done_without = 0;
     let mut done_with = 0;
+    let mut summary_rows = Vec::new();
     for i in 0..n_clients {
         let w = without.completion[i];
         let l = with_lb.completion[i];
@@ -303,24 +309,28 @@ fn main() {
         if l.is_some() {
             done_with += 1;
         }
-        println!(
-            "{:<8} {:>14} {:>14}",
-            i + 1,
-            w.map(|v| format!("{v:.1}")).unwrap_or("-".into()),
-            l.map(|v| format!("{v:.1}")).unwrap_or("-".into()),
-        );
+        let w = w.map(|v| format!("{v:.1}")).unwrap_or("-".into());
+        let l = l.map(|v| format!("{v:.1}")).unwrap_or("-".into());
+        if !opts.quiet {
+            println!("{:<8} {:>14} {:>14}", i + 1, w, l);
+        }
+        summary_rows.push(format!("{},{w},{l}", i + 1));
     }
     let mean = |v: &Vec<Option<f64>>| {
         let xs: Vec<f64> = v.iter().flatten().copied().collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     };
-    println!(
-        "\ncompleted within {}s: without={} with={} (of {})",
-        HORIZON_S, done_without, done_with, n_clients
-    );
-    println!(
-        "mean completion: without={:.1}s with={:.1}s",
-        mean(&without.completion),
-        mean(&with_lb.completion)
-    );
+    if !opts.quiet {
+        println!(
+            "\ncompleted within {}s: without={} with={} (of {})",
+            HORIZON_S, done_without, done_with, n_clients
+        );
+        println!(
+            "mean completion: without={:.1}s with={:.1}s",
+            mean(&without.completion),
+            mean(&with_lb.completion)
+        );
+    }
+    opts.write_json_table("figure5", "client,without_lb_s,with_lb_s", &summary_rows);
+    opts.export_telemetry("figure5");
 }

@@ -9,7 +9,7 @@
 //!
 //! `cargo run -p bench --release --bin multipath_sweep`
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -153,10 +153,13 @@ fn run_k(k: u8, file_len: u64, body: &[u8]) -> (f64, f64) {
 }
 
 fn main() {
+    let opts = SweepOpts::from_args();
     let mb = arg_u64("--mb", 4);
     let file_len = mb << 20;
     let body: Vec<u8> = (0..file_len).map(|i| (i * 131 % 251) as u8).collect();
-    println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
+    if !opts.quiet {
+        println!("multipath sweep: {mb} MiB fetch, relay fabric at ~200 KB/s per circuit");
+    }
     let ks = [1u8, 2, 3, 4];
     // Each k is an independent simulation on a fresh network: a list of
     // trial closures for the shared runner. The k=1 result anchors the
@@ -169,21 +172,27 @@ fn main() {
         })
         .collect();
     let results = run_sweep("multipath_sweep", jobs);
-    println!(
-        "{:<4} {:>12} {:>12} {:>14}",
-        "k", "fetch (s)", "speedup", "end-to-end (s)"
-    );
+    if !opts.quiet {
+        println!(
+            "{:<4} {:>12} {:>12} {:>14}",
+            "k", "fetch (s)", "speedup", "end-to-end (s)"
+        );
+    }
     let base = results[0].0;
     let mut rows = Vec::new();
     for (&k, &(fetch, e2e)) in ks.iter().zip(results.iter()) {
-        println!(
-            "{:<4} {:>12.1} {:>11.2}x {:>14.1}",
-            k,
-            fetch,
-            base / fetch,
-            e2e
-        );
+        if !opts.quiet {
+            println!(
+                "{:<4} {:>12.1} {:>11.2}x {:>14.1}",
+                k,
+                fetch,
+                base / fetch,
+                e2e
+            );
+        }
         rows.push(format!("{k},{fetch:.2},{:.3},{e2e:.2}", base / fetch));
     }
     write_csv("multipath_sweep.csv", "k,fetch_s,speedup,e2e_s", &rows);
+    opts.write_json_table("multipath_sweep", "k,fetch_s,speedup,e2e_s", &rows);
+    opts.export_telemetry("multipath_sweep");
 }

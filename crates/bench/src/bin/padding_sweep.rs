@@ -7,19 +7,22 @@
 //! `cargo run -p bench --release --bin padding_sweep`
 //! (`--sites N --visits N` to rescale; default 40×6 to keep it minutes.)
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::{arg_u64, write_csv};
 use wfp::{closed_world_accuracy, collect_traces, CollectConfig, Defense};
 
 fn main() {
+    let opts = SweepOpts::from_args();
     let n_sites = arg_u64("--sites", 40) as u32;
     let n_visits = arg_u64("--visits", 6) as u32;
     let seed = arg_u64("--seed", 2);
     let paddings: [u64; 7] = [0, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 7 << 20];
-    println!(
-        "padding sweep ({n_sites} sites x {n_visits} visits); chance = {:.1}%",
-        100.0 / n_sites as f64
-    );
+    if !opts.quiet {
+        println!(
+            "padding sweep ({n_sites} sites x {n_visits} visits); chance = {:.1}%",
+            100.0 / n_sites as f64
+        );
+    }
     // One trial per padding quantum: trace collection is seeded per-config,
     // so every point is an independent simulation.
     let jobs: Vec<Trial<f64>> = paddings
@@ -40,7 +43,9 @@ fn main() {
         })
         .collect();
     let accuracies = run_sweep("padding_sweep", jobs);
-    println!("{:<12} {:>10}", "padding", "accuracy %");
+    if !opts.quiet {
+        println!("{:<12} {:>10}", "padding", "accuracy %");
+    }
     let mut rows = Vec::new();
     for (&padding, &acc) in paddings.iter().zip(accuracies.iter()) {
         let label = if padding == 0 {
@@ -50,8 +55,12 @@ fn main() {
         } else {
             format!("{}MB", padding >> 20)
         };
-        println!("{:<12} {:>10.2}", label, acc * 100.0);
+        if !opts.quiet {
+            println!("{:<12} {:>10.2}", label, acc * 100.0);
+        }
         rows.push(format!("{padding},{acc:.4}"));
     }
     write_csv("padding_sweep.csv", "padding_bytes,accuracy", &rows);
+    opts.write_json_table("padding_sweep", "padding_bytes,accuracy", &rows);
+    opts.export_telemetry("padding_sweep");
 }

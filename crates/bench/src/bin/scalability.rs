@@ -6,7 +6,7 @@
 //!
 //! `cargo run -p bench --release --bin scalability`
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::{arg_u64, write_report};
 use bento::protocol::FunctionSpec;
 use bento::server::{CONCLAVE_OVERHEAD, FN_BASE_MEMORY};
@@ -20,7 +20,12 @@ fn secs(s: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(s)
 }
 
+/// One paging-model row: (loaded, invocations, pages_in, pages_out,
+/// evictions, paging cost in microseconds).
+type PagingRow = (u64, u64, u64, u64, u64, u64);
+
 fn main() {
+    let opts = SweepOpts::from_args();
     let mut report = String::new();
     let mb = |b: u64| b as f64 / (1 << 20) as f64;
 
@@ -57,7 +62,7 @@ fn main() {
     // Each N is an independent model run; sweep them as trial closures.
     report.push_str("== EPC paging: N loaded conclaves, round-robin invocation ==\n");
     report.push_str("loaded   invocations   pages_in   pages_out   evictions   paging_cost\n");
-    let jobs: Vec<Trial<String>> = [2u64, 3, 4, 6, 8, 12]
+    let jobs: Vec<Trial<PagingRow>> = [2u64, 3, 4, 6, 8, 12]
         .iter()
         .map(|&n| {
             Box::new(move || {
@@ -72,20 +77,26 @@ fn main() {
                     }
                 }
                 let s = epc.stats();
-                format!(
-                    "{:<8} {:<13} {:<10} {:<11} {:<11} {:>8} us\n",
+                (
                     n,
                     rounds * n,
                     s.pages_in,
                     s.pages_out,
                     s.evictions,
-                    s.cost_micros()
+                    s.cost_micros(),
                 )
-            }) as Trial<String>
+            }) as Trial<PagingRow>
         })
         .collect();
-    for row in run_sweep("epc_paging", jobs) {
-        report.push_str(&row);
+    let mut paging_rows = Vec::new();
+    for (n, invocations, pages_in, pages_out, evictions, cost_us) in run_sweep("epc_paging", jobs) {
+        report.push_str(&format!(
+            "{n:<8} {invocations:<13} {pages_in:<10} {pages_out:<11} {evictions:<11} \
+             {cost_us:>8} us\n",
+        ));
+        paging_rows.push(format!(
+            "{n},{invocations},{pages_in},{pages_out},{evictions},{cost_us}"
+        ));
     }
     report.push('\n');
 
@@ -210,6 +221,14 @@ fn main() {
         ));
     });
 
-    print!("{report}");
+    if !opts.quiet {
+        print!("{report}");
+    }
     write_report("scalability.txt", &report);
+    opts.write_json_table(
+        "scalability_epc_paging",
+        "loaded,invocations,pages_in,pages_out,evictions,paging_cost_us",
+        &paging_rows,
+    );
+    opts.export_telemetry("scalability");
 }

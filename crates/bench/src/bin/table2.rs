@@ -8,7 +8,7 @@
 //!
 //! `cargo run -p bench --release --bin table2`
 
-use bench::runner::{run_sweep, Trial};
+use bench::runner::{run_sweep, SweepOpts, Trial};
 use bench::{arg_u64, write_csv};
 use bento::protocol::FunctionSpec;
 use bento::testnet::BentoNetwork;
@@ -202,6 +202,7 @@ fn browser_trial(seed: u64, pi: usize, padding: u64, sites: Vec<SiteModel>) -> V
 }
 
 fn main() {
+    let opts = SweepOpts::from_args();
     let seed = arg_u64("--seed", 3);
     // `--domains N` truncates the corpus for smoke runs (CI uses 1).
     let mut sites = domains(77);
@@ -233,25 +234,29 @@ fn main() {
         [6.1, 7.0, 22.3, 81.8],
         [3.1, 5.9, 37.7, 91.9],
     ];
-    println!("Table 2: download times in seconds (ours | paper)");
-    println!(
-        "{:<18} {:>14} {:>14} {:>14} {:>14}",
-        "Domain", "standard Tor", "Browser 0MB", "Browser 1MB", "Browser 7MB"
-    );
+    if !opts.quiet {
+        println!("Table 2: download times in seconds (ours | paper)");
+        println!(
+            "{:<18} {:>14} {:>14} {:>14} {:>14}",
+            "Domain", "standard Tor", "Browser 0MB", "Browser 1MB", "Browser 7MB"
+        );
+    }
     let mut rows = Vec::new();
     for (i, site) in sites.iter().enumerate() {
-        println!(
-            "{:<18} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1}",
-            site.name,
-            standard[i],
-            paper[i][0],
-            browser_times[0][i],
-            paper[i][1],
-            browser_times[1][i],
-            paper[i][2],
-            browser_times[2][i],
-            paper[i][3],
-        );
+        if !opts.quiet {
+            println!(
+                "{:<18} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1} {:>6.1} | {:>4.1}",
+                site.name,
+                standard[i],
+                paper[i][0],
+                browser_times[0][i],
+                paper[i][1],
+                browser_times[1][i],
+                paper[i][2],
+                browser_times[2][i],
+                paper[i][3],
+            );
+        }
         rows.push(format!(
             "{},{:.2},{:.2},{:.2},{:.2},{},{},{},{}",
             site.name,
@@ -265,9 +270,9 @@ fn main() {
             paper[i][3],
         ));
     }
-    write_csv(
-        "table2.csv",
-        "domain,standard_s,browser0_s,browser1mb_s,browser7mb_s,paper_standard,paper_0mb,paper_1mb,paper_7mb",
-        &rows,
-    );
+    const HEADER: &str = "domain,standard_s,browser0_s,browser1mb_s,browser7mb_s,\
+                          paper_standard,paper_0mb,paper_1mb,paper_7mb";
+    write_csv("table2.csv", HEADER, &rows);
+    opts.write_json_table("table2", HEADER, &rows);
+    opts.export_telemetry("table2");
 }

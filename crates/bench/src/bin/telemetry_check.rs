@@ -1,0 +1,87 @@
+//! CI gate for the telemetry subsystem: validate exported
+//! `TELEMETRY_*.json` artifacts against the versioned schema and,
+//! optionally, enforce the recording-overhead budget that `bench_sim`
+//! measures into `results/BENCH_sim.json`.
+//!
+//! `cargo run -p bench --release --bin telemetry_check -- \
+//!      [--file results/TELEMETRY_bench_sim.json]... \
+//!      [--overhead-gate 2.0] [--bench-file results/BENCH_sim.json]`
+//!
+//! Every `--file` occurrence names one artifact to validate (default: the
+//! `bench_sim` export). Exits non-zero on any schema failure or a busted
+//! overhead gate, so it can sit directly in a CI step.
+
+use telemetry::export::{validate, SCHEMA};
+
+/// All values of a repeatable `--key value` arg.
+fn arg_all(key: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == key)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
+}
+
+/// The last value of `key` in a flat JSON document (the current run's label
+/// sorts last in `BENCH_sim.json`, so "last" is the fresh measurement).
+fn last_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    json.lines()
+        .filter_map(|l| l.trim().strip_prefix(pat.as_str()))
+        .filter_map(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+        .next_back()
+}
+
+fn main() {
+    let mut files = arg_all("--file");
+    if files.is_empty() {
+        files.push("results/TELEMETRY_bench_sim.json".to_string());
+    }
+    let mut failed = false;
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+            }
+            Ok(doc) => match validate(&doc) {
+                Err(why) => {
+                    eprintln!("{file}: schema validation FAILED: {why}");
+                    failed = true;
+                }
+                Ok(()) => println!("{file}: {SCHEMA} OK"),
+            },
+        }
+    }
+
+    let gate = bench::arg_str("--overhead-gate", "");
+    if !gate.is_empty() {
+        let gate: f64 = gate.parse().expect("numeric --overhead-gate");
+        let bench_file = bench::arg_str("--bench-file", "results/BENCH_sim.json");
+        match std::fs::read_to_string(&bench_file) {
+            Err(e) => {
+                eprintln!("{bench_file}: cannot read: {e}");
+                failed = true;
+            }
+            Ok(text) => match last_number(&text, "telemetry_overhead_pct") {
+                None => {
+                    eprintln!("{bench_file}: no telemetry_overhead_pct (rerun bench_sim)");
+                    failed = true;
+                }
+                Some(overhead) if overhead > gate => {
+                    eprintln!("telemetry overhead {overhead:.2}% exceeds the {gate}% gate");
+                    failed = true;
+                }
+                Some(overhead) => {
+                    println!("telemetry overhead {overhead:.2}% within the {gate}% gate");
+                }
+            },
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,11 @@
 //!
 //! Criterion microbenches live in `benches/` (crypto, cells, erasure,
 //! classifiers, attestation, EPC paging).
+//!
+//! Every sweep binary shares one CLI surface via [`runner::SweepOpts`]:
+//! `--quiet` (suppress progress chatter), `--json <path>` (mirror the
+//! primary table as JSON), and `--telemetry off|summary|full` (recording
+//! mode; each binary also exports `results/TELEMETRY_<name>.json`).
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +26,19 @@ pub mod runner;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// True when `--quiet` was given: progress chatter (the runner note and
+/// `wrote ...` echoes) is suppressed. File contents are unaffected.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_quiet(q: bool) {
+    QUIET.store(q, Ordering::Relaxed);
+}
 
 /// Write rows as CSV into `results/<name>` (creating the directory), and
 /// echo the path.
@@ -33,7 +51,9 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     for r in rows {
         writeln!(f, "{r}").unwrap();
     }
-    println!("wrote {}", path.display());
+    if !quiet() {
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Write a free-form text report into `results/<name>`.
@@ -42,7 +62,56 @@ pub fn write_report(name: &str, body: &str) {
     fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
     fs::write(&path, body).expect("write report");
-    println!("wrote {}", path.display());
+    if !quiet() {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Write `header` + `rows` — the exact strings handed to [`write_csv`] — as
+/// a JSON table to `path`. Cells that form a finite JSON number are emitted
+/// bare; everything else is quoted. Reusing the CSV cell strings verbatim
+/// keeps the two artifacts trivially consistent and the bytes deterministic.
+pub fn write_json_table(path: &str, table: &str, header: &str, rows: &[String]) {
+    fn json_number(cell: &str) -> bool {
+        !cell.is_empty()
+            && !cell.starts_with('+')
+            && cell.parse::<f64>().map(f64::is_finite).unwrap_or(false)
+            && cell
+                .chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+    }
+    fn quote(cell: &str) -> String {
+        format!("\"{}\"", cell.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+    let columns: Vec<String> = header.split(',').map(quote).collect();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"table\": {},\n", quote(table)));
+    out.push_str(&format!("  \"columns\": [{}],\n", columns.join(", ")));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<String> = row
+            .split(',')
+            .map(|cell| {
+                if json_number(cell) {
+                    cell.to_string()
+                } else {
+                    quote(cell)
+                }
+            })
+            .collect();
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("    [{}]{comma}\n", cells.join(", ")));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).expect("create json table dir");
+        }
+    }
+    fs::write(path, out).expect("write json table");
+    if !quiet() {
+        println!("wrote {path}");
+    }
 }
 
 /// Parse `--key value` style args with a default.
@@ -63,6 +132,15 @@ pub fn arg_str(key: &str, default: &str) -> String {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| default.to_string())
+}
+
+/// Parse an optional `--key value` arg (`None` when absent).
+pub fn arg_opt(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Whether a bare flag is present.

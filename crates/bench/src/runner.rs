@@ -43,15 +43,45 @@ pub fn available_threads() -> usize {
 
 /// Run every trial and return their results **in trial-index order**.
 ///
-/// With `threads <= 1` the trials run inline on the caller's thread, in
-/// order — the reference behavior. With more threads, workers pull trials
-/// from a shared queue (lowest index first) and deposit results into the
-/// trial's slot, so scheduling never reorders or mixes results.
+/// Each trial's telemetry is captured with [`telemetry::scoped`] and folded
+/// into the calling thread's registry in trial-index order, so the metrics a
+/// sweep accumulates — like its results — are byte-identical across thread
+/// counts.
 ///
 /// A panicking trial propagates the panic to the caller once all workers
 /// have stopped, matching the sequential behavior closely enough for
 /// assert-style trials.
-pub fn run_trials<T: Send>(threads: usize, jobs: Vec<Trial<T>>) -> Vec<T> {
+pub fn run_trials<T: Send + 'static>(threads: usize, jobs: Vec<Trial<T>>) -> Vec<T> {
+    run_trials_traced(threads, jobs)
+        .into_iter()
+        .map(|(value, snap)| {
+            telemetry::merge(&snap);
+            value
+        })
+        .collect()
+}
+
+/// Like [`run_trials`], but pair each trial's result with the telemetry
+/// [`telemetry::Snapshot`] it recorded (captured via [`telemetry::scoped`],
+/// so nothing leaks into the worker's or caller's registry). Snapshots come
+/// back in trial-index order regardless of scheduling.
+pub fn run_trials_traced<T: Send + 'static>(
+    threads: usize,
+    jobs: Vec<Trial<T>>,
+) -> Vec<(T, telemetry::Snapshot)> {
+    let traced: Vec<Trial<(T, telemetry::Snapshot)>> = jobs
+        .into_iter()
+        .map(|job| Box::new(move || telemetry::scoped(job)) as Trial<(T, telemetry::Snapshot)>)
+        .collect();
+    run_trials_raw(threads, traced)
+}
+
+/// The scheduling core: with `threads <= 1` the trials run inline on the
+/// caller's thread, in order — the reference behavior. With more threads,
+/// workers pull trials from a shared queue (lowest index first) and deposit
+/// results into the trial's slot, so scheduling never reorders or mixes
+/// results.
+fn run_trials_raw<T: Send>(threads: usize, jobs: Vec<Trial<T>>) -> Vec<T> {
     let n = jobs.len();
     if threads <= 1 || n <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
@@ -81,16 +111,75 @@ pub fn run_trials<T: Send>(threads: usize, jobs: Vec<Trial<T>>) -> Vec<T> {
 
 /// Convenience: run `jobs` with the CLI-derived thread count and a one-line
 /// note about the mode, returning results in trial-index order.
-pub fn run_sweep<T: Send>(what: &str, jobs: Vec<Trial<T>>) -> Vec<T> {
+pub fn run_sweep<T: Send + 'static>(what: &str, jobs: Vec<Trial<T>>) -> Vec<T> {
     let threads = threads_for(jobs.len());
-    eprintln!(
-        "[runner] {}: {} trials on {} thread{}",
-        what,
-        jobs.len(),
-        threads,
-        if threads == 1 { "" } else { "s" }
-    );
+    if !crate::quiet() {
+        eprintln!(
+            "[runner] {}: {} trials on {} thread{}",
+            what,
+            jobs.len(),
+            threads,
+            if threads == 1 { "" } else { "s" }
+        );
+    }
     run_trials(threads, jobs)
+}
+
+/// The CLI surface every sweep binary shares: `--quiet`, `--json <path>`,
+/// and `--telemetry off|summary|full`. Constructing it applies the flags
+/// process-wide (recording mode, quiet), so call it at the top of `main`.
+pub struct SweepOpts {
+    /// Suppress progress chatter (`--quiet`).
+    pub quiet: bool,
+    /// Mirror the primary table to this path as JSON (`--json <path>`).
+    pub json: Option<String>,
+    /// Telemetry recording mode (`--telemetry`, default `summary`).
+    pub telemetry: telemetry::Mode,
+}
+
+impl SweepOpts {
+    /// Parse the shared flags from `std::env::args` and apply them.
+    pub fn from_args() -> SweepOpts {
+        let quiet = crate::arg_flag("--quiet");
+        let json = crate::arg_opt("--json");
+        let raw = crate::arg_str("--telemetry", "summary");
+        let mode = telemetry::Mode::parse(&raw).unwrap_or_else(|| {
+            eprintln!("unknown --telemetry mode {raw:?} (want off|summary|full)");
+            std::process::exit(2);
+        });
+        telemetry::set_mode(mode);
+        crate::set_quiet(quiet);
+        SweepOpts {
+            quiet,
+            json,
+            telemetry: mode,
+        }
+    }
+
+    /// Mirror a table already written via [`crate::write_csv`] to the
+    /// `--json` path, if one was given.
+    pub fn write_json_table(&self, table: &str, header: &str, rows: &[String]) {
+        if let Some(path) = &self.json {
+            crate::write_json_table(path, table, header, rows);
+        }
+    }
+
+    /// Export the telemetry totals accumulated so far (trial metrics are
+    /// folded in by [`run_trials`]) as `results/TELEMETRY_<name>.json`.
+    pub fn export_telemetry(&self, name: &str) {
+        export_telemetry(name, None);
+    }
+}
+
+/// Write `results/TELEMETRY_<name>.json` from the calling thread's current
+/// telemetry totals, plus optional per-trial snapshots in trial-index order.
+pub fn export_telemetry(name: &str, trials: Option<&[telemetry::Snapshot]>) {
+    let totals = telemetry::snapshot();
+    let path = telemetry::export::write("results", name, name, telemetry::mode(), &totals, trials)
+        .expect("write telemetry export");
+    if !crate::quiet() {
+        println!("wrote {}", path.display());
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +209,28 @@ mod tests {
         assert!(run_trials::<u8>(4, Vec::new()).is_empty());
         let one: Vec<Trial<u8>> = vec![Box::new(|| 9)];
         assert_eq!(run_trials(8, one), vec![9]);
+    }
+
+    #[cfg(feature = "telemetry-on")]
+    #[test]
+    fn traced_trials_capture_per_trial_metrics() {
+        static T_TRIAL: telemetry::Counter = telemetry::Counter::new("bench.test.trial_units");
+        let jobs: Vec<Trial<u64>> = (1..=4u64)
+            .map(|i| {
+                Box::new(move || {
+                    T_TRIAL.add(i);
+                    i
+                }) as Trial<u64>
+            })
+            .collect();
+        let out = run_trials_traced(2, jobs);
+        for (i, (value, snap)) in out.iter().enumerate() {
+            assert_eq!(*value as usize, i + 1, "values in trial-index order");
+            assert_eq!(
+                snap.counters["bench.test.trial_units"],
+                (i + 1) as u64,
+                "each snapshot holds exactly its own trial's metrics"
+            );
+        }
     }
 }

@@ -1,13 +1,13 @@
 //! Determinism regression test for the parallel trial runner: a sweep run
 //! through worker threads must be **byte-for-byte identical** to the same
 //! sweep run sequentially — same per-trial `SimStats`, same sniffer traces,
-//! same result order.
+//! same result order, same telemetry snapshots.
 //!
 //! Each trial is a full Tor fetch (client → 3-hop circuit → web server) on a
 //! fresh simulator, so this also pins down that the pooled-buffer data plane
 //! and in-place cell crypto stay deterministic under concurrent execution.
 
-use bench::runner::{run_trials, Trial};
+use bench::runner::{run_trials, run_trials_traced, Trial};
 use simnet::trace::Direction;
 use simnet::{SimDuration, SimTime};
 use tor_net::client::TerminalReq;
@@ -143,4 +143,46 @@ fn repeated_runs_are_reproducible() {
     let a = run_trials(1, jobs(&[42]));
     let b = run_trials(2, jobs(&[42]));
     assert_eq!(a[0], b[0]);
+}
+
+#[cfg(feature = "telemetry-on")]
+#[test]
+fn telemetry_snapshots_are_byte_identical_across_thread_counts() {
+    // Full mode so histograms and spans are held to the same standard as
+    // counters. The mode is process-global; no other test in this binary
+    // depends on it.
+    telemetry::set_mode(telemetry::Mode::Full);
+    let seeds = [21u64, 22, 23];
+    let seq = run_trials_traced(1, jobs(&seeds));
+    let par = run_trials_traced(3, jobs(&seeds));
+    for (i, ((ra, sa), (rb, sb))) in seq.iter().zip(par.iter()).enumerate() {
+        assert_eq!(ra, rb, "trial {i} results match");
+        let (mut ja, mut jb) = (String::new(), String::new());
+        sa.write_json(&mut ja, 0);
+        sb.write_json(&mut jb, 0);
+        assert_eq!(ja, jb, "trial {i} snapshot bytes match");
+        assert!(
+            sa.counters.get("simnet.events").copied().unwrap_or(0) > 500,
+            "trial {i} recorded real telemetry (not a vacuous equality)"
+        );
+        assert!(
+            sa.hists.contains_key("simnet.run_until"),
+            "full mode captured the run_until span"
+        );
+    }
+
+    // The rendered export document — merged totals plus per-trial snapshots
+    // in index order — is byte-identical too, and passes the schema gate.
+    let fold = |trials: &[(TrialRecord, telemetry::Snapshot)]| {
+        let mut totals = telemetry::Snapshot::default();
+        for (_, s) in trials {
+            totals.merge(s);
+        }
+        let snaps: Vec<telemetry::Snapshot> = trials.iter().map(|(_, s)| s.clone()).collect();
+        telemetry::export::render("determinism", telemetry::Mode::Full, &totals, Some(&snaps))
+    };
+    let doc_seq = fold(&seq);
+    let doc_par = fold(&par);
+    assert_eq!(doc_seq, doc_par, "export bytes match across thread counts");
+    telemetry::export::validate(&doc_seq).expect("export validates against the v1 schema");
 }

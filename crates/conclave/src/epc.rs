@@ -14,6 +14,11 @@
 
 use std::collections::BTreeMap;
 
+static T_PAGES_IN: telemetry::Counter = telemetry::Counter::new("epc.pages_in");
+static T_PAGES_OUT: telemetry::Counter = telemetry::Counter::new("epc.pages_out");
+static T_EVICTIONS: telemetry::Counter = telemetry::Counter::new("epc.evictions");
+static T_RESIDENT: telemetry::Gauge = telemetry::Gauge::new("epc.resident_bytes");
+
 /// Total EPC size (bytes).
 pub const EPC_TOTAL_BYTES: u64 = 128 << 20;
 /// EPC usable by applications after SGX metadata (bytes) — the paper's 93 MB.
@@ -158,6 +163,10 @@ impl Epc {
         self.stats.pages_out += delta.pages_out;
         self.stats.pages_in += delta.pages_in;
         self.stats.evictions += delta.evictions;
+        T_PAGES_IN.add(delta.pages_in);
+        T_PAGES_OUT.add(delta.pages_out);
+        T_EVICTIONS.add(delta.evictions);
+        T_RESIDENT.set(self.resident());
         Some(delta)
     }
 

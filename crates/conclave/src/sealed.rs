@@ -5,6 +5,10 @@
 use onion_crypto::aead::{open, seal, AeadError, AeadKey};
 use onion_crypto::hmac::hkdf;
 
+static T_SEAL_BYTES: telemetry::Counter = telemetry::Counter::new("conclave.sealed_bytes");
+static T_UNSEAL_BYTES: telemetry::Counter = telemetry::Counter::new("conclave.unsealed_bytes");
+static T_UNSEAL_FAILURES: telemetry::Counter = telemetry::Counter::new("conclave.unseal_failures");
+
 /// Sealing failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SealError {
@@ -29,6 +33,7 @@ fn sealing_key(platform_secret: &[u8; 32], measurement: &[u8; 32]) -> AeadKey {
 
 /// Seal `data` to (platform, measurement).
 pub fn seal_data(platform_secret: &[u8; 32], measurement: &[u8; 32], data: &[u8]) -> Vec<u8> {
+    T_SEAL_BYTES.add(data.len() as u64);
     let key = sealing_key(platform_secret, measurement);
     seal(&key, &[0u8; 12], b"sealed", data)
 }
@@ -40,7 +45,15 @@ pub fn unseal_data(
     blob: &[u8],
 ) -> Result<Vec<u8>, SealError> {
     let key = sealing_key(platform_secret, measurement);
-    open(&key, &[0u8; 12], b"sealed", blob).map_err(|_: AeadError| SealError::Unsealable)
+    open(&key, &[0u8; 12], b"sealed", blob)
+        .map(|data| {
+            T_UNSEAL_BYTES.add(data.len() as u64);
+            data
+        })
+        .map_err(|_: AeadError| {
+            T_UNSEAL_FAILURES.inc();
+            SealError::Unsealable
+        })
 }
 
 #[cfg(test)]

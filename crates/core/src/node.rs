@@ -124,4 +124,8 @@ impl Node for BentoBoxNode {
         }
         self.pump(ctx);
     }
+
+    fn flush_telemetry(&mut self) {
+        self.relay.flush_telemetry();
+    }
 }

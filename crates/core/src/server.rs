@@ -34,6 +34,16 @@ use tor_net::relay::{LocalStream, RelayCore};
 use tor_net::stream_frame::{encode_frame, FrameAssembler};
 use tor_net::StreamTarget;
 
+// Control-plane telemetry: container/function lifecycle and policy
+// decisions. All cold paths, recorded inline at the decision point (the
+// rejected/granted counters hook the single `reply` choke point).
+static T_REJECTED: telemetry::Counter = telemetry::Counter::new("bento.requests_rejected");
+static T_CONTAINERS: telemetry::Counter = telemetry::Counter::new("bento.containers_granted");
+static T_UPLOADS: telemetry::Counter = telemetry::Counter::new("bento.functions_uploaded");
+static T_INVOKES: telemetry::Counter = telemetry::Counter::new("bento.invocations");
+static T_TEARDOWNS: telemetry::Counter = telemetry::Counter::new("bento.containers_torn_down");
+static T_INVOKE_BYTES: telemetry::Histo = telemetry::Histo::new("bento.invoke_input_bytes");
+
 /// Timer-tag namespace for function timers.
 pub const FN_TAG_BASE: u64 = 0x0300_0000_0000_0000;
 /// Bits of a function timer tag reserved for the function's own tag value.
@@ -282,6 +292,12 @@ impl BentoServer {
     }
 
     fn reply(&mut self, deps: &mut Deps<'_, '_>, stream: LocalStream, msg: &BentoMsg) {
+        match msg {
+            BentoMsg::Rejected { .. } => T_REJECTED.inc(),
+            BentoMsg::ContainerReady { .. } => T_CONTAINERS.inc(),
+            BentoMsg::UploadOk { .. } => T_UPLOADS.inc(),
+            _ => {}
+        }
         deps.relay
             .local_send(deps.ctx, stream, &encode_frame(&msg.encode()));
     }
@@ -610,6 +626,8 @@ impl BentoServer {
             return;
         }
         entry.invoker = Some(stream);
+        T_INVOKES.inc();
+        T_INVOKE_BYTES.record(input.len() as u64);
         // Swap the enclave in (paging cost accrues in the EPC stats).
         if entry.enclave_id.is_some() {
             self.epc.touch(id);
@@ -642,6 +660,7 @@ impl BentoServer {
             return;
         }
         entry.alive = false;
+        T_TEARDOWNS.inc();
         if let Some(rt) = entry.runtime.as_mut() {
             rt.container.terminate(reason);
             self.aggregate.free_memory(FN_BASE_MEMORY);

@@ -10,6 +10,12 @@
 
 use std::collections::{HashMap, HashSet};
 
+// One verdict is counted per gate evaluated: `check_circuit` runs two gates
+// (routine permission, then ownership), so a NotOwner denial records one
+// allowed routine gate and one denied ownership gate.
+static T_ALLOWED: telemetry::Counter = telemetry::Counter::new("stem.calls_allowed");
+static T_DENIED: telemetry::Counter = telemetry::Counter::new("stem.calls_denied");
+
 /// Stem (Tor control) routines a function can request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StemCall {
@@ -130,8 +136,10 @@ impl StemFirewall {
             .map(|s| s.contains(&call))
             .unwrap_or(false);
         if ok {
+            T_ALLOWED.inc();
             Ok(())
         } else {
+            T_DENIED.inc();
             let d = StemDenied::NotPermitted(call);
             self.violations.push((function, d));
             Err(d)
@@ -167,8 +175,10 @@ impl StemFirewall {
     ) -> Result<(), StemDenied> {
         self.check(function, call)?;
         if self.circuit_owner.get(&circuit) == Some(&function) {
+            T_ALLOWED.inc();
             Ok(())
         } else {
+            T_DENIED.inc();
             self.violations.push((function, StemDenied::NotOwner));
             Err(StemDenied::NotOwner)
         }

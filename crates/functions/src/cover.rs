@@ -17,6 +17,8 @@ use rand::Rng;
 use simnet::wire::{Reader, Writer};
 use simnet::SimDuration;
 
+static T_COVER_EMISSIONS: telemetry::Counter = telemetry::Counter::new("functions.cover_emissions");
+
 /// Cover mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -113,6 +115,7 @@ impl Cover {
         }
         self.remaining -= 1;
         self.emitted += 1;
+        T_COVER_EMISSIONS.inc();
         match req.mode {
             Mode::Downstream => {
                 let mut junk = vec![0u8; req.chunk as usize];

@@ -2,8 +2,11 @@
 
 use bento::function::FunctionRegistry;
 
+static T_REGISTRY_BUILDS: telemetry::Counter = telemetry::Counter::new("functions.registry_builds");
+
 /// All of the paper's functions, registered under their canonical names.
 pub fn standard_registry() -> FunctionRegistry {
+    T_REGISTRY_BUILDS.inc();
     let mut r = FunctionRegistry::new();
     r.register("browser", crate::browser::make);
     r.register("cover", crate::cover::make);

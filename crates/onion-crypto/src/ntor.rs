@@ -22,6 +22,12 @@ use crate::x25519::{PublicKey, StaticSecret};
 
 const PROTOID: &[u8] = b"bento-ntor-curve25519-sha256-1";
 
+// Handshakes are per-circuit (cold path); counted inline.
+static T_CLIENT_BEGIN: telemetry::Counter = telemetry::Counter::new("ntor.client_begin");
+static T_SERVER_RESPOND: telemetry::Counter = telemetry::Counter::new("ntor.server_respond");
+static T_CLIENT_FINISH: telemetry::Counter = telemetry::Counter::new("ntor.client_finish");
+static T_FAILURES: telemetry::Counter = telemetry::Counter::new("ntor.failures");
+
 /// Relay identity fingerprint (hash of its identity keys, assigned by the
 /// directory).
 pub type NodeId = [u8; 20];
@@ -110,6 +116,7 @@ pub fn client_begin(
     node_id: NodeId,
     relay_onion_key: PublicKey,
 ) -> (ClientHandshake, Vec<u8>) {
+    T_CLIENT_BEGIN.inc();
     let eph = StaticSecret::random(rng);
     let eph_pub = eph.public_key();
     let mut onionskin = Vec::with_capacity(ONIONSKIN_LEN);
@@ -180,7 +187,9 @@ pub fn server_respond(
     identity: &StaticSecret,
     onionskin: &[u8],
 ) -> Result<(Vec<u8>, CircuitKeys), NtorError> {
+    T_SERVER_RESPOND.inc();
     if onionskin.len() != ONIONSKIN_LEN {
+        T_FAILURES.inc();
         return Err(NtorError::Malformed);
     }
     let mut claimed_id = [0u8; 20];
@@ -192,6 +201,7 @@ pub fn server_respond(
     let b_pub = identity.public_key();
     if claimed_id != node_id || b_bytes != *b_pub.as_bytes() {
         // The client was aiming at a different relay or stale keys.
+        T_FAILURES.inc();
         return Err(NtorError::AuthFailed);
     }
     let x = PublicKey(x_bytes);
@@ -209,7 +219,9 @@ pub fn server_respond(
 
 /// Client side: verify the server's reply and derive circuit keys.
 pub fn client_finish(state: &ClientHandshake, reply: &[u8]) -> Result<CircuitKeys, NtorError> {
+    T_CLIENT_FINISH.inc();
     if reply.len() != REPLY_LEN {
+        T_FAILURES.inc();
         return Err(NtorError::Malformed);
     }
     let mut y_bytes = [0u8; 32];
@@ -233,6 +245,7 @@ pub fn client_finish(state: &ClientHandshake, reply: &[u8]) -> Result<CircuitKey
         &state.eph_pub,
     );
     if !ct_eq(&expect, &reply[32..]) {
+        T_FAILURES.inc();
         return Err(NtorError::AuthFailed);
     }
     Ok(derive_keys(&secret))

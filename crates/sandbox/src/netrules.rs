@@ -6,6 +6,9 @@
 //! (§5.3). [`NetRules`] is the container-side rule chain: ordered,
 //! first-match-wins, default drop.
 
+static T_NET_ALLOWED: telemetry::Counter = telemetry::Counter::new("sandbox.net_allowed");
+static T_NET_DENIED: telemetry::Counter = telemetry::Counter::new("sandbox.net_denied");
+
 /// One rule: accept or drop traffic to a host/port pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetRule {
@@ -77,8 +80,10 @@ impl NetRules {
         let ok = self.allows(host, port);
         if ok {
             self.accepted += 1;
+            T_NET_ALLOWED.inc();
         } else {
             self.dropped += 1;
+            T_NET_DENIED.inc();
         }
         ok
     }

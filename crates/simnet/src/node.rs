@@ -86,6 +86,14 @@ pub trait Node: AsAny {
 
     /// A timer set with [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+
+    /// Fold any locally batched telemetry into the process metrics. The
+    /// simulator calls this for every node after each `run_until` event
+    /// loop — out of the per-event hot path, and before any snapshot a
+    /// bench trial captures. Nodes that accumulate per-cell counters in
+    /// plain fields (e.g. `tor-net`'s `RelayCore`) override this; the
+    /// default does nothing.
+    fn flush_telemetry(&mut self) {}
 }
 
 /// The handle through which a node (or the experiment harness) acts on the
@@ -174,6 +182,7 @@ impl<'a> Ctx<'a> {
         if self.core.cancelled_timers.len() > self.core.pending_timers + 64 {
             let live: std::collections::HashSet<u64> = self.core.queue.live_timer_ids().collect();
             self.core.cancelled_timers.retain(|t| live.contains(t));
+            self.core.timer_sweeps += 1;
         }
     }
 

@@ -11,6 +11,23 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashSet, VecDeque};
 
+// Telemetry is flushed once per `run_until` call, not per event: the hot
+// loop accumulates into plain `SimStats`/`BufPool` fields exactly as before
+// and the epilogue reports the deltas. Only the per-delivery message-size
+// histogram records inline (and only in `Mode::Full`).
+static T_EVENTS: telemetry::Counter = telemetry::Counter::new("simnet.events");
+static T_MSGS: telemetry::Counter = telemetry::Counter::new("simnet.msgs_delivered");
+static T_BYTES: telemetry::Counter = telemetry::Counter::new("simnet.bytes_delivered");
+static T_CONNS: telemetry::Counter = telemetry::Counter::new("simnet.conns_opened");
+static T_POOL_HITS: telemetry::Counter = telemetry::Counter::new("simnet.pool.hits");
+static T_POOL_MISSES: telemetry::Counter = telemetry::Counter::new("simnet.pool.misses");
+static T_POOL_RECYCLED: telemetry::Counter = telemetry::Counter::new("simnet.pool.recycled");
+static T_TIMER_SWEEPS: telemetry::Counter =
+    telemetry::Counter::new("simnet.timer_tombstone_sweeps");
+static T_QUEUE_DEPTH: telemetry::Gauge = telemetry::Gauge::new("simnet.queue_depth");
+static T_MSG_BYTES: telemetry::Histo = telemetry::Histo::new("simnet.msg_bytes");
+static T_RUN: telemetry::Span = telemetry::Span::new("simnet.run_until");
+
 /// Top-level configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -112,6 +129,11 @@ impl Conn {
 #[derive(Debug, Default)]
 pub(crate) struct BufPool {
     bufs: Vec<Vec<u8>>,
+    /// Takes served from a parked buffer vs. a fresh allocation; plain
+    /// fields so the hot path stays telemetry-free (flushed by `run_until`).
+    hits: u64,
+    misses: u64,
+    recycled: u64,
 }
 
 impl BufPool {
@@ -123,12 +145,16 @@ impl BufPool {
     pub(crate) fn take(&mut self, cap: usize) -> Vec<u8> {
         match self.bufs.pop() {
             Some(mut buf) => {
+                self.hits += 1;
                 if buf.capacity() < cap {
                     buf.reserve(cap - buf.len());
                 }
                 buf
             }
-            None => Vec::with_capacity(cap),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(cap)
+            }
         }
     }
 
@@ -141,6 +167,7 @@ impl BufPool {
         }
         buf.clear();
         self.bufs.push(buf);
+        self.recycled += 1;
     }
 }
 
@@ -158,6 +185,16 @@ pub(crate) struct SimCore {
     /// [`Ctx::cancel_timer`] bound the tombstone set cheaply.
     pub(crate) pending_timers: usize,
     pub(crate) pool: BufPool,
+    /// Tombstone sweeps performed by [`Ctx::cancel_timer`]; flushed to
+    /// telemetry by `run_until`.
+    pub(crate) timer_sweeps: u64,
+    /// Delivered-message sizes batched locally this run; `run_until` folds
+    /// the whole histogram into `simnet.msg_bytes` in one registry access
+    /// instead of one per message.
+    msg_bytes: telemetry::hist::LogHistogram,
+    /// Cached `mode() >= Full` for the current `run_until` pass, so the
+    /// per-message record is a plain branch.
+    hist_full: bool,
     ifaces: Vec<Iface>,
     names: Vec<String>,
     conns: Vec<Conn>,
@@ -392,6 +429,7 @@ impl Simulator {
                 cancelled_timers: HashSet::new(),
                 pending_timers: 0,
                 pool: BufPool::default(),
+                timer_sweeps: 0,
                 ifaces: Vec::new(),
                 names: Vec::new(),
                 conns: Vec::new(),
@@ -399,6 +437,8 @@ impl Simulator {
                 active_down: Vec::new(),
                 sniffers: Vec::new(),
                 stats: SimStats::default(),
+                msg_bytes: telemetry::hist::LogHistogram::new(),
+                hist_full: false,
             },
             nodes: Vec::new(),
             started_upto: 0,
@@ -529,10 +569,24 @@ impl Simulator {
     /// events processed.
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
         self.ensure_started();
+        self.core.hist_full = telemetry::mode() >= telemetry::Mode::Full;
+        let enter_ns = self.core.now.as_nanos();
+        let before = self.core.stats;
+        let pool_before = (
+            self.core.pool.hits,
+            self.core.pool.misses,
+            self.core.pool.recycled,
+        );
+        let sweeps_before = self.core.timer_sweeps;
+        let mut max_depth = self.core.queue.len();
         let mut processed = 0;
         while let Some(t) = self.core.queue.peek_time() {
             if t > limit {
                 break;
+            }
+            let depth = self.core.queue.len();
+            if depth > max_depth {
+                max_depth = depth;
             }
             let ev = self.core.queue.pop().expect("peeked event vanished");
             self.core.now = ev.time;
@@ -543,6 +597,26 @@ impl Simulator {
         if self.core.now < limit {
             self.core.now = limit;
         }
+        // Flush this run's deltas to telemetry in one shot; the loop above
+        // only touched plain fields. Nodes batching their own counters
+        // (relays) flush here too.
+        for node in self.nodes.iter_mut().flatten() {
+            node.flush_telemetry();
+        }
+        if !self.core.msg_bytes.is_empty() {
+            T_MSG_BYTES.merge_from(&std::mem::take(&mut self.core.msg_bytes));
+        }
+        let after = self.core.stats;
+        T_EVENTS.add(after.events - before.events);
+        T_MSGS.add(after.msgs_delivered - before.msgs_delivered);
+        T_BYTES.add(after.bytes_delivered - before.bytes_delivered);
+        T_CONNS.add(after.conns_opened - before.conns_opened);
+        T_POOL_HITS.add(self.core.pool.hits - pool_before.0);
+        T_POOL_MISSES.add(self.core.pool.misses - pool_before.1);
+        T_POOL_RECYCLED.add(self.core.pool.recycled - pool_before.2);
+        T_TIMER_SWEEPS.add(self.core.timer_sweeps - sweeps_before);
+        T_QUEUE_DEPTH.set(max_depth as u64);
+        T_RUN.record_events(enter_ns, self.core.now.as_nanos(), processed);
         processed
     }
 
@@ -592,6 +666,9 @@ impl Simulator {
                 }
                 self.core.stats.msgs_delivered += 1;
                 self.core.stats.bytes_delivered += msg.len() as u64;
+                if self.core.hist_full {
+                    self.core.msg_bytes.record(msg.len() as u64);
+                }
                 if let Some(s) = self.core.sniffers[receiver.0 as usize].as_mut() {
                     s.record(TraceEvent {
                         time: self.core.now,

@@ -13,6 +13,13 @@ pub struct TimeSeries {
 }
 
 impl TimeSeries {
+    /// Hard cap on bucket count. An instant this far past the series start
+    /// is almost always a unit bug (nanoseconds passed as seconds, or a
+    /// `SimTime::MAX` sentinel leaking in), and resizing toward it would
+    /// silently try to allocate gigabytes. 2^20 one-second buckets is about
+    /// 12 days of simulated time — far beyond any experiment here.
+    pub const MAX_BUCKETS: usize = 1 << 20;
+
     /// New series with the given bucket width.
     pub fn new(bucket: SimDuration) -> Self {
         assert!(!bucket.is_zero(), "bucket width must be positive");
@@ -23,8 +30,19 @@ impl TimeSeries {
     }
 
     /// Add `value` at instant `t`.
+    ///
+    /// # Panics
+    /// If `t` lands past [`TimeSeries::MAX_BUCKETS`] buckets — see the
+    /// constant for why that is treated as a caller bug rather than grown.
     pub fn add(&mut self, t: SimTime, value: f64) {
         let idx = (t.as_nanos() / self.bucket.as_nanos()) as usize;
+        assert!(
+            idx < Self::MAX_BUCKETS,
+            "TimeSeries::add at {t:?} needs bucket {idx} (width {}), over the cap of {} buckets \
+             — wrong bucket width, or a sentinel time from another run?",
+            self.bucket,
+            Self::MAX_BUCKETS,
+        );
         if idx >= self.sums.len() {
             self.sums.resize(idx + 1, 0.0);
         }
@@ -201,6 +219,25 @@ mod tests {
         assert_eq!(ts.total(), 1250.0);
         let pts = ts.rate_points();
         assert_eq!(pts[1], (1.0, 250.0));
+    }
+
+    #[test]
+    fn time_series_accepts_times_up_to_the_cap() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        let last_ok = SimDuration::from_secs((TimeSeries::MAX_BUCKETS - 1) as u64);
+        ts.add(SimTime::ZERO + last_ok, 1.0);
+        assert_eq!(ts.buckets().len(), TimeSeries::MAX_BUCKETS);
+        assert_eq!(ts.total(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over the cap")]
+    fn time_series_rejects_runaway_resize() {
+        // Before the cap this tried to allocate one bucket per simulated
+        // second until u64::MAX nanoseconds — an effectively unbounded
+        // resize that aborted the process instead of panicking usefully.
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.add(SimTime::MAX, 1.0);
     }
 
     #[test]

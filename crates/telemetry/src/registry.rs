@@ -1,0 +1,182 @@
+//! Metric storage: global name interners plus per-thread value registries.
+//!
+//! Recording never takes a lock on the hot path — each static metric handle
+//! interns its name once (a `OnceLock` around a short `Mutex` critical
+//! section), after which every record is a thread-local vector index. Values
+//! recorded on different threads never contend and never interleave; the
+//! deterministic story is that a unit of work (a bench trial) runs inside
+//! [`scoped`], which captures exactly that unit's values as a [`Snapshot`]
+//! the caller merges back in a deterministic order.
+
+use crate::hist::LogHistogram;
+use crate::snapshot::{GaugeSnap, HistSnap, Snapshot};
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// One interner per metric kind; the slot index is the id a handle caches.
+pub(crate) static COUNTER_NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+pub(crate) static GAUGE_NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+pub(crate) static HIST_NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+pub(crate) fn intern(table: &Mutex<Vec<&'static str>>, name: &'static str) -> usize {
+    let mut t = table.lock().expect("metric name table poisoned");
+    if let Some(i) = t.iter().position(|n| *n == name) {
+        return i;
+    }
+    t.push(name);
+    t.len() - 1
+}
+
+fn names_of(table: &Mutex<Vec<&'static str>>) -> Vec<&'static str> {
+    table.lock().expect("metric name table poisoned").clone()
+}
+
+/// Current + high-water value of a gauge.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct GaugeCell {
+    pub last: u64,
+    pub max: u64,
+}
+
+/// Per-thread metric values, indexed by interned slot.
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<u64>,
+    gauges: Vec<GaugeCell>,
+    hists: Vec<LogHistogram>,
+}
+
+thread_local! {
+    static REG: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+#[inline]
+fn grow_and<T: Default, R>(v: &mut Vec<T>, slot: usize, f: impl FnOnce(&mut T) -> R) -> R {
+    if slot >= v.len() {
+        v.resize_with(slot + 1, T::default);
+    }
+    f(&mut v[slot])
+}
+
+#[inline]
+pub(crate) fn counter_add(slot: usize, n: u64) {
+    REG.with(|r| grow_and(&mut r.borrow_mut().counters, slot, |c| *c += n));
+}
+
+#[inline]
+pub(crate) fn gauge_set(slot: usize, v: u64) {
+    REG.with(|r| {
+        grow_and(&mut r.borrow_mut().gauges, slot, |g| {
+            g.last = v;
+            if v > g.max {
+                g.max = v;
+            }
+        })
+    });
+}
+
+#[inline]
+pub(crate) fn hist_record(slot: usize, v: u64) {
+    REG.with(|r| grow_and(&mut r.borrow_mut().hists, slot, |h| h.record(v)));
+}
+
+#[inline]
+pub(crate) fn hist_merge(slot: usize, other: &LogHistogram) {
+    REG.with(|r| grow_and(&mut r.borrow_mut().hists, slot, |h| h.merge(other)));
+}
+
+impl Registry {
+    fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (name, &v) in names_of(&COUNTER_NAMES).iter().zip(self.counters.iter()) {
+            if v != 0 {
+                snap.counters.insert(name.to_string(), v);
+            }
+        }
+        for (name, g) in names_of(&GAUGE_NAMES).iter().zip(self.gauges.iter()) {
+            if g.max != 0 || g.last != 0 {
+                snap.gauges.insert(
+                    name.to_string(),
+                    GaugeSnap {
+                        last: g.last,
+                        max: g.max,
+                    },
+                );
+            }
+        }
+        for (name, h) in names_of(&HIST_NAMES).iter().zip(self.hists.iter()) {
+            if !h.is_empty() {
+                snap.hists.insert(name.to_string(), HistSnap::from_hist(h));
+            }
+        }
+        snap
+    }
+
+    fn merge_snapshot(&mut self, snap: &Snapshot) {
+        for (name, &v) in &snap.counters {
+            if let Some(i) = lookup(&COUNTER_NAMES, name) {
+                grow_and(&mut self.counters, i, |c| *c += v);
+            }
+        }
+        for (name, g) in &snap.gauges {
+            if let Some(i) = lookup(&GAUGE_NAMES, name) {
+                grow_and(&mut self.gauges, i, |cell| {
+                    cell.last = g.last;
+                    cell.max = cell.max.max(g.max);
+                });
+            }
+        }
+        for (name, h) in &snap.hists {
+            if let Some(i) = lookup(&HIST_NAMES, name) {
+                grow_and(&mut self.hists, i, |hist| hist.merge(&h.to_hist()));
+            }
+        }
+    }
+}
+
+fn lookup(table: &Mutex<Vec<&'static str>>, name: &str) -> Option<usize> {
+    table
+        .lock()
+        .expect("metric name table poisoned")
+        .iter()
+        .position(|n| *n == name)
+}
+
+/// Snapshot the calling thread's metrics (does not reset them).
+pub fn snapshot() -> Snapshot {
+    REG.with(|r| r.borrow().snapshot())
+}
+
+/// Snapshot the calling thread's metrics and reset them to empty.
+pub fn take_snapshot() -> Snapshot {
+    REG.with(|r| {
+        let reg = std::mem::take(&mut *r.borrow_mut());
+        reg.snapshot()
+    })
+}
+
+/// Reset the calling thread's metrics.
+pub fn reset() {
+    REG.with(|r| {
+        *r.borrow_mut() = Registry::default();
+    });
+}
+
+/// Run `f` against a fresh, empty registry and return its result together
+/// with everything it recorded. The caller's own metrics are untouched —
+/// this is how a bench trial's telemetry is captured no matter which worker
+/// thread the trial lands on.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    let saved = REG.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    let out = f();
+    let fresh = REG.with(|r| std::mem::replace(&mut *r.borrow_mut(), saved));
+    (out, fresh.snapshot())
+}
+
+/// Merge a snapshot (e.g. one captured by [`scoped`] on a worker thread)
+/// into the calling thread's metrics. Only names already interned by some
+/// metric handle are merged; snapshots only ever hold interned names, so
+/// nothing is dropped in practice.
+pub fn merge(snap: &Snapshot) {
+    REG.with(|r| r.borrow_mut().merge_snapshot(snap));
+}

@@ -1,0 +1,231 @@
+//! Point-in-time metric snapshots: mergeable, ordered, integer-exact.
+//!
+//! A snapshot is the unit of deterministic export: `BTreeMap`s keyed by
+//! metric name (so serialization order never depends on registration or
+//! scheduling order) holding only integers (so no float formatting can
+//! differ between runs). Two snapshots merge field-by-field with
+//! commutative, associative operations; quantiles are *derived* from merged
+//! bucket state rather than merged themselves.
+
+use crate::hist::{LogHistogram, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Exported gauge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnap {
+    /// Most recently set value.
+    pub last: u64,
+    /// High-water mark.
+    pub max: u64,
+}
+
+/// Exported histogram state. Buckets are `(bucket_index, count)` pairs for
+/// the non-empty buckets only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnap {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Sparse non-empty buckets.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistSnap {
+    pub(crate) fn from_hist(h: &LogHistogram) -> HistSnap {
+        HistSnap {
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            buckets: h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(b, &c)| (b as u8, c))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn to_hist(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &(b, c) in &self.buckets {
+            h.counts[(b as usize).min(BUCKETS - 1)] = c;
+        }
+        h.count = self.count;
+        h.sum = self.sum;
+        h.min = if self.count == 0 { u64::MAX } else { self.min };
+        h.max = self.max;
+        h
+    }
+
+    /// Fold another histogram snapshot into this one; quantiles are
+    /// recomputed from the merged buckets.
+    pub fn merge(&mut self, other: &HistSnap) {
+        let mut h = self.to_hist();
+        h.merge(&other.to_hist());
+        *self = HistSnap::from_hist(&h);
+    }
+}
+
+/// A mergeable snapshot of every metric a unit of work recorded.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Level gauges (last + high-water).
+    pub gauges: BTreeMap<String, GaugeSnap>,
+    /// Distributions (histograms and sim-time spans).
+    pub hists: BTreeMap<String, HistSnap>,
+}
+
+impl Snapshot {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Fold `other` into this snapshot. Counter values add, gauge maxima
+    /// take the max (with `other` treated as the later observation for
+    /// `last`), histogram buckets add. Apart from each gauge's `last` field
+    /// the operation is commutative and associative.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, g) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(GaugeSnap {
+                last: g.last,
+                max: 0,
+            });
+            e.last = g.last;
+            e.max = e.max.max(g.max);
+        }
+        for (k, h) in &other.hists {
+            match self.hists.get_mut(k) {
+                Some(e) => e.merge(h),
+                None => {
+                    self.hists.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the snapshot body as deterministic JSON (three ordered maps),
+    /// indented by `indent` spaces. Integers only — byte-identical for equal
+    /// snapshots by construction.
+    pub fn write_json(&self, out: &mut String, indent: usize) {
+        let pad = " ".repeat(indent);
+        let _ = writeln!(out, "{pad}\"counters\": {{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let c = comma(i, self.counters.len());
+            let _ = writeln!(out, "{pad}  \"{k}\": {v}{c}");
+        }
+        let _ = writeln!(out, "{pad}}},");
+        let _ = writeln!(out, "{pad}\"gauges\": {{");
+        for (i, (k, g)) in self.gauges.iter().enumerate() {
+            let c = comma(i, self.gauges.len());
+            let _ = writeln!(
+                out,
+                "{pad}  \"{k}\": {{\"last\": {}, \"max\": {}}}{c}",
+                g.last, g.max
+            );
+        }
+        let _ = writeln!(out, "{pad}}},");
+        let _ = writeln!(out, "{pad}\"histograms\": {{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            let c = comma(i, self.hists.len());
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, n)| format!("[{b}, {n}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{pad}  \"{k}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}{c}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+                buckets.join(", ")
+            );
+        }
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counts: &[(&str, u64)]) -> Snapshot {
+        let mut s = Snapshot::default();
+        for &(k, v) in counts {
+            s.counters.insert(k.to_string(), v);
+        }
+        s
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = snap(&[("x", 2), ("y", 5)]);
+        a.merge(&snap(&[("x", 3), ("z", 1)]));
+        assert_eq!(a.counters["x"], 5);
+        assert_eq!(a.counters["y"], 5);
+        assert_eq!(a.counters["z"], 1);
+    }
+
+    #[test]
+    fn json_is_ordered_and_integer() {
+        let mut s = snap(&[("b.two", 2), ("a.one", 1)]);
+        s.gauges.insert("g".into(), GaugeSnap { last: 3, max: 9 });
+        let mut out = String::new();
+        s.write_json(&mut out, 0);
+        let a = out.find("a.one").unwrap();
+        let b = out.find("b.two").unwrap();
+        assert!(a < b, "keys must serialize in sorted order");
+        assert!(out.contains("\"g\": {\"last\": 3, \"max\": 9}"));
+    }
+
+    #[test]
+    fn hist_snap_roundtrips_through_merge() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let s = HistSnap::from_hist(&h);
+        let mut a = s.clone();
+        a.merge(&s);
+        assert_eq!(a.count, 8);
+        assert_eq!(a.sum, 2222);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 1000);
+    }
+}

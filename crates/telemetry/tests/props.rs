@@ -1,0 +1,133 @@
+//! Property-based tests for the telemetry primitives: the histogram merge
+//! algebra (associative + commutative, so trial snapshots can fold in any
+//! grouping and still export identical bytes) and quantile bracketing (the
+//! log-bucket estimate provably straddles the true sample).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use telemetry::hist::LogHistogram;
+use telemetry::snapshot::{GaugeSnap, Snapshot};
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Everything observable about a histogram, in comparable form.
+fn key(h: &LogHistogram) -> (Vec<u64>, u64, u64, u64, u64) {
+    (h.counts.to_vec(), h.count, h.sum, h.min, h.max)
+}
+
+fn merged(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// A snapshot with counters, a gauge, and a histogram derived from `xs`.
+fn snap_of(tag: u64, xs: &[u64]) -> Snapshot {
+    let mut s = Snapshot::default();
+    s.counters.insert("p.count".into(), tag + 1);
+    s.counters.insert(format!("p.count{}", tag % 3), 1);
+    s.gauges.insert(
+        "p.depth".into(),
+        GaugeSnap {
+            last: tag,
+            max: tag * 2,
+        },
+    );
+    let ((), h) = telemetry::scoped(|| {
+        static H: telemetry::Histo = telemetry::Histo::new("p.hist");
+        telemetry::set_mode(telemetry::Mode::Full);
+        for &x in xs {
+            H.record(x);
+        }
+    });
+    s.hists = h.hists;
+    s
+}
+
+proptest! {
+    /// Merging histograms commutes: a⊕b == b⊕a.
+    #[test]
+    fn hist_merge_commutes(
+        xs in vec(any::<u64>(), 0..64),
+        ys in vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        prop_assert_eq!(key(&merged(&a, &b)), key(&merged(&b, &a)));
+    }
+
+    /// Merging histograms associates: (a⊕b)⊕c == a⊕(b⊕c).
+    #[test]
+    fn hist_merge_associates(
+        xs in vec(any::<u64>(), 0..64),
+        ys in vec(any::<u64>(), 0..64),
+        zs in vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        prop_assert_eq!(
+            key(&merged(&merged(&a, &b), &c)),
+            key(&merged(&a, &merged(&b, &c)))
+        );
+    }
+
+    /// Merging two histograms equals recording every sample into one — the
+    /// exact property that makes per-trial capture + ordered fold equivalent
+    /// to sequential recording.
+    #[test]
+    fn hist_merge_equals_recording_together(
+        xs in vec(any::<u64>(), 0..64),
+        ys in vec(any::<u64>(), 0..64),
+    ) {
+        let all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(
+            key(&merged(&hist_of(&xs), &hist_of(&ys))),
+            key(&hist_of(&all))
+        );
+    }
+
+    /// The log-bucket quantile estimate brackets the true nearest-rank
+    /// sample: `quantile_lo(q) <= sorted[rank] <= quantile(q)`.
+    #[test]
+    fn quantiles_bracket_the_true_sample(
+        mut xs in vec(any::<u64>(), 1..256),
+        q_millis in 0u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = hist_of(&xs);
+        xs.sort_unstable();
+        let rank = ((xs.len() - 1) as f64 * q).round() as usize;
+        let truth = xs[rank];
+        prop_assert!(h.quantile_lo(q) <= truth, "lo {} > true {truth}", h.quantile_lo(q));
+        prop_assert!(truth <= h.quantile(q), "hi {} < true {truth}", h.quantile(q));
+    }
+
+    /// Snapshot merge is associative across all three metric kinds, and the
+    /// rendered JSON bytes agree — grouping of trial snapshots can't change
+    /// the exported artifact.
+    #[test]
+    fn snapshot_merge_associates_and_renders_identically(
+        ta in 0u64..100, tb in 0u64..100, tc in 0u64..100,
+        xs in vec(any::<u64>(), 0..32),
+        ys in vec(any::<u64>(), 0..32),
+        zs in vec(any::<u64>(), 0..32),
+    ) {
+        let (a, b, c) = (snap_of(ta, &xs), snap_of(tb, &ys), snap_of(tc, &zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let (mut ja, mut jb) = (String::new(), String::new());
+        left.write_json(&mut ja, 0);
+        right.write_json(&mut jb, 0);
+        prop_assert_eq!(ja, jb);
+    }
+}

@@ -21,6 +21,17 @@ use onion_crypto::x25519::StaticSecret;
 use simnet::{ConnId, Ctx, Node, NodeId, SimDuration};
 use std::collections::{HashMap, VecDeque};
 
+// Data-plane telemetry. The per-cell hot path bumps plain [`RelayStats`]
+// fields only; [`RelayCore::flush_telemetry`] (driven once per
+// `Simulator::run_until` through `Node::flush_telemetry`) folds the deltas
+// into these statics, so forwarding a cell never touches the registry.
+static T_CELLS_IN: telemetry::Counter = telemetry::Counter::new("tor.cells_in");
+static T_CELLS_OUT: telemetry::Counter = telemetry::Counter::new("tor.cells_out");
+static T_CELLS_FWD: telemetry::Counter = telemetry::Counter::new("tor.cells_forwarded");
+static T_CRYPTO_BYTES: telemetry::Counter = telemetry::Counter::new("tor.crypto_bytes");
+static T_CIRCUITS: telemetry::Counter = telemetry::Counter::new("tor.circuits_built");
+static T_EXIT_STREAMS: telemetry::Counter = telemetry::Counter::new("tor.exit_streams_opened");
+
 /// Timer-tag namespace reserved by the relay component.
 pub const RELAY_TAG_BASE: u64 = 0x0100_0000_0000_0000;
 const TAG_BUILD_CONSENSUS: u64 = RELAY_TAG_BASE + 1;
@@ -173,6 +184,10 @@ pub struct RelayStats {
     pub cells_in: u64,
     /// Cells sent on OR connections.
     pub cells_out: u64,
+    /// Cells switched through (forwarded between hops or spliced).
+    pub cells_forwarded: u64,
+    /// Relay-payload bytes run through per-hop layer crypto.
+    pub crypto_bytes: u64,
     /// Circuits created through this relay.
     pub circuits: u64,
     /// Exit streams opened.
@@ -205,6 +220,8 @@ pub struct RelayCore {
     next_local_stream: u64,
     events: VecDeque<RelayEvent>,
     stats: RelayStats,
+    /// Stats already folded into the telemetry statics (see `flush_telemetry`).
+    flushed: RelayStats,
 }
 
 impl RelayCore {
@@ -236,6 +253,7 @@ impl RelayCore {
             next_local_stream: 1,
             events: VecDeque::new(),
             stats: RelayStats::default(),
+            flushed: RelayStats::default(),
         }
     }
 
@@ -247,6 +265,26 @@ impl RelayCore {
     /// Counters.
     pub fn stats(&self) -> RelayStats {
         self.stats
+    }
+
+    /// Fold the stats accumulated since the last flush into the process
+    /// telemetry. The simulator drives this once per `run_until` (through
+    /// `Node::flush_telemetry`), so the per-cell hot path never pays a
+    /// registry access.
+    pub fn flush_telemetry(&mut self) {
+        fn delta(counter: &telemetry::Counter, now: u64, then: u64) {
+            if now > then {
+                counter.add(now - then);
+            }
+        }
+        let (now, then) = (self.stats, self.flushed);
+        delta(&T_CELLS_IN, now.cells_in, then.cells_in);
+        delta(&T_CELLS_OUT, now.cells_out, then.cells_out);
+        delta(&T_CELLS_FWD, now.cells_forwarded, then.cells_forwarded);
+        delta(&T_CRYPTO_BYTES, now.crypto_bytes, then.crypto_bytes);
+        delta(&T_CIRCUITS, now.circuits, then.circuits);
+        delta(&T_EXIT_STREAMS, now.exit_streams, then.exit_streams);
+        self.flushed = now;
     }
 
     /// The descriptor this relay advertises.
@@ -596,7 +634,10 @@ impl RelayCore {
             let recognized = {
                 let c = self.circuits[slot].as_mut().expect("checked above");
                 match Cell::wire_payload_mut(&mut msg) {
-                    Some(payload) => c.crypto.unseal(payload),
+                    Some(payload) => {
+                        self.stats.crypto_bytes += payload.len() as u64;
+                        c.crypto.unseal(payload)
+                    }
                     None => {
                         ctx.recycle_buf(msg);
                         return;
@@ -615,11 +656,13 @@ impl RelayCore {
             let next = self.circuits[slot].as_ref().and_then(|c| c.next);
             if let Some((nconn, ncirc)) = next {
                 Cell::set_wire_circ_id(&mut msg, ncirc);
+                self.stats.cells_forwarded += 1;
                 self.send_wire(ctx, nconn, msg);
                 return;
             }
             let splice = self.circuits[slot].as_ref().and_then(|c| c.splice);
             if let Some(other) = splice {
+                self.stats.cells_forwarded += 1;
                 self.send_spliced_wire(ctx, other, msg);
                 return;
             }
@@ -634,7 +677,10 @@ impl RelayCore {
                     return;
                 };
                 match Cell::wire_payload_mut(&mut msg) {
-                    Some(payload) => c.crypto.encrypt_layer(payload),
+                    Some(payload) => {
+                        self.stats.crypto_bytes += payload.len() as u64;
+                        c.crypto.encrypt_layer(payload)
+                    }
                     None => {
                         ctx.recycle_buf(msg);
                         return;
@@ -643,6 +689,7 @@ impl RelayCore {
                 c.prev
             };
             Cell::set_wire_circ_id(&mut msg, prev.1);
+            self.stats.cells_forwarded += 1;
             self.send_wire(ctx, prev.0, msg);
         }
     }
@@ -660,7 +707,10 @@ impl RelayCore {
                 return;
             }
             match Cell::wire_payload_mut(&mut msg) {
-                Some(payload) => c.crypto.encrypt_layer(payload),
+                Some(payload) => {
+                    self.stats.crypto_bytes += payload.len() as u64;
+                    c.crypto.encrypt_layer(payload)
+                }
                 None => {
                     ctx.recycle_buf(msg);
                     return;
@@ -738,6 +788,7 @@ impl RelayCore {
                 return;
             };
             c.crypto.seal(&mut payload);
+            self.stats.crypto_bytes += PAYLOAD_LEN as u64;
             c.prev
         };
         let cell = Cell {
@@ -1265,5 +1316,8 @@ impl Node for RelayNode {
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         self.relay.on_timer(ctx, tag);
+    }
+    fn flush_telemetry(&mut self) {
+        self.relay.flush_telemetry();
     }
 }

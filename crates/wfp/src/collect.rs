@@ -80,12 +80,16 @@ fn all_pages(sites: &[SiteModel], n_visits: u32, jitter_pct: u32) -> Vec<(String
         .collect()
 }
 
+static T_TRACES: telemetry::Counter = telemetry::Counter::new("wfp.traces_collected");
+
 /// Collect labeled traces for `cfg.defense`.
 pub fn collect_traces(cfg: &CollectConfig) -> Vec<Trace> {
-    match cfg.defense {
+    let traces = match cfg.defense {
         Defense::StandardTor => collect_standard(cfg),
         Defense::BentoBrowser { padding } => collect_browser(cfg, padding),
-    }
+    };
+    T_TRACES.add(traces.len() as u64);
+    traces
 }
 
 fn collect_standard(cfg: &CollectConfig) -> Vec<Trace> {

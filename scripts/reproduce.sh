@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the Bento paper from scratch.
-# Results land in results/*.csv and results/*.txt.
+# Results land in results/*.csv and results/*.txt; every sweep binary
+# also exports its telemetry as results/TELEMETRY_<name>.json
+# (schema bento-telemetry/v1; validated at the end by telemetry_check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +37,18 @@ echo "== per-cell crypto data plane baseline =="
 cargo run --release -p bench --bin bench_cells -- --label optimized
 
 echo "== simulator throughput + parallel sweep harness =="
-cargo run --release -p bench --bin bench_sim -- --label optimized
+cargo run --release -p bench --bin bench_sim -- --label optimized --telemetry full
+
+echo "== telemetry artifacts: schema + overhead gate =="
+cargo run --release -p bench --bin telemetry_check -- \
+  --file results/TELEMETRY_bench_sim.json \
+  --file results/TELEMETRY_table2.json \
+  --file results/TELEMETRY_figure5.json \
+  --file results/TELEMETRY_scalability.json \
+  --file results/TELEMETRY_cover_ablation.json \
+  --file results/TELEMETRY_multipath_sweep.json \
+  --file results/TELEMETRY_padding_sweep.json \
+  --overhead-gate 2.0
 
 echo "== criterion microbenches =="
 cargo bench --workspace
