@@ -108,6 +108,14 @@ impl Platform {
         }
     }
 
+    /// The platform's sealing secret — derived from the provisioned key and
+    /// never leaving the machine (the EGETKEY analog). Feed it to
+    /// [`crate::sealed::seal_data`] so sealed blobs survive reboots of the
+    /// same platform but are useless anywhere else.
+    pub fn sealing_secret(&self) -> [u8; 32] {
+        hmac_sha256(&self.key, b"sealing-secret")
+    }
+
     /// Produce a quote for an enclave running on this platform.
     pub fn quote(&self, enclave: &Enclave, report_data: [u8; 32]) -> Quote {
         let mut q = Quote {

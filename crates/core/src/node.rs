@@ -125,6 +125,19 @@ impl Node for BentoBoxNode {
         self.pump(ctx);
     }
 
+    fn on_crash(&mut self) {
+        // Everything volatile dies: relay link/circuit state, the onion
+        // proxy's circuits and consensus, the server's containers. The
+        // server's sealed store (its disk) survives and is replayed once
+        // the restarted proxy re-fetches a consensus.
+        self.relay.reset();
+        self.tor.reset();
+        self.bento.crash();
+    }
+
+    // Default on_restart → on_start: the relay re-registers under its
+    // seed-derived identity and the onion proxy re-bootstraps.
+
     fn flush_telemetry(&mut self) {
         self.relay.flush_telemetry();
     }

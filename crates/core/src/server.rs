@@ -43,6 +43,7 @@ static T_UPLOADS: telemetry::Counter = telemetry::Counter::new("bento.functions_
 static T_INVOKES: telemetry::Counter = telemetry::Counter::new("bento.invocations");
 static T_TEARDOWNS: telemetry::Counter = telemetry::Counter::new("bento.containers_torn_down");
 static T_INVOKE_BYTES: telemetry::Histo = telemetry::Histo::new("bento.invoke_input_bytes");
+static T_RECOVERED: telemetry::Counter = telemetry::Counter::new("bento.functions_recovered");
 
 /// Timer-tag namespace for function timers.
 pub const FN_TAG_BASE: u64 = 0x0300_0000_0000_0000;
@@ -98,6 +99,49 @@ struct HsEntry {
     host: HiddenServiceHost,
 }
 
+/// The crash-surviving record of one uploaded function: enough to rebuild
+/// the container after a host restart with the *same* client-held tokens,
+/// so clients reattach without renegotiating. Stored sealed to
+/// (platform, enclave measurement).
+struct StoredFunction {
+    image: ImageKind,
+    invocation_token: Token,
+    shutdown_token: Token,
+    /// The plain (already-opened) `FunctionSpec` bytes.
+    spec: Vec<u8>,
+}
+
+impl StoredFunction {
+    fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(65 + self.spec.len());
+        v.push(match self.image {
+            ImageKind::Plain => 0u8,
+            ImageKind::Sgx => 1u8,
+        });
+        v.extend_from_slice(&self.invocation_token.0);
+        v.extend_from_slice(&self.shutdown_token.0);
+        v.extend_from_slice(&self.spec);
+        v
+    }
+
+    fn decode(b: &[u8]) -> Option<StoredFunction> {
+        if b.len() < 65 {
+            return None;
+        }
+        let image = match b[0] {
+            0 => ImageKind::Plain,
+            1 => ImageKind::Sgx,
+            _ => return None,
+        };
+        Some(StoredFunction {
+            image,
+            invocation_token: Token::from_bytes(&b[1..33])?,
+            shutdown_token: Token::from_bytes(&b[33..65])?,
+            spec: b[65..].to_vec(),
+        })
+    }
+}
+
 struct StreamState {
     assembler: FrameAssembler,
 }
@@ -125,6 +169,14 @@ pub struct BentoServer {
     /// Per-function cumulative network budget (operator-side, not part of
     /// the advertised policy wire format).
     function_network_budget: u64,
+    /// The box's "disk": sealed [`StoredFunction`] records keyed by
+    /// container id. Survives [`BentoServer::crash`]; `BTreeMap` so replay
+    /// order is deterministic.
+    sealed_store: std::collections::BTreeMap<u64, Vec<u8>>,
+    /// Set by [`BentoServer::crash`] when there are records to replay;
+    /// recovery waits for the onion proxy's next `ConsensusReady` so
+    /// reinstalled functions can immediately build circuits.
+    pending_recovery: bool,
 }
 
 /// One container's operator-visible storage: (blob/file name hash, bytes).
@@ -159,6 +211,8 @@ impl BentoServer {
             next_hs: 1,
             rng: StdRng::seed_from_u64(seed),
             function_network_budget: ResourceLimits::default_function().network,
+            sealed_store: std::collections::BTreeMap::new(),
+            pending_recovery: false,
         }
     }
 
@@ -560,6 +614,10 @@ impl BentoServer {
             image: entry_image,
         });
         entry.function = Some(function);
+        // Until the first Invoke arrives, function output (e.g. unsolicited
+        // load reports from a timer) rides the uploader's stream — otherwise
+        // a never-invoked function has no way to speak at all.
+        entry.invoker = Some(stream);
         self.firewall
             .register_function(container_id, spec.manifest.stem.iter().copied());
         entry.manifest = Some(spec.manifest);
@@ -571,6 +629,23 @@ impl BentoServer {
             .map(|c| c.alive)
             .unwrap_or(false)
         {
+            // Persist the function to the box's sealed disk so a host crash
+            // can rebuild it with the same client-held tokens.
+            let (invocation_token, shutdown_token) = {
+                let e = self.containers.get(&container_id).expect("exists");
+                (e.invocation_token, e.shutdown_token)
+            };
+            let record = StoredFunction {
+                image: entry_image,
+                invocation_token,
+                shutdown_token,
+                spec: plain,
+            };
+            let (secret, measurement) = self.sealing_identity();
+            self.sealed_store.insert(
+                container_id,
+                conclave::sealed::seal_data(&secret, &measurement, &record.encode()),
+            );
             self.reply(deps, stream, &BentoMsg::UploadOk { container_id });
         } else {
             self.reply(
@@ -683,6 +758,146 @@ impl BentoServer {
         if let Some(eid) = self.containers.get(&id).and_then(|e| e.enclave_id) {
             self.epc.unregister(eid);
         }
+        // An intentionally-terminated function must not resurrect after a
+        // crash: erase its disk record.
+        self.sealed_store.remove(&id);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (sealed disk).
+    // ------------------------------------------------------------------
+
+    fn sealing_identity(&self) -> ([u8; 32], [u8; 32]) {
+        (
+            self.platform.sealing_secret(),
+            onion_crypto::sha256::sha256(&self.enclave_image),
+        )
+    }
+
+    /// The host crashed: all volatile state (containers, channels, streams,
+    /// firewall grants) is gone. The sealed store — this box's disk — and
+    /// static configuration survive. Call on the simulator's crash hook;
+    /// recovery replays the store after the next consensus arrives.
+    pub fn crash(&mut self) {
+        self.containers.clear();
+        self.streams.clear();
+        self.net_conns.clear();
+        self.hss.clear();
+        self.firewall = StemFirewall::new();
+        self.aggregate = CGroup::new(ResourceLimits::default_aggregate());
+        self.epc = Epc::default();
+        self.pending_recovery = !self.sealed_store.is_empty();
+    }
+
+    /// Number of sealed function records on disk (test hook).
+    pub fn sealed_functions(&self) -> usize {
+        self.sealed_store.len()
+    }
+
+    /// Replay the sealed store: rebuild every recorded container with its
+    /// original tokens so clients reattach without renegotiating. Attested
+    /// channels do NOT survive — an SGX client must re-attest before its
+    /// next sealed upload — but invocation/shutdown tokens keep working,
+    /// exactly like a service reloading its state files after a reboot.
+    pub fn recover(&mut self, deps: &mut Deps<'_, '_>) {
+        if !self.pending_recovery {
+            return;
+        }
+        self.pending_recovery = false;
+        let (secret, measurement) = self.sealing_identity();
+        let records: Vec<(u64, Vec<u8>)> = self
+            .sealed_store
+            .iter()
+            .map(|(id, blob)| (*id, blob.clone()))
+            .collect();
+        for (id, blob) in records {
+            let Ok(plain) = conclave::sealed::unseal_data(&secret, &measurement, &blob) else {
+                continue; // tampered or foreign blob: refuse quietly
+            };
+            let Some(record) = StoredFunction::decode(&plain) else {
+                continue;
+            };
+            if self.restore_container(deps, id, record) {
+                T_RECOVERED.inc();
+            }
+        }
+    }
+
+    /// Rebuild one container from its disk record. Returns true on success.
+    fn restore_container(
+        &mut self,
+        deps: &mut Deps<'_, '_>,
+        id: u64,
+        record: StoredFunction,
+    ) -> bool {
+        let Ok(spec) = FunctionSpec::decode(&record.spec) else {
+            return false;
+        };
+        let Some(function) = self.registry.instantiate(&spec.manifest.name, &spec.params) else {
+            return false;
+        };
+        let limits = ResourceLimits {
+            memory: spec.manifest.memory.min(self.policy.max_memory),
+            cpu_ms: self.policy.max_cpu_ms,
+            disk: spec.manifest.disk.min(self.policy.max_disk),
+            network: self.function_network_budget,
+        };
+        let net_rules = self.compile_net_rules();
+        let container = Container::new(
+            id,
+            limits,
+            spec.manifest.to_seccomp(),
+            net_rules,
+            limits.disk.max(1),
+            1024,
+        );
+        let (fsp, enclave_id) = match record.image {
+            ImageKind::Sgx => {
+                let footprint = Self::enclave_footprint(0);
+                if !self.epc.register(id, footprint) {
+                    return false;
+                }
+                self.epc.touch(id);
+                (Some(FsProtect::launch(&mut self.rng)), Some(id))
+            }
+            ImageKind::Plain => (None, None),
+        };
+        if self.aggregate.alloc_memory(FN_BASE_MEMORY).is_err() {
+            if let Some(eid) = enclave_id {
+                self.epc.unregister(eid);
+            }
+            return false;
+        }
+        self.next_container = self.next_container.max(id + 1);
+        self.firewall
+            .register_function(id, spec.manifest.stem.iter().copied());
+        self.containers.insert(
+            id,
+            ContainerEntry {
+                image: record.image,
+                invocation_token: record.invocation_token,
+                shutdown_token: record.shutdown_token,
+                channel: None, // clients must re-attest for sealed uploads
+                enclave_id,
+                runtime: Some(ContainerRuntime {
+                    container,
+                    fsp,
+                    image: record.image,
+                }),
+                function: Some(function),
+                manifest: Some(spec.manifest),
+                invoker: None,
+                conns: HashMap::new(),
+                circs: HashMap::new(),
+                circs_rev: HashMap::new(),
+                streams: HashMap::new(),
+                streams_rev: HashMap::new(),
+                hss: HashMap::new(),
+                alive: true,
+            },
+        );
+        self.run_function(deps, id, |f, api| f.on_install(api));
+        self.containers.get(&id).map(|c| c.alive).unwrap_or(false)
     }
 
     // ------------------------------------------------------------------
@@ -1053,6 +1268,11 @@ impl BentoServer {
     /// Route a Tor event from the box's onion proxy. Returns true if the
     /// event belonged to a function.
     pub fn on_tor_event(&mut self, deps: &mut Deps<'_, '_>, ev: TorEvent) -> bool {
+        // A fresh consensus after a crash is the recovery trigger: the
+        // onion proxy can route again, so replay the sealed disk.
+        if self.pending_recovery && matches!(ev, TorEvent::ConsensusReady) {
+            self.recover(deps);
+        }
         // First offer the event to each hidden-service host.
         let mut ev = ev;
         let gids: Vec<u64> = self.hss.keys().copied().collect();
@@ -1086,7 +1306,9 @@ impl BentoServer {
                 | TorEvent::DirResponse(h, _, _)
                 | TorEvent::RendezvousReady(h)
                 | TorEvent::RendezvousFailed(h, _) => Some(*h),
-                TorEvent::ConsensusReady => None,
+                // Functions do not use managed circuits; the old handle's
+                // closure already reached them as on_circuit_failed.
+                TorEvent::CircuitRebuilt(..) | TorEvent::ConsensusReady => None,
             }
         };
         let Some(h) = circ_of(&ev) else {
@@ -1160,7 +1382,7 @@ impl BentoServer {
                 });
             }
             TorEvent::ControlCell(..) | TorEvent::DirResponse(..) => {}
-            TorEvent::ConsensusReady => {}
+            TorEvent::ConsensusReady | TorEvent::CircuitRebuilt(..) => {}
         }
         true
     }

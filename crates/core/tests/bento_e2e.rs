@@ -676,3 +676,126 @@ fn network_budget_kills_flooder() {
         assert!(got <= (1 << 20) + 512 * 1024, "flood truncated, got {got}");
     });
 }
+
+#[test]
+fn box_crash_recovers_functions_from_sealed_storage() {
+    // Upload echo, crash the whole box, restart it: the function record is
+    // replayed from the sealed store once the reborn onion proxy has a
+    // consensus, and the client re-attaches with its ORIGINAL tokens.
+    let mut bn = BentoNetwork::build(108, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, inv, _shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+    bn.net.sim.run_until(secs(11));
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
+            n.bento
+                .invoke(ctx, &mut n.tor, conn, inv, b"before crash".to_vec());
+        });
+    bn.net.sim.run_until(secs(14));
+    let bx = bn.boxes[0];
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(n.output_bytes(conn), b"before crash");
+    });
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 1);
+        assert_eq!(n.bento.sealed_functions(), 1, "record sealed to disk");
+    });
+
+    // The box dies and comes back four seconds later.
+    bn.net
+        .sim
+        .inject_fault(secs(16), simnet::FaultAction::Crash(bx));
+    bn.net
+        .sim
+        .inject_fault(secs(20), simnet::FaultAction::Restart(bx));
+    // Give the reborn box time to re-register its relay, re-fetch the
+    // consensus, and replay the sealed store.
+    bn.net.sim.run_until(secs(40));
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(
+            n.bento.live_functions(),
+            1,
+            "function restored from sealed storage"
+        );
+    });
+
+    // The client's old session died with the box; it reconnects and
+    // invokes with the token minted before the crash.
+    let conn2 = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let boxes: Vec<_> = bento::BentoClient::discover_boxes(&n.tor)
+                .into_iter()
+                .cloned()
+                .collect();
+            n.bento
+                .connect_box(ctx, &mut n.tor, &boxes[0])
+                .expect("reconnect")
+        });
+    bn.net.sim.run_until(secs(45));
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            n.bento
+                .invoke(ctx, &mut n.tor, conn2, inv, b"after crash".to_vec());
+        });
+    bn.net.sim.run_until(secs(50));
+    bn.net.sim.with_node::<BentoClientNode, _>(client, |n, _| {
+        assert_eq!(
+            n.output_bytes(conn2),
+            b"after crash",
+            "original invocation token honoured by the recovered function"
+        );
+    });
+}
+
+#[test]
+fn intentional_shutdown_is_not_resurrected_by_recovery() {
+    // Shutdown erases the sealed record, so a crash + restart after an
+    // intentional teardown must NOT bring the function back.
+    let mut bn = BentoNetwork::build(109, 1, MiddleboxPolicy::permissive(), registry);
+    let (client, conn, container, _inv, shut) = establish(&mut bn, ImageKind::Plain);
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            let spec = FunctionSpec {
+                params: vec![],
+                manifest: Manifest::minimal("echo"),
+            };
+            n.bento.upload(ctx, &mut n.tor, conn, container, &spec);
+        });
+    bn.net.sim.run_until(secs(11));
+    bn.net
+        .sim
+        .with_node::<BentoClientNode, _>(client, |n, ctx| {
+            assert!(n.upload_ok(conn), "upload accepted: {:?}", n.bento_events);
+            n.bento.shutdown(ctx, &mut n.tor, conn, shut);
+        });
+    bn.net.sim.run_until(secs(14));
+    let bx = bn.boxes[0];
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 0);
+        assert_eq!(n.bento.sealed_functions(), 0, "sealed record erased");
+    });
+    bn.net
+        .sim
+        .inject_fault(secs(16), simnet::FaultAction::Crash(bx));
+    bn.net
+        .sim
+        .inject_fault(secs(20), simnet::FaultAction::Restart(bx));
+    bn.net.sim.run_until(secs(40));
+    bn.net.sim.with_node::<bento::BentoBoxNode, _>(bx, |n, _| {
+        assert_eq!(n.bento.live_functions(), 0, "nothing resurrected");
+    });
+}

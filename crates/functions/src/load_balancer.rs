@@ -15,8 +15,22 @@ use bento::manifest::Manifest;
 use bento::protocol::{BentoMsg, FunctionSpec, ImageKind};
 use bento::stem::StemCall;
 use simnet::wire::{Reader, Writer};
-use simnet::NodeId;
+use simnet::{NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
+
+static T_FAILOVERS: telemetry::Counter = telemetry::Counter::new("lb.replica_failovers");
+
+/// How often a replica pushes its load report to the balancer.
+pub const REPORT_INTERVAL: SimDuration = SimDuration(2_000_000_000); // 2 s
+/// A Ready replica silent for this long is declared dead and routed around.
+pub const DEAD_AFTER: SimDuration = SimDuration(5_000_000_000); // 5 s
+/// How often the balancer sweeps for silent replicas.
+const HEALTH_INTERVAL: SimDuration = SimDuration(1_000_000_000); // 1 s
+
+/// Replica-side heartbeat timer tag.
+const TAG_REPORT: u64 = 1;
+/// Balancer-side health-sweep timer tag.
+const TAG_HEALTH: u64 = 2;
 
 /// Parameters shared by the balancer and its replicas.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,6 +217,16 @@ impl Function for HsReplica {
         // 0 intro points: replicas never publish; they only answer
         // forwarded introductions with the shared key.
         self.hs = Some(api.create_hs(self.params.seed, 0, true));
+        // Heartbeat: periodic load reports double as liveness signals —
+        // the balancer declares a silent replica dead.
+        api.set_timer(REPORT_INTERVAL, TAG_REPORT);
+    }
+
+    fn on_timer(&mut self, api: &mut FunctionApi<'_>, tag: u64) {
+        if tag == TAG_REPORT {
+            self.report_load(api);
+            api.set_timer(REPORT_INTERVAL, TAG_REPORT);
+        }
     }
 
     fn on_invoke(&mut self, api: &mut FunctionApi<'_>, input: Vec<u8>) {
@@ -269,6 +293,8 @@ struct Replica {
     phase: ReplicaPhase,
     token: Option<[u8; 32]>,
     assumed_load: u32,
+    /// Last load report heard (liveness); `None` until the first one.
+    last_report: Option<SimTime>,
 }
 
 /// The LoadBalancer function.
@@ -286,6 +312,9 @@ pub struct LoadBalancer {
     next_box: usize,
     /// Introductions routed (inspection/experiments).
     pub routed: u64,
+    /// Replicas declared dead after missed load reports
+    /// (inspection/experiments).
+    pub failovers: u64,
 }
 
 impl LoadBalancer {
@@ -308,6 +337,7 @@ impl LoadBalancer {
             replicas: Vec::new(),
             next_box: 0,
             routed: 0,
+            failovers: 0,
         }
     }
 
@@ -331,6 +361,7 @@ impl LoadBalancer {
             phase: ReplicaPhase::Connecting,
             token: None,
             assumed_load: 0,
+            last_report: None,
         });
     }
 
@@ -403,6 +434,9 @@ impl LoadBalancer {
                 }
                 (ReplicaPhase::AwaitUpload, BentoMsg::UploadOk { .. }) => {
                     r.phase = ReplicaPhase::Ready;
+                    // Start the liveness clock: the replica owes us a load
+                    // report every REPORT_INTERVAL from now on.
+                    r.last_report = Some(api.now());
                 }
                 (_, BentoMsg::Rejected { .. }) => {
                     r.phase = ReplicaPhase::Failed;
@@ -411,6 +445,7 @@ impl LoadBalancer {
                     // Load report: 'L' + u32 active sessions.
                     if data.len() == 5 && data[0] == b'L' => {
                         r.assumed_load = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
+                        r.last_report = Some(api.now());
                     }
                 _ => {}
             }
@@ -432,6 +467,32 @@ impl Function for LoadBalancer {
         // Establish intro points and publish ONE descriptor; introductions
         // are surfaced (auto_rendezvous = false) so we decide who answers.
         self.hs = Some(api.create_hs(self.params.service.seed, self.params.n_intro as u32, false));
+        api.set_timer(HEALTH_INTERVAL, TAG_HEALTH);
+    }
+
+    fn on_timer(&mut self, api: &mut FunctionApi<'_>, tag: u64) {
+        if tag != TAG_HEALTH {
+            return;
+        }
+        // Health sweep: a Ready replica that missed its load-report
+        // deadline is dead — clients it would have served get redirected to
+        // live replicas (or served locally) by route_introduction.
+        let now = api.now();
+        for r in self.replicas.iter_mut() {
+            if r.phase != ReplicaPhase::Ready {
+                continue;
+            }
+            let silent = r
+                .last_report
+                .map(|t| now.since(t) >= DEAD_AFTER)
+                .unwrap_or(false);
+            if silent {
+                r.phase = ReplicaPhase::Failed;
+                self.failovers += 1;
+                T_FAILOVERS.inc();
+            }
+        }
+        api.set_timer(HEALTH_INTERVAL, TAG_HEALTH);
     }
 
     fn on_invoke(&mut self, api: &mut FunctionApi<'_>, _input: Vec<u8>) {

@@ -478,3 +478,142 @@ fn multipath_fetch_reassembles_over_k_circuits() {
         assert_eq!(n.output_bytes(conn), body, "ranges reassembled in order");
     });
 }
+
+#[test]
+fn load_balancer_fails_over_when_replica_goes_silent() {
+    // Box 0 runs the LoadBalancer; box 1 hosts a replica that will be
+    // partitioned away — a *silent* death: its circuits to the balancer
+    // stay up, so only the missed-heartbeat health sweep can detect it.
+    // Clients arriving afterwards must be redirected to a live machine
+    // (the balancer itself) instead of being forwarded into the void.
+    let mut bn = BentoNetwork::build(213, 2, MiddleboxPolicy::permissive(), standard_registry);
+    let operator = bn.add_bento_client("operator");
+    bn.net.sim.run_until(secs(2));
+    // `install` puts the balancer on discover_boxes()[0], whose consensus
+    // ordering need not match bn.boxes — resolve which machine that is so
+    // the *other* one hosts the replica (and gets partitioned).
+    let lb_box = bn
+        .net
+        .sim
+        .with_node::<BentoClientNode, _>(operator, |n, _| {
+            bento::BentoClient::discover_boxes(&n.tor)[0].addr
+        });
+    let replica_box = *bn.boxes.iter().find(|b| **b != lb_box).expect("two boxes");
+    let seed = [0x6A; 32];
+    let file_len = 200_000u64;
+    let lb_params = LbParams {
+        service: ServiceParams { seed, file_len },
+        n_intro: 2,
+        max_per_replica: 1,
+        replica_boxes: vec![(replica_box, BENTO_PORT)],
+    };
+    let (_conn, _inv, _shut) = install(
+        &mut bn,
+        operator,
+        0,
+        FunctionSpec {
+            params: lb_params.encode(),
+            manifest: bento_functions::load_balancer::lb_manifest(),
+        },
+        2,
+    );
+    bn.net.sim.run_until(secs(25));
+    let onion = HiddenServiceHost::new(seed, 0, true).onion_addr();
+
+    // Phase 1 — two clients force the replica up (watermark 1) and both
+    // download; afterwards the replica is idle and heartbeating "load 0".
+    // Times are "no earlier than secs(t0)" — the closure advances the clock
+    // relative to wherever the previous download left it.
+    let download = |bn: &mut BentoNetwork, name: &str, t0: u64| -> (NodeId, u64) {
+        let c = bn.net.add_client(name);
+        let arrived = bn.net.sim.now().max(secs(t0));
+        // Let the newcomer bootstrap (fetch a consensus) before dialing.
+        bn.net.sim.run_until(arrived + SimDuration::from_secs(4));
+        let mut r = bn
+            .net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                n.tor.connect_onion(ctx, onion).expect("onion connect")
+            });
+        // Like a real Tor client: retry a stalled or failed rendezvous (a
+        // partitioned box is still in the consensus, so circuits routed
+        // through it hang or die — a fresh attempt picks a fresh path).
+        for _ in 0..4 {
+            let dialed = bn.net.sim.now();
+            bn.net.sim.run_until(dialed + SimDuration::from_secs(15));
+            let ready = bn
+                .net
+                .sim
+                .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, _| {
+                    n.has_event(|e| matches!(e, TorEvent::RendezvousReady(h) if *h == r))
+                });
+            if ready {
+                break;
+            }
+            r = bn
+                .net
+                .sim
+                .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                    n.tor.connect_onion(ctx, onion).expect("onion reconnect")
+                });
+        }
+        let s = bn
+            .net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, ctx| {
+                assert!(
+                    n.has_event(|e| matches!(e, TorEvent::RendezvousReady(h) if *h == r)),
+                    "{name}: rendezvous ready; events: {:?}",
+                    n.events
+                );
+                let s = n
+                    .tor
+                    .open_stream(ctx, r, StreamTarget::Hs(HS_VIRTUAL_PORT))
+                    .expect("stream");
+                n.tor.send_stream(ctx, r, s, b"GET");
+                s
+            });
+        (c, (r.0 as u64) << 32 | s as u64)
+    };
+    let (c1, k1) = download(&mut bn, "c1", 28);
+    let (c2, k2) = download(&mut bn, "c2", 29);
+    bn.net.sim.run_until(secs(150));
+    for (c, k) in [(c1, k1), (c2, k2)] {
+        bn.net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, _| {
+                let (r, s) = (tor_net::CircuitHandle((k >> 32) as usize), k as u16);
+                assert_eq!(n.stream_bytes(r, s).len() as u64, file_len);
+            });
+    }
+
+    // Phase 2 — the replica box drops off the network without closing
+    // anything. Its load reports stop; after DEAD_AFTER the sweep marks it
+    // Failed.
+    bn.net.sim.inject_fault(
+        secs(160),
+        simnet::FaultAction::Partition {
+            group: vec![replica_box],
+        },
+    );
+
+    // Phase 3 — two more clients, staggered so the second one's
+    // introduction arrives while the balancer is already busy with the
+    // first: without the health sweep it would be forwarded to the silent
+    // replica (stale load 0) and hang forever.
+    let (c3, k3) = download(&mut bn, "c3", 172);
+    let (c4, k4) = download(&mut bn, "c4", 176);
+    bn.net.sim.run_until(secs(300));
+    for (c, k) in [(c3, k3), (c4, k4)] {
+        bn.net
+            .sim
+            .with_node::<tor_net::netbuild::TestClientNode, _>(c, |n, _| {
+                let (r, s) = (tor_net::CircuitHandle((k >> 32) as usize), k as u16);
+                assert_eq!(
+                    n.stream_bytes(r, s).len() as u64,
+                    file_len,
+                    "served by a live machine after the failover"
+                );
+            });
+    }
+}

@@ -4,6 +4,7 @@
 //! ordering *total* and insertion-ordered among simultaneous events, which is
 //! what makes whole-simulation runs reproducible byte-for-byte.
 
+use crate::fault::FaultAction;
 use crate::node::{ConnId, NodeId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -46,8 +47,19 @@ pub(crate) enum EventKind {
     },
     /// A graceful close arrived at the receiving endpoint.
     CloseArrive { conn: ConnId, dir: FlowDir },
-    /// A node timer fired.
-    Timer { node: NodeId, id: u64, tag: u64 },
+    /// A node timer fired. `inc` is the incarnation of the scheduling node:
+    /// timers armed before a crash never fire on the restarted incarnation.
+    Timer {
+        node: NodeId,
+        id: u64,
+        tag: u64,
+        inc: u32,
+    },
+    /// `node` abruptly learned its peer on `conn` vanished (crash or refused
+    /// connect) — delivered as `on_conn_closed`, like a TCP reset.
+    PeerGone { conn: ConnId, node: NodeId },
+    /// A scheduled fault-plan action fires.
+    Fault { action: FaultAction },
 }
 
 pub(crate) struct Event {
@@ -153,6 +165,7 @@ mod tests {
                 node: NodeId(0),
                 id: 3,
                 tag: 3,
+                inc: 0,
             },
         );
         q.push(
@@ -161,6 +174,7 @@ mod tests {
                 node: NodeId(0),
                 id: 1,
                 tag: 1,
+                inc: 0,
             },
         );
         q.push(
@@ -169,6 +183,7 @@ mod tests {
                 node: NodeId(0),
                 id: 2,
                 tag: 2,
+                inc: 0,
             },
         );
         let mut tags = Vec::new();
@@ -190,6 +205,7 @@ mod tests {
                     node: NodeId(0),
                     id: tag,
                     tag,
+                    inc: 0,
                 },
             );
         }
@@ -212,6 +228,7 @@ mod tests {
                 node: NodeId(0),
                 id: 0,
                 tag: 0,
+                inc: 0,
             },
         );
         q.push(
@@ -220,6 +237,7 @@ mod tests {
                 node: NodeId(0),
                 id: 1,
                 tag: 1,
+                inc: 0,
             },
         );
         assert_eq!(q.peek_time(), Some(SimTime(10)));
@@ -236,7 +254,7 @@ mod tests {
             for (i, &t) in times.iter().enumerate() {
                 q.push(
                     SimTime(t),
-                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: i as u64 },
+                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: i as u64, inc: 0 },
                 );
             }
             let mut last: Option<(SimTime, u64)> = None;
@@ -269,7 +287,7 @@ mod tests {
             for (i, &t) in times.iter().enumerate() {
                 q.push(
                     SimTime(t),
-                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: 0 },
+                    EventKind::Timer { node: NodeId(0), id: i as u64, tag: 0, inc: 0 },
                 );
                 // Interleave non-timer events: they must never be reported.
                 q.push(SimTime(t), EventKind::ConnEstablished { conn: ConnId(i as u64) });

@@ -1,0 +1,187 @@
+//! Deterministic fault injection: crash/restart nodes, degrade or kill
+//! links, partition and heal node sets.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultAction`]s at absolute sim times,
+//! installed into the event queue with `Simulator::install_faults`. Every
+//! probabilistic fault (loss, corruption) draws from the simulation's single
+//! seeded RNG, and draws happen only while a fault is configured on the
+//! affected pair — so a fault-free run consumes exactly the RNG stream it
+//! consumed before this module existed, and any chaos run replays
+//! byte-identically from its seed plus its plan.
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Degradation applied to traffic between a pair of nodes (or, via
+/// `FaultAction::AllLinks`, to every non-loopback pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Per-message loss probability in parts per million.
+    pub loss_ppm: u32,
+    /// Per-message corruption probability in parts per million (one byte of
+    /// the payload is flipped).
+    pub corrupt_ppm: u32,
+    /// Extra one-way latency added to every delivery.
+    pub extra_latency: SimDuration,
+    /// The link is down entirely: nothing crosses, connects are refused.
+    pub down: bool,
+}
+
+impl LinkFault {
+    /// A fault dropping `pct` percent of messages (0.0–100.0).
+    pub fn loss_pct(pct: f64) -> LinkFault {
+        LinkFault {
+            loss_ppm: (pct.clamp(0.0, 100.0) * 10_000.0) as u32,
+            ..LinkFault::default()
+        }
+    }
+
+    /// A fault corrupting `pct` percent of messages (0.0–100.0).
+    pub fn corrupt_pct(pct: f64) -> LinkFault {
+        LinkFault {
+            corrupt_ppm: (pct.clamp(0.0, 100.0) * 10_000.0) as u32,
+            ..LinkFault::default()
+        }
+    }
+
+    /// A fault adding fixed one-way latency.
+    pub fn latency_spike(extra: SimDuration) -> LinkFault {
+        LinkFault {
+            extra_latency: extra,
+            ..LinkFault::default()
+        }
+    }
+
+    /// A dead link.
+    pub fn killed() -> LinkFault {
+        LinkFault {
+            down: true,
+            ..LinkFault::default()
+        }
+    }
+
+    /// True when this fault does nothing (used to clear a pair entry).
+    pub fn is_clear(&self) -> bool {
+        *self == LinkFault::default()
+    }
+}
+
+/// One scheduled fault-plane action.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Crash a node: every connection touching it dies, in-flight flows are
+    /// dropped, queued timers will not fire, and the node's volatile state
+    /// is discarded (`Node::on_crash`).
+    Crash(NodeId),
+    /// Restart a crashed node under a new incarnation (`Node::on_restart`,
+    /// which defaults to re-running `on_start`).
+    Restart(NodeId),
+    /// Set (or, with a clear fault, remove) the fault on one node pair.
+    Link {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The degradation; `LinkFault::is_clear` removes the entry.
+        fault: LinkFault,
+    },
+    /// Set the default fault applied to every pair without its own entry.
+    AllLinks {
+        /// The degradation; a clear fault restores healthy defaults.
+        fault: LinkFault,
+    },
+    /// Partition the network: nodes inside `group` cannot exchange anything
+    /// with nodes outside it (messages already in flight across the cut are
+    /// dropped on arrival; new connects are refused).
+    Partition {
+        /// One side of the cut.
+        group: Vec<NodeId>,
+    },
+    /// Remove the partition.
+    Heal,
+}
+
+/// A seeded, replayable schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub(crate) entries: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule an arbitrary action.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.entries.push((at, action));
+        self
+    }
+
+    /// Crash `node` at `at`.
+    pub fn crash(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, FaultAction::Crash(node))
+    }
+
+    /// Restart `node` at `at`.
+    pub fn restart(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, FaultAction::Restart(node))
+    }
+
+    /// Apply `fault` to the `a`–`b` pair at `at`.
+    pub fn link(self, at: SimTime, a: NodeId, b: NodeId, fault: LinkFault) -> Self {
+        self.at(at, FaultAction::Link { a, b, fault })
+    }
+
+    /// Clear the `a`–`b` pair fault at `at`.
+    pub fn link_clear(self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.link(at, a, b, LinkFault::default())
+    }
+
+    /// Apply `fault` as the all-links default at `at`.
+    pub fn all_links(self, at: SimTime, fault: LinkFault) -> Self {
+        self.at(at, FaultAction::AllLinks { fault })
+    }
+
+    /// Clear the all-links default at `at`.
+    pub fn all_links_clear(self, at: SimTime) -> Self {
+        self.all_links(at, LinkFault::default())
+    }
+
+    /// Partition `group` from the rest of the network at `at`.
+    pub fn partition(self, at: SimTime, group: Vec<NodeId>) -> Self {
+        self.at(at, FaultAction::Partition { group })
+    }
+
+    /// Heal any partition at `at`.
+    pub fn heal(self, at: SimTime) -> Self {
+        self.at(at, FaultAction::Heal)
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counters of faults the simulator actually applied.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Nodes crashed.
+    pub crashes: u64,
+    /// Nodes restarted.
+    pub restarts: u64,
+    /// Messages dropped by loss, dead links, partitions, or crashed
+    /// endpoints.
+    pub msgs_dropped: u64,
+    /// Messages with a byte flipped in flight.
+    pub msgs_corrupted: u64,
+    /// Connection attempts refused (crashed/partitioned/dead-link target).
+    pub conns_refused: u64,
+}

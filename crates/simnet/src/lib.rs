@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod iface;
 pub mod node;
 pub mod sim;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod transport;
 pub mod wire;
 
+pub use fault::{FaultAction, FaultPlan, FaultStats, LinkFault};
 pub use iface::Iface;
 pub use node::{ConnId, Ctx, Node, NodeId};
 pub use sim::{SimConfig, Simulator};

@@ -87,6 +87,19 @@ pub trait Node: AsAny {
     /// A timer set with [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
 
+    /// The node's host crashed (fault injection): every connection it held
+    /// is gone and no timer it armed will ever fire. Implementations should
+    /// discard volatile state here; anything modeling durable storage (disk,
+    /// sealed state) survives. No `Ctx` is provided — a crashed host cannot
+    /// act on the network. The default does nothing.
+    fn on_crash(&mut self) {}
+
+    /// The host restarted after a crash, under a new incarnation. The
+    /// default re-runs [`Node::on_start`].
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.on_start(ctx);
+    }
+
     /// Fold any locally batched telemetry into the process metrics. The
     /// simulator calls this for every node after each `run_until` event
     /// loop — out of the per-event hot path, and before any snapshot a
@@ -162,12 +175,14 @@ impl<'a> Ctx<'a> {
         self.core.next_timer_id += 1;
         self.core.pending_timers += 1;
         let at = self.core.now + delay;
+        let inc = self.core.incarnation_of(self.me);
         self.core.queue.push(
             at,
             EventKind::Timer {
                 node: self.me,
                 id,
                 tag,
+                inc,
             },
         );
         TimerId(id)

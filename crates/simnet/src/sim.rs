@@ -2,14 +2,15 @@
 //! interfaces, every connection's transport state, and the sniffers.
 
 use crate::event::{EventKind, EventQueue, FlowDir};
+use crate::fault::{FaultAction, FaultPlan, FaultStats, LinkFault};
 use crate::iface::Iface;
 use crate::node::{ConnId, Ctx, Node, NodeId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Direction, Sniffer, TraceEvent};
 use crate::transport::{Cwnd, TransportCfg};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{HashSet, VecDeque};
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 // Telemetry is flushed once per `run_until` call, not per event: the hot
 // loop accumulates into plain `SimStats`/`BufPool` fields exactly as before
@@ -27,6 +28,12 @@ static T_TIMER_SWEEPS: telemetry::Counter =
 static T_QUEUE_DEPTH: telemetry::Gauge = telemetry::Gauge::new("simnet.queue_depth");
 static T_MSG_BYTES: telemetry::Histo = telemetry::Histo::new("simnet.msg_bytes");
 static T_RUN: telemetry::Span = telemetry::Span::new("simnet.run_until");
+static T_FAULT_CRASHES: telemetry::Counter = telemetry::Counter::new("simnet.fault.crashes");
+static T_FAULT_RESTARTS: telemetry::Counter = telemetry::Counter::new("simnet.fault.restarts");
+static T_FAULT_DROPPED: telemetry::Counter = telemetry::Counter::new("simnet.fault.msgs_dropped");
+static T_FAULT_CORRUPTED: telemetry::Counter =
+    telemetry::Counter::new("simnet.fault.msgs_corrupted");
+static T_FAULT_REFUSED: telemetry::Counter = telemetry::Counter::new("simnet.fault.conns_refused");
 
 /// Top-level configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -202,9 +209,73 @@ pub(crate) struct SimCore {
     active_down: Vec<u32>,
     sniffers: Vec<Option<Sniffer>>,
     stats: SimStats,
+    /// Fault plane. `faults_active` stays `false` until a plan (or manual
+    /// fault) is installed; while false, no fault check runs and *no RNG
+    /// draw happens*, so fault-free runs consume exactly the pre-fault-plane
+    /// event and RNG streams.
+    faults_active: bool,
+    crashed: Vec<bool>,
+    /// Bumped on every restart; timers carry the incarnation they were armed
+    /// under and are dropped if it no longer matches.
+    incarnation: Vec<u32>,
+    /// Per-pair link faults, keyed by the normalized (low, high) node pair.
+    /// BTreeMap: deterministic iteration, no hash-order hazards.
+    link_faults: BTreeMap<(u32, u32), LinkFault>,
+    /// Default fault applied to pairs with no dedicated entry.
+    global_fault: LinkFault,
+    /// When partitioned: `true` for nodes inside the cut group.
+    partition: Option<Vec<bool>>,
+    fault_stats: FaultStats,
 }
 
 impl SimCore {
+    pub(crate) fn incarnation_of(&self, node: NodeId) -> u32 {
+        self.incarnation.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    fn pair_key(a: NodeId, b: NodeId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    fn effective_fault(&self, a: NodeId, b: NodeId) -> LinkFault {
+        if a == b {
+            // Loopback never leaves the host; link faults don't apply.
+            return LinkFault::default();
+        }
+        self.link_faults
+            .get(&Self::pair_key(a, b))
+            .copied()
+            .unwrap_or(self.global_fault)
+    }
+
+    /// Is the `a`–`b` pair severed by the current partition?
+    fn cut(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            Some(side) => {
+                a != b
+                    && side.get(a.0 as usize).copied().unwrap_or(false)
+                        != side.get(b.0 as usize).copied().unwrap_or(false)
+            }
+            None => false,
+        }
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Nothing at all can cross between `a` and `b` right now.
+    fn path_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_crashed(a)
+            || self.is_crashed(b)
+            || self.cut(a, b)
+            || self.effective_fault(a, b).down
+    }
+
     fn one_way(&self, a: NodeId, b: NodeId) -> SimDuration {
         if a == b {
             self.cfg.loopback_rtt / 2
@@ -233,6 +304,20 @@ impl SimCore {
         self.stats.conns_opened += 1;
         let one_way = self.one_way(src, dst);
         let rtt = self.rtt(src, dst);
+        if self.faults_active && self.path_blocked(src, dst) {
+            // Connection refused: the conn is born dead and the initiator
+            // hears about it after a round trip, like a reset.
+            self.conns[id.0 as usize].dead = true;
+            self.fault_stats.conns_refused += 1;
+            self.queue.push(
+                self.now + rtt,
+                EventKind::PeerGone {
+                    conn: id,
+                    node: src,
+                },
+            );
+            return id;
+        }
         self.queue
             .push(self.now + one_way, EventKind::ConnSynArrive { conn: id });
         self.queue
@@ -386,7 +471,7 @@ impl SimCore {
             let rd = &mut self.active_down[receiver.0 as usize];
             *rd = rd.saturating_sub(1);
         }
-        if let Some(msg) = completed_msg {
+        if let Some(mut msg) = completed_msg {
             // The whole message is on the wire: the sender-side sniffer sees
             // it now; it arrives one propagation delay later.
             if let Some(s) = self.sniffers[sender.0 as usize].as_mut() {
@@ -398,9 +483,37 @@ impl SimCore {
                     peer: receiver,
                 });
             }
-            let one_way = self.one_way(sender, receiver);
-            self.queue
-                .push(self.now + one_way, EventKind::MsgArrive { conn, dir, msg });
+            let mut one_way = self.one_way(sender, receiver);
+            let mut dropped = false;
+            if self.faults_active {
+                // Wire-entry fault point: everything a hostile network can do
+                // to a message happens here, off the shared seeded RNG — and
+                // only while a fault is in force, so healthy traffic draws
+                // nothing.
+                let f = self.effective_fault(sender, receiver);
+                if self.path_blocked(sender, receiver)
+                    || (f.loss_ppm > 0 && self.rng.gen_range(0..1_000_000u32) < f.loss_ppm)
+                {
+                    dropped = true;
+                } else {
+                    if f.corrupt_ppm > 0
+                        && !msg.is_empty()
+                        && self.rng.gen_range(0..1_000_000u32) < f.corrupt_ppm
+                    {
+                        let i = self.rng.gen_range(0..msg.len());
+                        msg[i] ^= 0x55;
+                        self.fault_stats.msgs_corrupted += 1;
+                    }
+                    one_way += f.extra_latency;
+                }
+            }
+            if dropped {
+                self.fault_stats.msgs_dropped += 1;
+                self.pool.put(msg);
+            } else {
+                self.queue
+                    .push(self.now + one_way, EventKind::MsgArrive { conn, dir, msg });
+            }
         }
         self.kick(conn, dir);
         self.maybe_send_close(conn, dir);
@@ -439,6 +552,13 @@ impl Simulator {
                 stats: SimStats::default(),
                 msg_bytes: telemetry::hist::LogHistogram::new(),
                 hist_full: false,
+                faults_active: false,
+                crashed: Vec::new(),
+                incarnation: Vec::new(),
+                link_faults: BTreeMap::new(),
+                global_fault: LinkFault::default(),
+                partition: None,
+                fault_stats: FaultStats::default(),
             },
             nodes: Vec::new(),
             started_upto: 0,
@@ -467,6 +587,8 @@ impl Simulator {
         self.core.active_up.push(0);
         self.core.active_down.push(0);
         self.core.sniffers.push(None);
+        self.core.crashed.push(false);
+        self.core.incarnation.push(0);
         id
     }
 
@@ -545,6 +667,10 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        if self.core.is_crashed(id) {
+            // A crashed host runs no code. Whatever event reached it is lost.
+            return;
+        }
         let mut node = self.nodes[id.0 as usize]
             .take()
             .expect("node reentrancy during dispatch");
@@ -578,6 +704,7 @@ impl Simulator {
             self.core.pool.recycled,
         );
         let sweeps_before = self.core.timer_sweeps;
+        let faults_before = self.core.fault_stats;
         let mut max_depth = self.core.queue.len();
         let mut processed = 0;
         while let Some(t) = self.core.queue.peek_time() {
@@ -615,6 +742,14 @@ impl Simulator {
         T_POOL_MISSES.add(self.core.pool.misses - pool_before.1);
         T_POOL_RECYCLED.add(self.core.pool.recycled - pool_before.2);
         T_TIMER_SWEEPS.add(self.core.timer_sweeps - sweeps_before);
+        if self.core.faults_active {
+            let fa = self.core.fault_stats;
+            T_FAULT_CRASHES.add(fa.crashes - faults_before.crashes);
+            T_FAULT_RESTARTS.add(fa.restarts - faults_before.restarts);
+            T_FAULT_DROPPED.add(fa.msgs_dropped - faults_before.msgs_dropped);
+            T_FAULT_CORRUPTED.add(fa.msgs_corrupted - faults_before.msgs_corrupted);
+            T_FAULT_REFUSED.add(fa.conns_refused - faults_before.conns_refused);
+        }
         T_QUEUE_DEPTH.set(max_depth as u64);
         T_RUN.record_events(enter_ns, self.core.now.as_nanos(), processed);
         processed
@@ -664,6 +799,13 @@ impl Simulator {
                 if dead {
                     return;
                 }
+                if self.core.faults_active && self.core.path_blocked(sender, receiver) {
+                    // In flight when the cut (or crash, or link kill)
+                    // happened: the message dies on the wire.
+                    self.core.fault_stats.msgs_dropped += 1;
+                    self.core.pool.put(msg);
+                    return;
+                }
                 self.core.stats.msgs_delivered += 1;
                 self.core.stats.bytes_delivered += msg.len() as u64;
                 if self.core.hist_full {
@@ -691,14 +833,149 @@ impl Simulator {
                 };
                 self.dispatch(receiver, |n, ctx| n.on_conn_closed(ctx, conn));
             }
-            EventKind::Timer { node, id, tag } => {
+            EventKind::Timer { node, id, tag, inc } => {
                 self.core.pending_timers = self.core.pending_timers.saturating_sub(1);
                 if self.core.cancelled_timers.remove(&id) {
                     return;
                 }
+                // Timers armed by a previous incarnation (or while the node
+                // is down) died with the process.
+                if self.core.faults_active
+                    && (self.core.is_crashed(node) || inc != self.core.incarnation_of(node))
+                {
+                    return;
+                }
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
             }
+            EventKind::PeerGone { conn, node } => {
+                self.dispatch(node, |n, ctx| n.on_conn_closed(ctx, conn));
+            }
+            EventKind::Fault { action } => {
+                self.apply_fault(action);
+            }
         }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(node) => self.apply_crash(node),
+            FaultAction::Restart(node) => self.apply_restart(node),
+            FaultAction::Link { a, b, fault } => {
+                let key = SimCore::pair_key(a, b);
+                if fault.is_clear() {
+                    self.core.link_faults.remove(&key);
+                } else {
+                    self.core.link_faults.insert(key, fault);
+                }
+            }
+            FaultAction::AllLinks { fault } => {
+                self.core.global_fault = fault;
+            }
+            FaultAction::Partition { group } => {
+                let mut side = vec![false; self.nodes.len()];
+                for n in group {
+                    if let Some(s) = side.get_mut(n.0 as usize) {
+                        *s = true;
+                    }
+                }
+                self.core.partition = Some(side);
+            }
+            FaultAction::Heal => {
+                self.core.partition = None;
+            }
+        }
+    }
+
+    fn apply_crash(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        if i >= self.nodes.len() || self.core.crashed[i] {
+            return;
+        }
+        self.core.crashed[i] = true;
+        self.core.fault_stats.crashes += 1;
+        // Every connection touching the node dies instantly on the node's
+        // side; the surviving peer learns one propagation delay later, like
+        // a reset. In-flight chunks still release their fair-share slots
+        // when their ChunkDone events fire (on_chunk_done decrements
+        // unconditionally), and pending MsgArrive/CloseArrive events see the
+        // dead conn and drop.
+        let mut notices: Vec<(ConnId, NodeId)> = Vec::new();
+        for (ci, c) in self.core.conns.iter_mut().enumerate() {
+            if c.dead || (c.a != node && c.b != node) {
+                continue;
+            }
+            c.dead = true;
+            let peer = if c.a == node { c.b } else { c.a };
+            if peer != node {
+                notices.push((ConnId(ci as u64), peer));
+            }
+        }
+        for (conn, peer) in notices {
+            if self.core.is_crashed(peer) {
+                continue;
+            }
+            let delay = self.core.one_way(node, peer);
+            self.core.queue.push(
+                self.core.now + delay,
+                EventKind::PeerGone { conn, node: peer },
+            );
+        }
+        // Volatile state dies with the process. No Ctx: a dead host cannot
+        // act on the network.
+        if let Some(n) = self.nodes[i].as_mut() {
+            n.on_crash();
+        }
+    }
+
+    fn apply_restart(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        if i >= self.nodes.len() || !self.core.crashed[i] {
+            return;
+        }
+        self.core.crashed[i] = false;
+        self.core.incarnation[i] += 1;
+        self.core.fault_stats.restarts += 1;
+        self.dispatch(node, |n, ctx| n.on_restart(ctx));
+    }
+
+    /// Install a fault plan: each action is scheduled into the event queue at
+    /// its absolute time, interleaved deterministically with regular traffic.
+    /// Installing any (non-empty) plan switches the fault plane on for the
+    /// rest of the run.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if plan.entries.is_empty() {
+            return;
+        }
+        self.core.faults_active = true;
+        for (at, action) in plan.entries {
+            self.core.queue.push(at, EventKind::Fault { action });
+        }
+    }
+
+    /// Schedule a single fault action at an absolute time (same effect as a
+    /// one-entry [`FaultPlan`]).
+    pub fn inject_fault(&mut self, at: SimTime, action: FaultAction) {
+        self.core.faults_active = true;
+        self.core.queue.push(at, EventKind::Fault { action });
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.core.is_crashed(node)
+    }
+
+    /// Counters of faults applied so far this run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.core.fault_stats
+    }
+
+    /// The node's current (uplink, downlink) active-flow slot counts — test
+    /// hook for asserting crash cleanup leaves no dangling fair-share slots.
+    pub fn active_link_slots(&self, node: NodeId) -> (u32, u32) {
+        (
+            self.core.active_up[node.0 as usize],
+            self.core.active_down[node.0 as usize],
+        )
     }
 }
 

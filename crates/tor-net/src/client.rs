@@ -15,6 +15,7 @@ use crate::dir::{
 use crate::ports::DIR_PORT;
 use crate::relay::{CIRC_WINDOW, SENDME_INCREMENT};
 use crate::relay_crypto::{CircuitCrypto, LayerCrypto};
+use crate::retry::{Backoff, BackoffPolicy, FailureCache};
 use crate::stream_frame::{encode_frame, FrameAssembler};
 use onion_crypto::aead::{seal as aead_seal, AeadKey};
 use onion_crypto::hashsig::MerkleVerifyKey;
@@ -22,12 +23,36 @@ use onion_crypto::hmac::hkdf;
 use onion_crypto::ntor;
 use onion_crypto::x25519::StaticSecret;
 use rand::Rng;
-use simnet::{ConnId, Ctx, NodeId};
+use simnet::node::TimerId;
+use simnet::{ConnId, Ctx, NodeId, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+
+// Recovery-path instruments: every one of these sits on a cold path (a
+// failure, a retry, a timeout), so inline registry access is fine.
+static T_CONSENSUS_RETRIES: telemetry::Counter =
+    telemetry::Counter::new("tornet.client.consensus_retries");
+static T_CIRC_REBUILDS: telemetry::Counter = telemetry::Counter::new("tornet.client.circ_rebuilds");
+static T_BUILD_TIMEOUTS: telemetry::Counter =
+    telemetry::Counter::new("tornet.client.build_timeouts");
+static T_STREAM_TIMEOUTS: telemetry::Counter =
+    telemetry::Counter::new("tornet.client.stream_timeouts");
+static T_HS_RETRIES: telemetry::Counter = telemetry::Counter::new("tornet.client.hs_retries");
+static T_FAILCACHE_BYPASS: telemetry::Counter =
+    telemetry::Counter::new("tornet.client.failcache_bypass");
+static T_RECOVER_MS: telemetry::Histo =
+    telemetry::Histo::new("tornet.client.circ_time_to_recover_ms");
 
 /// Timer-tag namespace reserved by the client component.
 pub const CLIENT_TAG_BASE: u64 = 0x0200_0000_0000_0000;
 const TAG_FETCH_RETRY: u64 = CLIENT_TAG_BASE + 1;
+/// Per-category sub-namespaces under [`CLIENT_TAG_BASE`]; each holds a
+/// slot/token in its low 28 bits.
+const TAG_SPAN: u64 = 0x1000_0000;
+const TAG_BUILD_TIMEOUT_BASE: u64 = CLIENT_TAG_BASE + 0x1000_0000;
+const TAG_STREAM_TIMEOUT_BASE: u64 = CLIENT_TAG_BASE + 0x2000_0000;
+const TAG_REBUILD_BASE: u64 = CLIENT_TAG_BASE + 0x3000_0000;
+/// Introduction/HSDir retries per onion connection before giving up.
+const MAX_HS_RETRIES: u32 = 3;
 
 /// Handle to a client circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +129,10 @@ pub enum TorEvent {
     RendezvousReady(CircuitHandle),
     /// `connect_onion` failed (no descriptor, no intro points, ...).
     RendezvousFailed(CircuitHandle, String),
+    /// A managed circuit (built with [`TorClient::build_circuit_managed`])
+    /// that failed has been rebuilt on a fresh path: `(old, new)`. Emitted
+    /// just before the new circuit's [`TorEvent::CircuitReady`].
+    CircuitRebuilt(CircuitHandle, CircuitHandle),
 }
 
 enum StreamKind {
@@ -117,6 +146,8 @@ struct ClientStream {
     connected: bool,
     /// Frames queued before the stream connected.
     pending: Vec<Vec<u8>>,
+    /// Connect-timeout timer (recovery mode only).
+    timeout: Option<TimerId>,
 }
 
 struct BuildState {
@@ -141,6 +172,52 @@ struct ClientCircuit {
     pending_e2e: Option<ntor::ClientHandshake>,
     /// Index into `hs_conns` if this circuit belongs to an onion connection.
     hs_conn: Option<usize>,
+    /// Build-timeout timer (recovery mode only).
+    build_timer: Option<TimerId>,
+    /// Present on circuits the client rebuilds automatically on failure.
+    managed: Option<ManagedCirc>,
+}
+
+/// Rebuild state carried by a managed circuit across its incarnations.
+struct ManagedCirc {
+    req: TerminalReq,
+    backoff: Backoff,
+    /// When the previous incarnation died (drives the time-to-recover
+    /// histogram); cleared once a rebuild succeeds.
+    failed_at: Option<SimTime>,
+    /// Slot of the incarnation that most recently failed, if any.
+    origin: Option<usize>,
+}
+
+/// Knobs of the client's failure-recovery machinery. Recovery is off by
+/// default — [`TorClient::enable_recovery`] switches it on — so programs
+/// that never opt in keep their exact pre-recovery event and RNG streams.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// A circuit still building after this long is abandoned (and the hop
+    /// being extended is recorded in the failure cache).
+    pub build_timeout: SimDuration,
+    /// A stream not Connected after this long is torn down.
+    pub stream_timeout: SimDuration,
+    /// Backoff between rebuild attempts of a managed circuit.
+    pub rebuild_backoff: BackoffPolicy,
+    /// How long a failed relay stays avoided during path selection.
+    pub failure_decay: SimDuration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            build_timeout: SimDuration::from_secs(8),
+            stream_timeout: SimDuration::from_secs(10),
+            rebuild_backoff: BackoffPolicy::new(
+                SimDuration::from_millis(300),
+                SimDuration::from_secs(10),
+            )
+            .with_max_attempts(12),
+            failure_decay: SimDuration::from_secs(30),
+        }
+    }
 }
 
 struct LinkState {
@@ -170,6 +247,12 @@ struct HsConn {
     desc_requested: bool,
     desc: Option<HsDescriptor>,
     phase: HsPhase,
+    /// Failed introduction attempts so far (capped at [`MAX_HS_RETRIES`]).
+    intro_retries: u32,
+    /// Failed HSDir fetch circuits so far.
+    hsdir_retries: u32,
+    /// Intro points already tried; retries prefer untried ones.
+    used_intros: Vec<Fingerprint>,
 }
 
 /// What a path must satisfy at its terminal hop.
@@ -204,6 +287,18 @@ pub struct TorClient {
     hs_conns: Vec<HsConn>,
     next_stream_id: u16,
     events: VecDeque<TorEvent>,
+    /// Consensus-fetch retry schedule (jittered exponential backoff).
+    fetch_backoff: Backoff,
+    /// Consensus-fetch retries performed (also mirrored to telemetry).
+    consensus_retries: u64,
+    /// `Some` once [`TorClient::enable_recovery`] has been called.
+    recovery: Option<RecoveryConfig>,
+    /// Relays that recently failed us; avoided during path selection until
+    /// their entries decay.
+    failures: FailureCache,
+    /// Managed circuits waiting out a rebuild backoff, keyed by timer token.
+    pending_rebuilds: HashMap<u64, ManagedCirc>,
+    next_rebuild_token: u64,
 }
 
 impl TorClient {
@@ -222,13 +317,66 @@ impl TorClient {
             hs_conns: Vec::new(),
             next_stream_id: 1,
             events: VecDeque::new(),
+            fetch_backoff: Backoff::new(Self::FETCH_BACKOFF),
+            consensus_retries: 0,
+            recovery: None,
+            failures: FailureCache::new(SimDuration::from_secs(30)),
+            pending_rebuilds: HashMap::new(),
+            next_rebuild_token: 0,
         }
     }
+
+    /// Consensus-fetch retry schedule: the first retry lands around the old
+    /// fixed 200 ms delay, then backs off toward 5 s.
+    const FETCH_BACKOFF: BackoffPolicy = BackoffPolicy {
+        base: SimDuration(200_000_000),  // 200 ms
+        cap: SimDuration(5_000_000_000), // 5 s
+        max_attempts: 0,
+    };
 
     /// Exclude a relay (by fingerprint) from every path this client builds;
     /// used by Bento boxes to keep their onion proxy off their own relay.
     pub fn exclude_relay(&mut self, fp: Fingerprint) {
         self.excluded = Some(fp);
+    }
+
+    /// Switch on failure recovery: circuit build and stream connect
+    /// timeouts, the recently-failed relay cache, and automatic rebuild of
+    /// managed circuits. Off by default so recovery-oblivious programs keep
+    /// their exact event streams.
+    pub fn enable_recovery(&mut self) {
+        self.enable_recovery_with(RecoveryConfig::default());
+    }
+
+    /// [`TorClient::enable_recovery`] with explicit knobs.
+    pub fn enable_recovery_with(&mut self, cfg: RecoveryConfig) {
+        self.failures = FailureCache::new(cfg.failure_decay);
+        self.recovery = Some(cfg);
+    }
+
+    /// Consensus-fetch retries performed so far.
+    pub fn consensus_retries(&self) -> u64 {
+        self.consensus_retries
+    }
+
+    /// Drop all volatile state, as a host crash would: consensus, links,
+    /// circuits, onion connections, queued events. Configuration (authority,
+    /// trust key, exclusions, recovery knobs) survives, like files on disk.
+    /// The simulator suppresses the old incarnation's timers, so stale tags
+    /// can never reach the reborn client.
+    pub fn reset(&mut self) {
+        self.consensus = None;
+        self.dir_conn = None;
+        self.links.clear();
+        self.links_by_peer.clear();
+        self.circuits.clear();
+        self.circ_lookup.clear();
+        self.hs_conns.clear();
+        self.next_stream_id = 1;
+        self.events.clear();
+        self.fetch_backoff.reset();
+        self.failures.clear();
+        self.pending_rebuilds.clear();
     }
 
     /// Fetch (and keep retrying for) the consensus.
@@ -265,6 +413,15 @@ impl TorClient {
             .get(circ.0)
             .map(|c| c.crypto.len())
             .unwrap_or(0)
+    }
+
+    /// Fingerprints of the relays on a circuit's path, guard first
+    /// (inspection for tests and experiments; empty for unknown handles).
+    pub fn circuit_path(&self, circ: CircuitHandle) -> Vec<Fingerprint> {
+        self.circuits
+            .get(circ.0)
+            .map(|c| c.path.iter().map(|r| r.fingerprint).collect())
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------
@@ -326,6 +483,27 @@ impl TorClient {
         Some(vec![guard_fp, middle.fingerprint, exit_fp])
     }
 
+    /// Path selection that avoids recently-failed relays, failing *open*:
+    /// if no path exists without them (small networks under heavy churn),
+    /// retry ignoring the failure cache rather than stalling forever.
+    fn select_path_resilient(
+        &self,
+        ctx: &mut Ctx<'_>,
+        req: TerminalReq,
+    ) -> Option<Vec<Fingerprint>> {
+        let failed = self.failures.snapshot(ctx.now());
+        if failed.is_empty() {
+            return self.select_path(ctx, req);
+        }
+        match self.select_path_avoiding(ctx, req, &failed) {
+            Some(path) => Some(path),
+            None => {
+                T_FAILCACHE_BYPASS.inc();
+                self.select_path(ctx, req)
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Circuits.
     // ------------------------------------------------------------------
@@ -383,11 +561,40 @@ impl TorClient {
             queued_data: VecDeque::new(),
             pending_e2e: None,
             hs_conn: None,
+            build_timer: None,
+            managed: None,
         });
         self.circ_lookup.insert((conn, circ_id), slot);
+        if let Some(rc) = self.recovery {
+            let t = ctx.set_timer(rc.build_timeout, TAG_BUILD_TIMEOUT_BASE + slot as u64);
+            self.circuits[slot].build_timer = Some(t);
+        }
         let create = Cell::with_payload(circ_id, CellCmd::Create, &onionskin);
         self.send_cell(ctx, conn, create);
         Some(CircuitHandle(slot))
+    }
+
+    /// Build a circuit whose terminal hop satisfies `req`, selecting a path
+    /// that avoids recently-failed relays — and keep it alive: if it fails
+    /// to build or dies later, the client automatically rebuilds it on a
+    /// fresh path after a jittered exponential backoff, emitting
+    /// [`TorEvent::CircuitRebuilt`] when the replacement is ready. Requires
+    /// [`TorClient::enable_recovery`].
+    pub fn build_circuit_managed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req: TerminalReq,
+    ) -> Option<CircuitHandle> {
+        let rc = self.recovery?;
+        let path = self.select_path_resilient(ctx, req)?;
+        let handle = self.build_circuit(ctx, path)?;
+        self.circuits[handle.0].managed = Some(ManagedCirc {
+            req,
+            backoff: Backoff::new(rc.rebuild_backoff),
+            failed_at: None,
+            origin: None,
+        });
+        Some(handle)
     }
 
     /// Tear down a circuit.
@@ -427,12 +634,17 @@ impl TorClient {
             StreamTarget::Dir => StreamKind::Dir(FrameAssembler::new()),
             _ => StreamKind::App,
         };
+        let timeout = self.recovery.map(|rc| {
+            let tag = TAG_STREAM_TIMEOUT_BASE + ((circ.0 as u64) << 16 | stream_id as u64);
+            ctx.set_timer(rc.stream_timeout, tag)
+        });
         self.circuits[circ.0].streams.insert(
             stream_id,
             ClientStream {
                 kind,
                 connected: false,
                 pending: Vec::new(),
+                timeout,
             },
         );
         let cmd = if matches!(target, StreamTarget::Dir) {
@@ -468,7 +680,10 @@ impl TorClient {
         let Some(c) = self.circuits.get_mut(circ.0) else {
             return;
         };
-        if c.streams.remove(&stream).is_some() {
+        if let Some(s) = c.streams.remove(&stream) {
+            if let Some(t) = s.timeout {
+                ctx.cancel_timer(t);
+            }
             self.send_relay_last(ctx, circ.0, RelayCell::new(RelayCmd::End, stream, vec![]));
         }
     }
@@ -586,6 +801,9 @@ impl TorClient {
             desc_requested: false,
             desc: None,
             phase: HsPhase::Starting,
+            intro_retries: 0,
+            hsdir_retries: 0,
+            used_intros: Vec::new(),
         });
         self.circuits[rendezvous.0].hs_conn = Some(idx);
         self.circuits[hsdir.0].hs_conn = Some(idx);
@@ -619,11 +837,13 @@ impl TorClient {
         if Some(conn) == self.dir_conn {
             if let Ok(DirMsg::ConsensusResp(bytes)) = DirMsg::decode(&msg) {
                 if bytes.is_empty() {
-                    // Authority not ready: retry shortly.
-                    ctx.set_timer(simnet::SimDuration::from_millis(200), TAG_FETCH_RETRY);
+                    // Authority not ready: retry after a jittered exponential
+                    // backoff (starts near the old fixed 200 ms, caps at 5 s).
+                    self.schedule_fetch_retry(ctx);
                 } else if let Ok(sc) = SignedConsensus::decode(&bytes) {
                     if let Some(cons) = sc.verify(&self.authority_key) {
                         self.consensus = Some(cons);
+                        self.fetch_backoff.reset();
                         if let Some(c) = self.dir_conn.take() {
                             ctx.close(c);
                         }
@@ -647,6 +867,11 @@ impl TorClient {
     pub fn handle_conn_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) -> bool {
         if Some(conn) == self.dir_conn {
             self.dir_conn = None;
+            if self.consensus.is_none() {
+                // The authority link died before we got a consensus (crash,
+                // partition): back off and redial.
+                self.schedule_fetch_retry(ctx);
+            }
             return true;
         }
         if self.links.remove(&conn).is_some() {
@@ -661,6 +886,13 @@ impl TorClient {
             // feeds the shared RNG, so sort to keep runs deterministic.
             slots.sort_unstable();
             for slot in slots {
+                if self.recovery.is_some() {
+                    // The guard link died under this circuit: remember the
+                    // guard so rebuilds steer around it while it decays.
+                    if let Some(fp) = self.circuits[slot].path.first().map(|r| r.fingerprint) {
+                        self.failures.record(fp, ctx.now());
+                    }
+                }
                 self.circuit_closed(ctx, slot);
             }
             return true;
@@ -671,12 +903,135 @@ impl TorClient {
     /// Delegate of [`simnet::Node::on_timer`]; claims client-namespace tags.
     pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> bool {
         if tag == TAG_FETCH_RETRY {
-            if let Some(conn) = self.dir_conn {
-                ctx.send(conn, DirMsg::FetchConsensus.encode());
+            if self.consensus.is_some() {
+                return true;
+            }
+            match self.dir_conn {
+                Some(conn) => {
+                    ctx.send(conn, DirMsg::FetchConsensus.encode());
+                }
+                None => self.bootstrap(ctx),
             }
             return true;
         }
+        if (TAG_BUILD_TIMEOUT_BASE..TAG_BUILD_TIMEOUT_BASE + TAG_SPAN).contains(&tag) {
+            self.fire_build_timeout(ctx, (tag - TAG_BUILD_TIMEOUT_BASE) as usize);
+            return true;
+        }
+        if (TAG_STREAM_TIMEOUT_BASE..TAG_STREAM_TIMEOUT_BASE + TAG_SPAN).contains(&tag) {
+            let sub = tag - TAG_STREAM_TIMEOUT_BASE;
+            self.fire_stream_timeout(ctx, (sub >> 16) as usize, (sub & 0xFFFF) as u16);
+            return true;
+        }
+        if (TAG_REBUILD_BASE..TAG_REBUILD_BASE + TAG_SPAN).contains(&tag) {
+            self.fire_rebuild(ctx, tag - TAG_REBUILD_BASE);
+            return true;
+        }
         false
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery internals.
+    // ------------------------------------------------------------------
+
+    /// Arm the consensus-fetch retry timer and count the retry. With
+    /// recovery on, delays follow a jittered exponential backoff; without
+    /// it, the legacy fixed 200 ms retry — which draws nothing from the
+    /// shared RNG — so recovery-oblivious programs keep their exact event
+    /// and RNG streams.
+    fn schedule_fetch_retry(&mut self, ctx: &mut Ctx<'_>) {
+        let delay = if self.recovery.is_some() {
+            self.fetch_backoff
+                .next_delay(ctx.rng())
+                .unwrap_or(Self::FETCH_BACKOFF.cap)
+        } else {
+            SimDuration::from_millis(200)
+        };
+        ctx.set_timer(delay, TAG_FETCH_RETRY);
+        self.consensus_retries += 1;
+        T_CONSENSUS_RETRIES.inc();
+    }
+
+    /// A circuit took longer than `build_timeout` to finish building: blame
+    /// the hop being extended, tear the circuit down, and (if managed) let
+    /// `circuit_closed` schedule the rebuild.
+    fn fire_build_timeout(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let Some(c) = self.circuits.get_mut(slot) else {
+            return;
+        };
+        c.build_timer = None;
+        if !c.alive || c.ready {
+            return;
+        }
+        T_BUILD_TIMEOUTS.inc();
+        if self.recovery.is_some() {
+            let blamed = c
+                .building
+                .as_ref()
+                .and_then(|b| c.path.get(b.hop))
+                .map(|r| r.fingerprint);
+            if let Some(fp) = blamed {
+                self.failures.record(fp, ctx.now());
+            }
+        }
+        self.destroy_circuit(ctx, CircuitHandle(slot));
+        self.circuit_closed(ctx, slot);
+    }
+
+    /// A stream never reached Connected within `stream_timeout`: end it.
+    fn fire_stream_timeout(&mut self, ctx: &mut Ctx<'_>, slot: usize, stream: u16) {
+        let Some(c) = self.circuits.get_mut(slot) else {
+            return;
+        };
+        let timed_out = c
+            .streams
+            .get(&stream)
+            .map(|s| !s.connected)
+            .unwrap_or(false);
+        if !timed_out {
+            return;
+        }
+        c.streams.remove(&stream);
+        T_STREAM_TIMEOUTS.inc();
+        self.send_relay_last(ctx, slot, RelayCell::new(RelayCmd::End, stream, vec![]));
+        self.emit_or_hs(
+            ctx,
+            slot,
+            TorEvent::StreamEnded(CircuitHandle(slot), stream),
+        );
+    }
+
+    /// Park a managed circuit's rebuild behind its next backoff delay.
+    fn schedule_rebuild(&mut self, ctx: &mut Ctx<'_>, mut managed: ManagedCirc) {
+        let Some(delay) = managed.backoff.next_delay(ctx.rng()) else {
+            return; // attempts exhausted: the circuit stays down
+        };
+        let token = self.next_rebuild_token;
+        self.next_rebuild_token += 1;
+        self.pending_rebuilds.insert(token, managed);
+        ctx.set_timer(delay, TAG_REBUILD_BASE + token);
+    }
+
+    /// A rebuild backoff expired: try building the replacement circuit.
+    fn fire_rebuild(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(managed) = self.pending_rebuilds.remove(&token) else {
+            return;
+        };
+        if self.consensus.is_none() {
+            // Still re-bootstrapping; try again after another backoff.
+            self.schedule_rebuild(ctx, managed);
+            return;
+        }
+        let req = managed.req;
+        let attempt = self
+            .select_path_resilient(ctx, req)
+            .and_then(|path| self.build_circuit(ctx, path));
+        match attempt {
+            Some(handle) => {
+                self.circuits[handle.0].managed = Some(managed);
+            }
+            None => self.schedule_rebuild(ctx, managed),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -854,6 +1209,27 @@ impl TorClient {
             self.send_relay_last(ctx, slot, RelayCell::new(RelayCmd::Extend, 0, data));
         } else {
             self.circuits[slot].ready = true;
+            if let Some(t) = self.circuits[slot].build_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            // A managed circuit coming up: if this is a rebuild, record the
+            // recovery and announce old → new before CircuitReady.
+            let mut rebuilt_from = None;
+            if let Some(m) = self.circuits[slot].managed.as_mut() {
+                m.backoff.reset();
+                rebuilt_from = m.origin.take();
+                if let Some(t0) = m.failed_at.take() {
+                    T_RECOVER_MS.record((ctx.now() - t0).as_millis());
+                }
+            }
+            if let Some(old) = rebuilt_from {
+                T_CIRC_REBUILDS.inc();
+                self.emit_or_hs(
+                    ctx,
+                    slot,
+                    TorEvent::CircuitRebuilt(CircuitHandle(old), CircuitHandle(slot)),
+                );
+            }
             self.emit_or_hs(ctx, slot, TorEvent::CircuitReady(CircuitHandle(slot)));
         }
     }
@@ -865,9 +1241,14 @@ impl TorClient {
             }
             RelayCmd::Connected => {
                 let mut flush = Vec::new();
+                let mut timer = None;
                 if let Some(s) = self.circuits[slot].streams.get_mut(&rc.stream_id) {
                     s.connected = true;
                     flush = std::mem::take(&mut s.pending);
+                    timer = s.timeout.take();
+                }
+                if let Some(t) = timer {
+                    ctx.cancel_timer(t);
                 }
                 for frame in flush {
                     self.send_stream(ctx, CircuitHandle(slot), rc.stream_id, &frame);
@@ -918,7 +1299,11 @@ impl TorClient {
                 }
             }
             RelayCmd::End => {
-                self.circuits[slot].streams.remove(&rc.stream_id);
+                if let Some(s) = self.circuits[slot].streams.remove(&rc.stream_id) {
+                    if let Some(t) = s.timeout {
+                        ctx.cancel_timer(t);
+                    }
+                }
                 self.emit_or_hs(
                     ctx,
                     slot,
@@ -939,6 +1324,7 @@ impl TorClient {
                         kind: StreamKind::Incoming,
                         connected: false,
                         pending: Vec::new(),
+                        timeout: None,
                     },
                 );
                 self.emit_or_hs(
@@ -1046,12 +1432,46 @@ impl TorClient {
                 }
             }
             TorEvent::CircuitClosed(circ) => {
-                if self.hs_conns[idx].rendezvous_circ == circ.0
-                    && self.hs_conns[idx].phase != HsPhase::Done
-                {
+                let (rendezvous, phase, intro, hsdir, have_desc) = {
+                    let h = &self.hs_conns[idx];
+                    (
+                        h.rendezvous_circ,
+                        h.phase,
+                        h.intro_circ,
+                        h.hsdir_circ,
+                        h.desc.is_some(),
+                    )
+                };
+                if rendezvous == circ.0 && phase != HsPhase::Done {
                     self.hs_fail(ctx, idx, "rendezvous circuit closed");
-                } else if self.hs_conns[idx].phase == HsPhase::Done {
+                } else if phase == HsPhase::Done {
                     self.events.push_back(TorEvent::CircuitClosed(circ));
+                } else if self.recovery.is_some() && phase != HsPhase::Failed {
+                    // Recovery mode: a support circuit (intro / HSDir) dying
+                    // mid-handshake is retried on a fresh path, up to
+                    // MAX_HS_RETRIES per role.
+                    if intro == Some(circ.0) {
+                        self.hs_conns[idx].intro_circ = None;
+                        self.hs_conns[idx].intro_retries += 1;
+                        T_HS_RETRIES.inc();
+                        if self.hs_conns[idx].phase == HsPhase::Introduced {
+                            self.hs_conns[idx].phase = HsPhase::Waiting;
+                        }
+                        if self.hs_conns[idx].intro_retries > MAX_HS_RETRIES {
+                            self.hs_fail(ctx, idx, "introduction retries exhausted");
+                        } else {
+                            self.maybe_introduce(ctx, idx);
+                        }
+                    } else if hsdir == Some(circ.0) && !have_desc {
+                        self.hs_conns[idx].hsdir_circ = None;
+                        self.hs_conns[idx].hsdir_retries += 1;
+                        T_HS_RETRIES.inc();
+                        if self.hs_conns[idx].hsdir_retries > MAX_HS_RETRIES {
+                            self.hs_fail(ctx, idx, "descriptor fetch retries exhausted");
+                        } else {
+                            self.retry_hsdir(ctx, idx);
+                        }
+                    }
                 }
             }
             // Data/End on the rendezvous circuit post-handshake flow to the
@@ -1105,17 +1525,34 @@ impl TorClient {
         }
         match self.hs_conns[idx].intro_circ {
             None => {
-                // Build a circuit to one of the service's intro points.
+                // Build a circuit to one of the service's intro points,
+                // preferring ones this connection has not tried yet. On the
+                // first attempt nothing is used, so the RNG draw is the same
+                // range as a retry-oblivious client's.
                 let intro_fp = {
-                    let desc = self.hs_conns[idx].desc.as_ref().unwrap();
+                    let h = &self.hs_conns[idx];
+                    let desc = h.desc.as_ref().unwrap();
                     if desc.intro_points.is_empty() {
                         self.hs_fail(ctx, idx, "descriptor has no intro points");
                         return;
                     }
-                    let pick = ctx.rng().gen_range(0..desc.intro_points.len());
-                    desc.intro_points[pick]
+                    let fresh: Vec<Fingerprint> = desc
+                        .intro_points
+                        .iter()
+                        .filter(|fp| !h.used_intros.contains(fp))
+                        .copied()
+                        .collect();
+                    let pool: &[Fingerprint] = if fresh.is_empty() {
+                        &desc.intro_points
+                    } else {
+                        &fresh
+                    };
+                    let pick = ctx.rng().gen_range(0..pool.len());
+                    pool[pick]
                 };
-                let Some(path) = self.select_path(ctx, TerminalReq::Specific(intro_fp)) else {
+                self.hs_conns[idx].used_intros.push(intro_fp);
+                let Some(path) = self.select_path_resilient(ctx, TerminalReq::Specific(intro_fp))
+                else {
                     self.hs_fail(ctx, idx, "intro point not in consensus");
                     return;
                 };
@@ -1206,6 +1643,32 @@ impl TorClient {
             .push_back(TorEvent::RendezvousReady(CircuitHandle(slot)));
     }
 
+    /// Rebuild the HSDir circuit of an onion connection whose descriptor
+    /// fetch failed, and re-arm the fetch.
+    fn retry_hsdir(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let addr = self.hs_conns[idx].addr;
+        let Some(hsdir_fp) = self
+            .consensus
+            .as_ref()
+            .and_then(|c| crate::hs::responsible_hsdir(c, &addr))
+        else {
+            self.hs_fail(ctx, idx, "no responsible HSDir in consensus");
+            return;
+        };
+        let Some(path) = self.select_path_resilient(ctx, TerminalReq::Specific(hsdir_fp)) else {
+            self.hs_fail(ctx, idx, "no path to HSDir");
+            return;
+        };
+        let Some(circ) = self.build_circuit(ctx, path) else {
+            self.hs_fail(ctx, idx, "could not rebuild HSDir circuit");
+            return;
+        };
+        self.circuits[circ.0].hs_conn = Some(idx);
+        self.hs_conns[idx].hsdir_circ = Some(circ.0);
+        self.hs_conns[idx].desc_requested = false;
+        self.hs_advance(ctx, idx);
+    }
+
     fn hs_fail(&mut self, ctx: &mut Ctx<'_>, idx: usize, why: &str) {
         if self.hs_conns[idx].phase == HsPhase::Failed {
             return;
@@ -1237,6 +1700,24 @@ impl TorClient {
         let conn = self.circuits[slot].conn;
         let circ_id = self.circuits[slot].circ_id;
         self.circ_lookup.remove(&(conn, circ_id));
+        // Quiesce every timer owned by the dead circuit before its slot can
+        // be misread by a later firing.
+        let mut timers: Vec<TimerId> = self.circuits[slot].build_timer.take().into_iter().collect();
+        for s in self.circuits[slot].streams.values_mut() {
+            timers.extend(s.timeout.take());
+        }
+        for t in timers {
+            ctx.cancel_timer(t);
+        }
+        // A managed circuit dying is not the end: carry its rebuild state
+        // into the backoff queue.
+        if let Some(mut m) = self.circuits[slot].managed.take() {
+            m.origin = Some(slot);
+            if m.failed_at.is_none() {
+                m.failed_at = Some(ctx.now());
+            }
+            self.schedule_rebuild(ctx, m);
+        }
         self.emit_or_hs(ctx, slot, TorEvent::CircuitClosed(CircuitHandle(slot)));
     }
 }

@@ -42,6 +42,7 @@ pub mod netbuild;
 pub mod ports;
 pub mod relay;
 pub mod relay_crypto;
+pub mod retry;
 pub mod stream_frame;
 
 pub use cell::{Cell, CellCmd, RelayCmd, CELL_LEN, MAX_RELAY_DATA};
@@ -51,3 +52,4 @@ pub use dir::{Consensus, ExitPolicy, Fingerprint, RelayFlags, RelayInfo};
 pub use hs::{HiddenServiceHost, HsEvent};
 pub use netbuild::{NetworkBuilder, TestClientNode, TorNetwork, WebServerNode};
 pub use relay::{LocalStream, RelayConfig, RelayCore, RelayEvent, RelayNode};
+pub use retry::{Backoff, BackoffPolicy, FailureCache};

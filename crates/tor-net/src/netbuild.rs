@@ -399,6 +399,14 @@ impl Node for TestClientNode {
         self.tor.handle_timer(ctx, tag);
         self.pump(ctx);
     }
+    fn on_crash(&mut self) {
+        // Volatile Tor state dies with the host; configuration (authority,
+        // trust key, recovery knobs) persists like files on disk.
+        self.tor.reset();
+        self.events.clear();
+        self.hs_events.clear();
+    }
+    // Default on_restart → on_start re-bootstraps when auto_bootstrap is on.
 }
 
 /// A simple framed web server: maps a requested path to one or more

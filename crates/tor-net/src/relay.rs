@@ -262,6 +262,14 @@ impl RelayCore {
         self.fingerprint
     }
 
+    /// Drop all volatile state, as a host crash would. Identity keys are
+    /// derived from the configured seed, so the reborn relay has the same
+    /// fingerprint — it rejoins the network as the *same* relay, the way a
+    /// real relay restarts from its keys on disk.
+    pub fn reset(&mut self) {
+        *self = RelayCore::new(self.cfg.clone());
+    }
+
     /// Counters.
     pub fn stats(&self) -> RelayStats {
         self.stats
@@ -456,10 +464,12 @@ impl RelayCore {
                 .map(|(_, &s)| s)
                 .collect();
             // Sorted so teardown order (which feeds events and the RNG)
-            // doesn't depend on HashMap iteration order.
+            // doesn't depend on HashMap iteration order. notify=true so the
+            // circuit's *other* side hears a Destroy and can start
+            // recovering; the send toward the dead link itself no-ops.
             slots.sort_unstable();
             for slot in slots {
-                self.teardown_circuit(ctx, slot, false);
+                self.teardown_circuit(ctx, slot, true);
             }
             return true;
         }
@@ -1317,6 +1327,11 @@ impl Node for RelayNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         self.relay.on_timer(ctx, tag);
     }
+    fn on_crash(&mut self) {
+        self.relay.reset();
+    }
+    // Default on_restart → on_start: the reborn relay re-registers with the
+    // authority under its (seed-derived, therefore unchanged) identity.
     fn flush_telemetry(&mut self) {
         self.relay.flush_telemetry();
     }

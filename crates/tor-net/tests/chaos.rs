@@ -1,17 +1,26 @@
-//! Chaos test: many clients issuing randomized (but seeded, hence
-//! reproducible) operations against one network — circuits built and torn
-//! down mid-use, streams opened to real and bogus targets, onion
-//! connections, cover cells. The assertions are survival properties: the
-//! simulator never panics, traffic flows, and the run is deterministic.
+//! Chaos tests, two layers deep:
+//!
+//! 1. Randomized-operation chaos: many clients issuing seeded random
+//!    operations against one healthy network — circuits built and torn
+//!    down mid-use, streams to real and bogus targets, onion connections,
+//!    cover cells.
+//! 2. Fault-plane chaos: the same kind of network under a deterministic
+//!    [`FaultPlan`] — a relay crash + restart targeted at a live circuit,
+//!    5% link loss, and a partition that heals — with recovery-enabled
+//!    clients that must keep delivering data.
+//!
+//! The assertions are survival properties: the simulator never panics,
+//! traffic flows (goodput under 5% loss is nonzero), failed circuits are
+//! rebuilt, and every run replays byte-identically from its seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simnet::{SimDuration, SimTime};
+use simnet::{FaultAction, FaultPlan, LinkFault, SimDuration, SimTime};
 use tor_net::client::TerminalReq;
 use tor_net::netbuild::{NetworkBuilder, TestClientNode};
 use tor_net::ports::HTTP_PORT;
 use tor_net::stream_frame::encode_frame;
-use tor_net::{CircuitHandle, HiddenServiceHost, StreamTarget};
+use tor_net::{CircuitHandle, HiddenServiceHost, StreamTarget, TorEvent};
 
 fn run_chaos(seed: u64) -> (u64, u64) {
     let mut net = NetworkBuilder::new()
@@ -144,4 +153,163 @@ fn chaos_other_seeds_also_survive() {
         let (_, delivered) = run_chaos(seed);
         assert!(delivered > 100_000, "seed {seed}: {delivered}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plane chaos: a deterministic fault schedule instead of random client
+// operations. Recovery-enabled clients download in a loop while the plan
+// crashes a relay under a live circuit, degrades every link, and partitions
+// two relays away — all of which heals before the horizon.
+// ---------------------------------------------------------------------------
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct FaultRun {
+    events: u64,
+    delivered: u64,
+    rebuilds: u64,
+    msgs_dropped: u64,
+    crashes: u64,
+    restarts: u64,
+}
+
+fn run_fault_plan(seed: u64) -> FaultRun {
+    let mut net = NetworkBuilder::new()
+        .seed(seed)
+        .middles(8)
+        .exits(3)
+        .hsdirs(2)
+        .build();
+    let server = net.add_web_server("web", vec![("/".to_string(), vec![vec![0x5Au8; 20_000]])]);
+    let middles: Vec<simnet::NodeId> = net.relays[1..].iter().map(|(id, _)| *id).collect();
+    // Static schedule: 5% loss on every link [6s, 20s); two middles cut off
+    // from the world [14s, 17s).
+    net.sim.install_faults(
+        FaultPlan::new()
+            .all_links(secs(6), LinkFault::loss_pct(5.0))
+            .all_links_clear(secs(20))
+            .partition(secs(14), vec![middles[1], middles[2]])
+            .heal(secs(17)),
+    );
+    let clients: Vec<_> = (0..3).map(|i| net.add_client(&format!("fc{i}"))).collect();
+    for &c in &clients {
+        net.sim
+            .with_node::<TestClientNode, _>(c, |n, _| n.tor.enable_recovery());
+    }
+    net.sim.run_until(secs(3));
+    let mut circs: Vec<Option<CircuitHandle>> = clients
+        .iter()
+        .map(|&c| {
+            net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                n.tor
+                    .build_circuit_managed(ctx, TerminalReq::ExitTo(server, HTTP_PORT))
+            })
+        })
+        .collect();
+    net.sim.run_until(secs(5));
+    // Crash a relay under client 0's circuit (so the crash provably kills a
+    // live circuit), restart it four seconds later. Any hop will do, but
+    // never the authority — skip hops that don't map to net.relays[1..].
+    let path = net.sim.with_node::<TestClientNode, _>(clients[0], |n, _| {
+        circs[0].map(|h| n.tor.circuit_path(h)).unwrap_or_default()
+    });
+    let victim = path
+        .iter()
+        .find_map(|fp| {
+            net.relays[1..]
+                .iter()
+                .find(|(_, f)| f == fp)
+                .map(|(id, _)| *id)
+        })
+        .unwrap_or(middles[0]);
+    net.sim.inject_fault(secs(6), FaultAction::Crash(victim));
+    net.sim.inject_fault(secs(10), FaultAction::Restart(victim));
+
+    let mut run = FaultRun {
+        events: 0,
+        delivered: 0,
+        rebuilds: 0,
+        msgs_dropped: 0,
+        crashes: 0,
+        restarts: 0,
+    };
+    // The web server keeps streams open, so "download complete" is the full
+    // page having arrived, not a StreamEnded.
+    let mut busy = vec![false; clients.len()];
+    let mut got = vec![0u64; clients.len()];
+    while net.sim.now() < secs(30) {
+        let now = net.sim.now();
+        net.sim.run_until(now + SimDuration::from_millis(500));
+        for (i, &c) in clients.iter().enumerate() {
+            let events = net
+                .sim
+                .with_node::<TestClientNode, _>(c, |n, _| n.take_events());
+            for ev in events {
+                match ev {
+                    TorEvent::StreamData(_, _, d) => {
+                        run.delivered += d.len() as u64;
+                        got[i] += d.len() as u64;
+                        if got[i] >= 20_000 {
+                            busy[i] = false;
+                        }
+                    }
+                    TorEvent::StreamEnded(..) => busy[i] = false,
+                    TorEvent::CircuitRebuilt(old, new) => {
+                        run.rebuilds += 1;
+                        if circs[i] == Some(old) {
+                            circs[i] = Some(new);
+                            busy[i] = false;
+                        }
+                    }
+                    TorEvent::CircuitClosed(h) if circs[i] == Some(h) => busy[i] = false,
+                    _ => {}
+                }
+            }
+            let Some(h) = circs[i] else { continue };
+            if !busy[i] {
+                got[i] = 0;
+                busy[i] = net.sim.with_node::<TestClientNode, _>(c, |n, ctx| {
+                    if !n.tor.is_ready(h) {
+                        return false;
+                    }
+                    match n
+                        .tor
+                        .open_stream(ctx, h, StreamTarget::Node(server, HTTP_PORT))
+                    {
+                        Some(s) => {
+                            n.tor.send_stream(ctx, h, s, &encode_frame(b"/"));
+                            true
+                        }
+                        None => false,
+                    }
+                });
+            }
+        }
+    }
+    let stats = net.sim.stats();
+    let faults = net.sim.fault_stats();
+    run.events = stats.events;
+    run.msgs_dropped = faults.msgs_dropped;
+    run.crashes = faults.crashes;
+    run.restarts = faults.restarts;
+    run
+}
+
+#[test]
+fn fault_plan_chaos_recovers_and_is_deterministic() {
+    let a = run_fault_plan(404);
+    // The faults really happened ...
+    assert_eq!(a.crashes, 1, "{a:?}");
+    assert_eq!(a.restarts, 1, "{a:?}");
+    assert!(a.msgs_dropped > 0, "loss/partition dropped messages: {a:?}");
+    // ... and the clients recovered from them: the crashed guard's circuit
+    // came back, and goodput under 5% loss is nonzero.
+    assert!(a.rebuilds >= 1, "managed circuit rebuilt: {a:?}");
+    assert!(a.delivered > 0, "goodput under faults: {a:?}");
+    // Same seed, same fault plan -> byte-identical outcome.
+    let b = run_fault_plan(404);
+    assert_eq!(a, b, "fault-plane runs replay deterministically");
 }

@@ -39,6 +39,9 @@ cargo run --release -p bench --bin bench_cells -- --label optimized
 echo "== simulator throughput + parallel sweep harness =="
 cargo run --release -p bench --bin bench_sim -- --label optimized --telemetry full
 
+echo "== chaos sweep: fault injection vs goodput + recovery assertions =="
+cargo run --release -p bench --bin chaos_sweep
+
 echo "== telemetry artifacts: schema + overhead gate =="
 cargo run --release -p bench --bin telemetry_check -- \
   --file results/TELEMETRY_bench_sim.json \
@@ -48,6 +51,7 @@ cargo run --release -p bench --bin telemetry_check -- \
   --file results/TELEMETRY_cover_ablation.json \
   --file results/TELEMETRY_multipath_sweep.json \
   --file results/TELEMETRY_padding_sweep.json \
+  --file results/TELEMETRY_chaos_sweep.json \
   --overhead-gate 2.0
 
 echo "== criterion microbenches =="
