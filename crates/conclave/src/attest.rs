@@ -15,7 +15,7 @@ use crate::enclave::Enclave;
 use onion_crypto::hashsig::{MerkleSigner, MerkleVerifyKey, Signature};
 use onion_crypto::hmac::{ct_eq, hmac_sha256};
 use onion_crypto::sha256::sha256;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Attestation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,7 +173,7 @@ impl IasReport {
 /// The simulated Intel Attestation Service.
 pub struct Ias {
     signer: MerkleSigner,
-    platforms: HashMap<u64, [u8; 32]>,
+    platforms: BTreeMap<u64, [u8; 32]>,
     min_tcb: u32,
 }
 
@@ -182,7 +182,7 @@ impl Ias {
     pub fn new(seed: [u8; 32], min_tcb: u32) -> Ias {
         Ias {
             signer: MerkleSigner::generate(seed, 6),
-            platforms: HashMap::new(),
+            platforms: BTreeMap::new(),
             min_tcb,
         }
     }

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use sandbox::container::{Container, ContainerError, Syscall, SyscallOutcome};
 use sandbox::seccomp::SyscallClass;
 use simnet::{NodeId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A target for a function-opened Tor stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -395,7 +395,7 @@ pub type Constructor = fn(&[u8]) -> Box<dyn Function>;
 /// client-provided functions.
 #[derive(Default)]
 pub struct FunctionRegistry {
-    map: HashMap<String, Constructor>,
+    map: BTreeMap<String, Constructor>,
 }
 
 impl FunctionRegistry {
@@ -415,11 +415,9 @@ impl FunctionRegistry {
         self.map.get(name).map(|ctor| ctor(params))
     }
 
-    /// Registered names (sorted).
+    /// Registered names (sorted — the map is ordered).
     pub fn names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.map.keys().map(|s| s.as_str()).collect();
-        v.sort();
-        v
+        self.map.keys().map(|s| s.as_str()).collect()
     }
 }
 

@@ -25,7 +25,7 @@ use sandbox::container::Container;
 use sandbox::netrules::{NetRule, NetRules};
 use simnet::{ConnId, Ctx};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use tor_net::client::{CircuitHandle, TerminalReq, TorClient, TorEvent};
 use tor_net::dir::ExitPolicy;
@@ -81,15 +81,15 @@ struct ContainerEntry {
     /// The client stream whose Invoke is currently being served.
     invoker: Option<LocalStream>,
     /// function-local conn handle <-> simnet conn.
-    conns: HashMap<u64, ConnId>,
+    conns: BTreeMap<u64, ConnId>,
     /// function-local circ handle <-> tor circuit.
-    circs: HashMap<u64, CircuitHandle>,
-    circs_rev: HashMap<usize, u64>,
+    circs: BTreeMap<u64, CircuitHandle>,
+    circs_rev: BTreeMap<usize, u64>,
     /// (fn circ, fn stream) <-> tor stream id.
-    streams: HashMap<(u64, u64), u16>,
-    streams_rev: HashMap<(usize, u16), u64>,
+    streams: BTreeMap<(u64, u64), u16>,
+    streams_rev: BTreeMap<(usize, u16), u64>,
     /// function-local hs handle -> index into server hs table.
-    hss: HashMap<u64, u64>,
+    hss: BTreeMap<u64, u64>,
     alive: bool,
 }
 
@@ -158,12 +158,12 @@ pub struct BentoServer {
     enclave_image: Vec<u8>,
     /// The relay's exit policy, compiled into per-container net rules.
     exit_policy: ExitPolicy,
-    containers: HashMap<u64, ContainerEntry>,
+    containers: BTreeMap<u64, ContainerEntry>,
     next_container: u64,
-    streams: HashMap<u64, StreamState>,
+    streams: BTreeMap<u64, StreamState>,
     firewall: StemFirewall,
-    net_conns: HashMap<ConnId, (u64, u64)>,
-    hss: HashMap<u64, HsEntry>,
+    net_conns: BTreeMap<ConnId, (u64, u64)>,
+    hss: BTreeMap<u64, HsEntry>,
     next_hs: u64,
     rng: StdRng,
     /// Per-function cumulative network budget (operator-side, not part of
@@ -202,12 +202,12 @@ impl BentoServer {
             platform,
             enclave_image,
             exit_policy,
-            containers: HashMap::new(),
+            containers: BTreeMap::new(),
             next_container: 1,
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             firewall: StemFirewall::new(),
-            net_conns: HashMap::new(),
-            hss: HashMap::new(),
+            net_conns: BTreeMap::new(),
+            hss: BTreeMap::new(),
             next_hs: 1,
             rng: StdRng::seed_from_u64(seed),
             function_network_budget: ResourceLimits::default_function().network,
@@ -276,6 +276,7 @@ impl BentoServer {
                         .map(|p| {
                             (
                                 onion_crypto::sha256::sha256(p.as_bytes()),
+                                // bento-lint: allow(BL005) -- `p` came from fs().list() on the same immutable borrow
                                 rt.container.fs().read(p).expect("listed file").to_vec(),
                             )
                         })
@@ -489,12 +490,12 @@ impl BentoServer {
                 function: None,
                 manifest: None,
                 invoker: None,
-                conns: HashMap::new(),
-                circs: HashMap::new(),
-                circs_rev: HashMap::new(),
-                streams: HashMap::new(),
-                streams_rev: HashMap::new(),
-                hss: HashMap::new(),
+                conns: BTreeMap::new(),
+                circs: BTreeMap::new(),
+                circs_rev: BTreeMap::new(),
+                streams: BTreeMap::new(),
+                streams_rev: BTreeMap::new(),
+                hss: BTreeMap::new(),
                 alive: true,
             },
         );
@@ -607,6 +608,7 @@ impl BentoServer {
             reject(self, deps, "box function memory exhausted".into());
             return;
         }
+        // bento-lint: allow(BL005) -- entry inserted into `containers` earlier in this function
         let entry = self.containers.get_mut(&container_id).expect("exists");
         entry.runtime = Some(ContainerRuntime {
             container,
@@ -632,6 +634,7 @@ impl BentoServer {
             // Persist the function to the box's sealed disk so a host crash
             // can rebuild it with the same client-held tokens.
             let (invocation_token, shutdown_token) = {
+                // bento-lint: allow(BL005) -- presence just checked by the surrounding `alive` guard
                 let e = self.containers.get(&container_id).expect("exists");
                 (e.invocation_token, e.shutdown_token)
             };
@@ -689,6 +692,7 @@ impl BentoServer {
             );
             return;
         };
+        // bento-lint: allow(BL005) -- `id` was returned by find_by_invocation over this same map
         let entry = self.containers.get_mut(&id).expect("exists");
         if entry.function.is_none() {
             self.reply(
@@ -887,12 +891,12 @@ impl BentoServer {
                 function: Some(function),
                 manifest: Some(spec.manifest),
                 invoker: None,
-                conns: HashMap::new(),
-                circs: HashMap::new(),
-                circs_rev: HashMap::new(),
-                streams: HashMap::new(),
-                streams_rev: HashMap::new(),
-                hss: HashMap::new(),
+                conns: BTreeMap::new(),
+                circs: BTreeMap::new(),
+                circs_rev: BTreeMap::new(),
+                streams: BTreeMap::new(),
+                streams_rev: BTreeMap::new(),
+                hss: BTreeMap::new(),
                 alive: true,
             },
         );

@@ -8,7 +8,7 @@
 //! which Stem calls a function may make, and which circuits/hidden services
 //! it may touch (a function can never act on another function's circuits).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 // One verdict is counted per gate evaluated: `check_circuit` runs two gates
 // (routine permission, then ownership), so a NotOwner denial records one
@@ -101,11 +101,11 @@ impl std::fmt::Display for StemDenied {
 #[derive(Debug, Default)]
 pub struct StemFirewall {
     /// function id -> allowed routines (from the approved manifest).
-    allowed: HashMap<u64, HashSet<StemCall>>,
+    allowed: BTreeMap<u64, BTreeSet<StemCall>>,
     /// circuit slot -> owning function.
-    circuit_owner: HashMap<usize, u64>,
+    circuit_owner: BTreeMap<usize, u64>,
     /// hidden service id -> owning function.
-    hs_owner: HashMap<u64, u64>,
+    hs_owner: BTreeMap<u64, u64>,
     /// Denied attempts, for operator inspection.
     violations: Vec<(u64, StemDenied)>,
 }

@@ -16,7 +16,7 @@ use bento::protocol::{BentoMsg, FunctionSpec, ImageKind};
 use bento::stem::StemCall;
 use simnet::wire::{Reader, Writer};
 use simnet::{NodeId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 static T_FAILOVERS: telemetry::Counter = telemetry::Counter::new("lb.replica_failovers");
 
@@ -141,14 +141,14 @@ pub fn replica_manifest() -> Manifest {
 struct Serving {
     file_len: u64,
     /// Session circuits currently active.
-    sessions: HashMap<u64, ()>,
+    sessions: BTreeSet<u64>,
 }
 
 impl Serving {
     fn new(file_len: u64) -> Serving {
         Serving {
             file_len,
-            sessions: HashMap::new(),
+            sessions: BTreeSet::new(),
         }
     }
 
@@ -157,17 +157,17 @@ impl Serving {
     }
 
     fn on_client_circuit(&mut self, circ: u64) {
-        self.sessions.insert(circ, ());
+        self.sessions.insert(circ);
     }
 
     fn on_incoming_stream(&self, api: &mut FunctionApi<'_>, circ: u64, stream: u64) {
-        if self.sessions.contains_key(&circ) {
+        if self.sessions.contains(&circ) {
             api.respond_incoming(circ, stream, true);
         }
     }
 
     fn on_stream_data(&self, api: &mut FunctionApi<'_>, circ: u64, stream: u64) -> bool {
-        if !self.sessions.contains_key(&circ) {
+        if !self.sessions.contains(&circ) {
             return false;
         }
         api.stream_send(circ, stream, vec![0xF1; self.file_len as usize]);
@@ -175,7 +175,7 @@ impl Serving {
     }
 
     fn on_circuit_gone(&mut self, circ: u64) -> bool {
-        self.sessions.remove(&circ).is_some()
+        self.sessions.remove(&circ)
     }
 }
 

@@ -1,0 +1,212 @@
+//! `lint.toml` — a hand-rolled parser for the small TOML subset the linter
+//! needs (sections, string values, string arrays), consistent with the
+//! workspace's no-external-deps policy.
+
+use std::collections::BTreeMap;
+
+/// What a rule's diagnostics do to the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Report and fail the run.
+    Deny,
+    /// Report but do not fail.
+    Warn,
+    /// Rule disabled.
+    Off,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            "off" => Some(Severity::Off),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Off => "off",
+        }
+    }
+}
+
+/// Linter configuration. Defaults match the shipped `lint.toml`; the file
+/// only needs to state deviations.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rule code (`"BL001"`) → severity. Missing codes are `Deny`.
+    pub severity: BTreeMap<String, Severity>,
+    /// Crates (by `crates/<dir>` name) whose sim-visible state must use
+    /// ordered collections (BL001 scope).
+    pub deterministic_crates: Vec<String>,
+    /// Crates allowed to read the wall clock (BL002 exemptions).
+    pub wallclock_allowed_crates: Vec<String>,
+    /// Path fragments naming fault-recovery files (BL005 scope). A file is
+    /// in scope when its workspace-relative path ends with one of these.
+    pub recovery_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            severity: BTreeMap::new(),
+            deterministic_crates: ["simnet", "tor-net", "core", "functions", "onion-crypto"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            wallclock_allowed_crates: ["bench", "telemetry", "lint"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            recovery_paths: [
+                "tor-net/src/retry.rs",
+                "tor-net/src/client.rs",
+                "core/src/server.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        }
+    }
+}
+
+impl Config {
+    pub fn severity_of(&self, code: &str) -> Severity {
+        self.severity.get(code).copied().unwrap_or(Severity::Deny)
+    }
+
+    /// Parse `lint.toml` text over the defaults. Unknown sections and keys
+    /// are errors — a typo'd scope silently linting nothing is worse than a
+    /// hard failure.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "severity" | "bl001" | "bl002" | "bl005" => {}
+                    other => return Err(format!("lint.toml:{lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match (section.as_str(), key) {
+                ("severity", code) => {
+                    let sev = parse_string(value)
+                        .and_then(|s| Severity::parse(&s))
+                        .ok_or_else(|| {
+                            format!(
+                                "lint.toml:{lineno}: severity must be \"deny\", \"warn\" or \"off\""
+                            )
+                        })?;
+                    cfg.severity.insert(code.to_string(), sev);
+                }
+                ("bl001", "deterministic_crates") => {
+                    cfg.deterministic_crates = parse_array(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected a string array"))?;
+                }
+                ("bl002", "wallclock_allowed_crates") => {
+                    cfg.wallclock_allowed_crates = parse_array(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected a string array"))?;
+                }
+                ("bl005", "recovery_paths") => {
+                    cfg.recovery_paths = parse_array(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected a string array"))?;
+                }
+                (sec, key) => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown key `{key}` in [{sec}]"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Drop a trailing `# comment`, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `"value"` → `value`.
+fn parse_string(v: &str) -> Option<String> {
+    let v = v.trim();
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|s| s.to_string())
+}
+
+/// `["a", "b"]` → `vec!["a", "b"]`. Single-line arrays only.
+fn parse_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_crates() {
+        let cfg = Config::default();
+        assert!(cfg.deterministic_crates.contains(&"simnet".to_string()));
+        assert_eq!(cfg.severity_of("BL001"), Severity::Deny);
+    }
+
+    #[test]
+    fn parses_sections_and_overrides() {
+        let cfg = Config::parse(
+            r#"
+            # comment
+            [severity]
+            BL002 = "warn"   # trailing comment
+            [bl001]
+            deterministic_crates = ["a", "b"]
+            [bl005]
+            recovery_paths = ["x/src/y.rs"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.severity_of("BL002"), Severity::Warn);
+        assert_eq!(cfg.severity_of("BL001"), Severity::Deny);
+        assert_eq!(cfg.deterministic_crates, vec!["a", "b"]);
+        assert_eq!(cfg.recovery_paths, vec!["x/src/y.rs"]);
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        assert!(Config::parse("[bl001]\ndeterministc_crates = [\"a\"]").is_err());
+        assert!(Config::parse("[typo]\n").is_err());
+        assert!(Config::parse("[severity]\nBL001 = \"maybe\"").is_err());
+    }
+}

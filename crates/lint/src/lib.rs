@@ -1,0 +1,448 @@
+//! `bento_lint` — workspace determinism & safety linter.
+//!
+//! A self-contained static-analysis pass over the workspace's Rust sources:
+//! a hand-rolled lexer ([`lexer`]) strips comments/strings/char-literals,
+//! then token-stream rules ([`rules`]) flag nondeterminism and safety
+//! hazards. No external parser dependencies, consistent with the offline
+//! `vendor/` policy.
+//!
+//! ## Rule catalog
+//!
+//! | Code  | Checks |
+//! |-------|--------|
+//! | BL000 | malformed suppression directives |
+//! | BL001 | `HashMap`/`HashSet` in deterministic crates |
+//! | BL002 | wall-clock (`Instant`/`SystemTime`) outside host-side crates |
+//! | BL003 | ambient randomness (`thread_rng`, `from_entropy`, `OsRng`, …) |
+//! | BL004 | `unsafe` without a preceding `// SAFETY:` comment |
+//! | BL005 | `.unwrap()`/`.expect()` in fault-recovery paths |
+//! | BL006 | telemetry instrument names: `[a-z0-9_.]+`, globally unique |
+//!
+//! ## Suppression
+//!
+//! `// bento-lint: allow(BL001) -- <reason>` silences the named rule(s) on
+//! the comment's own line and the next token-bearing line. The reason is
+//! mandatory; a directive without one is itself a BL000 diagnostic.
+//!
+//! ## Test code
+//!
+//! Everything at or below a file's first `#[cfg(test)]` is test code and is
+//! not linted (in this workspace test modules are always the final item of
+//! a file). `tests/`, `benches/`, and `vendor/` trees are never scanned.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{Config, Severity};
+use lexer::{lex, Comment, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// One finding, ready to print as `file:line:col [code] message`.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    pub code: String,
+    pub severity: Severity,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{} {}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.code,
+            self.severity.label(),
+            self.message
+        )
+    }
+}
+
+/// Everything the per-file rules need to see.
+pub struct FileCtx<'a> {
+    pub rel_path: &'a str,
+    pub crate_name: &'a str,
+    pub toks: &'a [Tok],
+    pub comments: &'a [Comment],
+    /// Line of the first `#[cfg(test)]`; `u32::MAX` when the file has none.
+    /// Diagnostics at or past this line are dropped.
+    pub test_cutoff: u32,
+}
+
+/// A rule finding before severity/suppression filtering.
+#[derive(Debug)]
+pub struct RawDiag {
+    pub code: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One parsed suppression directive: which codes it allows, and which
+/// source lines it covers (its own + the next token-bearing line).
+#[derive(Debug, Clone)]
+struct Suppression {
+    codes: Vec<String>,
+    lines: [u32; 2],
+}
+
+/// The result of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings at `warn` or `deny`, sorted by (file, line, col, code).
+    pub diags: Vec<Diag>,
+}
+
+impl Report {
+    /// True when any `deny`-severity finding survived suppression —
+    /// the process should exit non-zero.
+    pub fn failed(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Deny)
+    }
+
+    pub fn deny_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+}
+
+/// Streaming analyzer: feed files with [`add_file`](Analyzer::add_file),
+/// then [`finish`](Analyzer::finish) to resolve cross-file rules (BL006)
+/// and get the sorted report.
+pub struct Analyzer {
+    cfg: Config,
+    diags: Vec<Diag>,
+    /// Telemetry registration sites for the cross-file uniqueness check.
+    regs: Vec<rules::Registration>,
+    /// Per-file suppression tables, kept so `finish` can filter the
+    /// cross-file diagnostics too.
+    supps: BTreeMap<String, Vec<Suppression>>,
+}
+
+impl Analyzer {
+    pub fn new(cfg: Config) -> Analyzer {
+        Analyzer {
+            cfg,
+            diags: Vec::new(),
+            regs: Vec::new(),
+            supps: BTreeMap::new(),
+        }
+    }
+
+    /// Lex and lint one file. `rel_path` is workspace-relative with `/`
+    /// separators (used in diagnostics and BL005 scoping); `crate_name` is
+    /// the directory under `crates/` (used for per-crate rule scoping).
+    pub fn add_file(&mut self, rel_path: &str, crate_name: &str, src: &str) {
+        let lexed = lex(src);
+        let test_cutoff = find_test_cutoff(&lexed.toks);
+        let (supps, mut raw) = parse_suppressions(&lexed.comments, &lexed.toks);
+        let ctx = FileCtx {
+            rel_path,
+            crate_name,
+            toks: &lexed.toks,
+            comments: &lexed.comments,
+            test_cutoff,
+        };
+        raw.extend(rules::check_file(&ctx, &self.cfg));
+        for reg in rules::registrations(&ctx) {
+            // Registrations in test code never reach exported artifacts.
+            if reg.line < test_cutoff {
+                self.regs.push(rules::Registration {
+                    file: rel_path.to_string(),
+                    ..reg
+                });
+            }
+        }
+        for d in raw {
+            // BL000 (malformed directive) is never itself suppressible and
+            // applies even inside test modules — a broken directive is a
+            // hygiene error wherever it sits.
+            if d.code != "BL000" {
+                if d.line >= test_cutoff {
+                    continue;
+                }
+                if suppressed(&supps, d.code, d.line) {
+                    continue;
+                }
+            }
+            self.push(d.code, rel_path, d.line, d.col, d.message);
+        }
+        self.supps.insert(rel_path.to_string(), supps);
+    }
+
+    fn push(&mut self, code: &str, file: &str, line: u32, col: u32, message: String) {
+        let severity = self.cfg.severity_of(code);
+        if severity == Severity::Off {
+            return;
+        }
+        self.diags.push(Diag {
+            code: code.to_string(),
+            severity,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    /// Resolve cross-file rules and return the sorted report.
+    pub fn finish(mut self) -> Report {
+        // BL006 uniqueness: group registrations by name; every site beyond
+        // the first (in file/line order) is a duplicate.
+        let mut by_name: BTreeMap<String, Vec<rules::Registration>> = BTreeMap::new();
+        for reg in std::mem::take(&mut self.regs) {
+            by_name.entry(reg.name.clone()).or_default().push(reg);
+        }
+        let mut dup_diags = Vec::new();
+        for (name, mut sites) in by_name {
+            if sites.len() < 2 {
+                continue;
+            }
+            sites.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+            let first = &sites[0];
+            let origin = format!("{}:{}", first.file, first.line);
+            for dup in &sites[1..] {
+                let covered = self
+                    .supps
+                    .get(&dup.file)
+                    .map(|s| suppressed(s, "BL006", dup.line))
+                    .unwrap_or(false);
+                if covered {
+                    continue;
+                }
+                dup_diags.push((
+                    dup.file.clone(),
+                    dup.line,
+                    dup.col,
+                    format!("duplicate telemetry instrument name `{name}` (first registered at {origin})"),
+                ));
+            }
+        }
+        for (file, line, col, msg) in dup_diags {
+            self.push("BL006", &file, line, col, msg);
+        }
+        self.diags.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.code).cmp(&(&b.file, b.line, b.col, &b.code))
+        });
+        Report { diags: self.diags }
+    }
+}
+
+fn suppressed(supps: &[Suppression], code: &str, line: u32) -> bool {
+    supps
+        .iter()
+        .any(|s| s.lines.contains(&line) && s.codes.iter().any(|c| c == code))
+}
+
+/// Line of the first `#[cfg(test)]` token sequence, or `u32::MAX`.
+fn find_test_cutoff(toks: &[Tok]) -> u32 {
+    for w in toks.windows(5) {
+        if w[0].kind == TokKind::Punct
+            && w[0].text == "#"
+            && w[1].text == "["
+            && w[2].text == "cfg"
+            && w[3].text == "("
+            && w[4].text == "test"
+        {
+            return w[0].line;
+        }
+    }
+    u32::MAX
+}
+
+/// Parse suppression directives out of the comment table. Returns the
+/// suppression table plus BL000 diagnostics for malformed directives.
+fn parse_suppressions(comments: &[Comment], toks: &[Tok]) -> (Vec<Suppression>, Vec<RawDiag>) {
+    let mut supps = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.split("bento-lint:").nth(1) else {
+            continue;
+        };
+        match parse_directive(rest) {
+            Some(codes) => {
+                let next_tok_line = toks
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.line)
+                    .unwrap_or(c.line);
+                supps.push(Suppression {
+                    codes,
+                    lines: [c.line, next_tok_line],
+                });
+            }
+            None => diags.push(RawDiag {
+                code: "BL000",
+                line: c.line,
+                col: c.col,
+                message: "malformed suppression: expected \
+                          `// bento-lint: allow(BLxxx) -- reason`"
+                    .to_string(),
+            }),
+        }
+    }
+    (supps, diags)
+}
+
+/// `" allow(BL001, BL005) -- reason"` → `["BL001", "BL005"]`.
+fn parse_directive(rest: &str) -> Option<Vec<String>> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (codes_str, rest) = rest.split_once(')')?;
+    let codes: Vec<String> = codes_str.split(',').map(|c| c.trim().to_string()).collect();
+    if codes.is_empty() || !codes.iter().all(|c| is_rule_code(c)) {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let reason = rest.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(codes)
+}
+
+fn is_rule_code(c: &str) -> bool {
+    c.len() == 5 && c.starts_with("BL") && c[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Walk `root`'s `crates/*/src` trees (sorted, deterministic) and lint every
+/// `.rs` file. This is the whole-workspace entry point shared by the binary
+/// and the self-test.
+pub fn scan_workspace(root: &Path, cfg: Config) -> Result<Report, String> {
+    let mut analyzer = Analyzer::new(cfg);
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let mut files = Vec::new();
+        collect_rs(&crate_dir.join("src"), &mut files)?;
+        files.sort();
+        for f in files {
+            let src = std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            analyzer.add_file(&rel, &crate_name, &src);
+        }
+    }
+    Ok(analyzer.finish())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Diag> {
+        let mut a = Analyzer::new(Config::default());
+        a.add_file("crates/x/src/lib.rs", crate_name, src);
+        a.finish().diags
+    }
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let src = "\
+            // bento-lint: allow(BL001) -- membership-only scratch set\n\
+            let m = HashMap::new();\n\
+            let n = HashMap::new();\n";
+        let diags = run("simnet", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "let m = HashMap::new(); // bento-lint: allow(BL001) -- scratch\n";
+        assert!(run("simnet", src).is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_bl000() {
+        let src = "// bento-lint: allow(BL001)\nlet m = HashMap::new();\n";
+        let diags = run("simnet", src);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"BL000"), "{diags:?}");
+        assert!(
+            codes.contains(&"BL001"),
+            "directive must not suppress: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn test_modules_are_not_linted() {
+        let src = "\
+            pub fn live() {}\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                use std::collections::HashMap;\n\
+            }\n";
+        assert!(run("tor-net", src).is_empty());
+    }
+
+    #[test]
+    fn severity_off_drops_and_warn_does_not_fail() {
+        let mut cfg = Config::default();
+        cfg.severity.insert("BL001".into(), Severity::Warn);
+        let mut a = Analyzer::new(cfg);
+        a.add_file("crates/x/src/lib.rs", "core", "let m = HashMap::new();");
+        let rep = a.finish();
+        assert_eq!(rep.diags.len(), 1);
+        assert!(!rep.failed());
+    }
+
+    #[test]
+    fn duplicate_instrument_names_across_files() {
+        let mut a = Analyzer::new(Config::default());
+        a.add_file(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"static T: telemetry::Counter = telemetry::Counter::new("x.events");"#,
+        );
+        a.add_file(
+            "crates/b/src/lib.rs",
+            "b",
+            r#"static T: telemetry::Counter = telemetry::Counter::new("x.events");"#,
+        );
+        let rep = a.finish();
+        assert_eq!(rep.diags.len(), 1, "{:?}", rep.diags);
+        assert_eq!(rep.diags[0].file, "crates/b/src/lib.rs");
+        assert!(rep.diags[0].message.contains("crates/a/src/lib.rs:1"));
+    }
+}

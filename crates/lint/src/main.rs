@@ -1,0 +1,95 @@
+//! `bento_lint` — run the workspace determinism & safety linter.
+//!
+//! ```text
+//! bento_lint [--root <workspace>] [--config <lint.toml>]
+//! ```
+//!
+//! Walks `crates/*/src/**/*.rs` (sorted — output order is deterministic),
+//! prints `file:line:col [code severity] message` per finding, and exits 1
+//! when any `deny`-severity finding survives suppression.
+
+#![forbid(unsafe_code)]
+
+use lint::config::Config;
+use lint::scan_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bento_lint [--root <workspace>] [--config <lint.toml>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // If the default root has no crates/, try the workspace the binary was
+    // built from so `cargo run -p lint` works from any cwd.
+    if !root.join("crates").is_dir() {
+        let manifest_ws = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if manifest_ws.join("crates").is_dir() {
+            root = manifest_ws;
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bento_lint: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bento_lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+
+    let report = match scan_workspace(&root, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bento_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diags {
+        println!("{d}");
+    }
+    let denies = report.deny_count();
+    let warns = report.diags.len() - denies;
+    if report.failed() {
+        println!("bento_lint: FAILED — {denies} error(s), {warns} warning(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("bento_lint: ok — 0 errors, {warns} warning(s)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bento_lint: {err}");
+    eprintln!("usage: bento_lint [--root <workspace>] [--config <lint.toml>]");
+    ExitCode::from(2)
+}

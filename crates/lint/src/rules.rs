@@ -1,0 +1,316 @@
+//! The token-stream rules (BL001–BL006).
+//!
+//! Each rule walks the lexed token stream of one file; cross-file state
+//! (BL006 uniqueness) is collected here but resolved in `lib.rs::finish`.
+//! Rules never look inside string/char literals or comments — the lexer
+//! already atomized those — so `// a HashMap of ...` or `"Instant"` can
+//! never trip a check.
+
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+use crate::{FileCtx, RawDiag};
+
+/// A telemetry instrument registration site (for the BL006 cross-file
+/// uniqueness check).
+#[derive(Debug, Clone)]
+pub struct Registration {
+    pub name: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Idents that construct or name the hash-ordered collections BL001 bans.
+const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Wall-clock types (BL002).
+const WALL_CLOCK: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Ambient-randomness entry points (BL003): anything that seeds or draws
+/// outside the sim's deterministic RNG stream.
+const AMBIENT_RNG: [&str; 5] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+/// Telemetry instrument types whose `::new("name")` registers a global
+/// instrument (BL006). `LogHistogram`/`Histogram` take no name and are not
+/// registration sites.
+const INSTRUMENT_TYPES: [&str; 3] = ["Counter", "Gauge", "Span"];
+
+/// Run all per-file rules. Test-region and suppression filtering happens in
+/// the caller.
+pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<RawDiag> {
+    let mut out = Vec::new();
+    bl001_hash_collections(ctx, cfg, &mut out);
+    bl002_wall_clock(ctx, cfg, &mut out);
+    bl003_ambient_randomness(ctx, &mut out);
+    bl004_unsafe_needs_safety_comment(ctx, &mut out);
+    bl005_unwrap_in_recovery_paths(ctx, cfg, &mut out);
+    bl006_instrument_name_syntax(ctx, &mut out);
+    out
+}
+
+fn is_ident(t: &Tok, names: &[&str]) -> bool {
+    t.kind == TokKind::Ident && names.iter().any(|n| t.text == *n)
+}
+
+/// BL001: no `HashMap`/`HashSet` in deterministic crates. Any mention —
+/// import, construction, type position — counts: if the type is present at
+/// all, its iteration order can leak into the simulation.
+fn bl001_hash_collections(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<RawDiag>) {
+    if !cfg.deterministic_crates.iter().any(|c| c == ctx.crate_name) {
+        return;
+    }
+    for t in ctx.toks {
+        if is_ident(t, &HASH_COLLECTIONS) {
+            out.push(RawDiag {
+                code: "BL001",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in deterministic crate `{}`: hash iteration order can leak \
+                     into the simulation — use BTree{} or suppress with a reason",
+                    t.text,
+                    ctx.crate_name,
+                    &t.text[4..],
+                ),
+            });
+        }
+    }
+}
+
+/// BL002: no wall-clock reads outside the host-side crates. Sim code must
+/// take time from `SimTime`, never `std::time`.
+fn bl002_wall_clock(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<RawDiag>) {
+    if cfg
+        .wallclock_allowed_crates
+        .iter()
+        .any(|c| c == ctx.crate_name)
+    {
+        return;
+    }
+    for t in ctx.toks {
+        if is_ident(t, &WALL_CLOCK) {
+            out.push(RawDiag {
+                code: "BL002",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "wall-clock type `{}` in crate `{}`: sim-visible code must use \
+                     SimTime (wall clock is allowed only in host-side crates)",
+                    t.text, ctx.crate_name,
+                ),
+            });
+        }
+    }
+}
+
+/// BL003: no ambient randomness anywhere in the workspace — every draw must
+/// flow from the sim's seeded RNG.
+fn bl003_ambient_randomness(ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+    for t in ctx.toks {
+        if is_ident(t, &AMBIENT_RNG) {
+            out.push(RawDiag {
+                code: "BL003",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "ambient randomness `{}`: all RNG must be seeded from the \
+                     simulation's StdRng",
+                    t.text,
+                ),
+            });
+        }
+    }
+}
+
+/// BL004: every `unsafe` keyword (block, fn, impl, trait) must have a
+/// comment containing `SAFETY:` on the same line or within the 3 lines
+/// above it.
+fn bl004_unsafe_needs_safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+    for t in ctx.toks {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let lo = t.line.saturating_sub(3);
+        let justified = ctx
+            .comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= t.line && c.text.contains("SAFETY:"));
+        if !justified {
+            out.push(RawDiag {
+                code: "BL004",
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+}
+
+/// BL005: no `.unwrap()` / `.expect(` in the fault-recovery files — those
+/// paths promise graceful degradation, and a panic there turns a recoverable
+/// fault into a crash.
+fn bl005_unwrap_in_recovery_paths(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<RawDiag>) {
+    if !cfg.recovery_paths.iter().any(|p| ctx.rel_path.ends_with(p)) {
+        return;
+    }
+    for w in ctx.toks.windows(3) {
+        let dot = w[0].kind == TokKind::Punct && w[0].text == ".";
+        let call = w[1].kind == TokKind::Ident && (w[1].text == "unwrap" || w[1].text == "expect");
+        let paren = w[2].kind == TokKind::Punct && w[2].text == "(";
+        if dot && call && paren {
+            out.push(RawDiag {
+                code: "BL005",
+                line: w[1].line,
+                col: w[1].col,
+                message: format!(
+                    "`.{}()` in fault-recovery path: handle the failure or suppress \
+                     with a reason proving it cannot panic",
+                    w[1].text,
+                ),
+            });
+        }
+    }
+}
+
+/// BL006 (local half): instrument names must match `[a-z0-9_.]+`. The
+/// global-uniqueness half runs in `Analyzer::finish` over the registrations
+/// collected by [`registrations`].
+fn bl006_instrument_name_syntax(ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+    for reg in registrations(ctx) {
+        let ok = !reg.name.is_empty()
+            && reg
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'.');
+        if !ok {
+            out.push(RawDiag {
+                code: "BL006",
+                line: reg.line,
+                col: reg.col,
+                message: format!(
+                    "telemetry instrument name `{}` must match [a-z0-9_.]+",
+                    reg.name,
+                ),
+            });
+        }
+    }
+}
+
+/// All `Counter::new("…")` / `Gauge::new("…")` / `Span::new("…")` sites with
+/// a literal name. Calls with a non-literal argument (e.g. `Counter::new(name)`
+/// inside the telemetry crate's own constructors) are not registration sites.
+pub fn registrations(ctx: &FileCtx<'_>) -> Vec<Registration> {
+    let mut out = Vec::new();
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], &INSTRUMENT_TYPES) {
+            continue;
+        }
+        let Some(w) = toks.get(i + 1..i + 6) else {
+            continue;
+        };
+        let path_sep = w[0].text == ":" && w[1].text == ":";
+        let is_new = w[2].kind == TokKind::Ident && w[2].text == "new";
+        let open = w[3].text == "(";
+        let lit = w[4].kind == TokKind::Str;
+        if path_sep && is_new && open && lit {
+            out.push(Registration {
+                name: w[4].text.clone(),
+                file: ctx.rel_path.to_string(),
+                line: w[4].line,
+                col: w[4].col,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_diags(crate_name: &str, rel_path: &str, src: &str) -> Vec<RawDiag> {
+        let lexed = lex(src);
+        let ctx = FileCtx {
+            rel_path,
+            crate_name,
+            toks: &lexed.toks,
+            comments: &lexed.comments,
+            test_cutoff: u32::MAX,
+        };
+        check_file(&ctx, &Config::default())
+    }
+
+    #[test]
+    fn bl001_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(
+            ctx_diags("tor-net", "crates/tor-net/src/x.rs", src).len(),
+            1
+        );
+        assert!(ctx_diags("bench", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bl002_allows_host_side_crates() {
+        let src = "let t = std::time::Instant::now();";
+        assert_eq!(ctx_diags("simnet", "crates/simnet/src/x.rs", src).len(), 1);
+        assert!(ctx_diags("bench", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bl003_is_workspace_wide() {
+        let src = "let mut r = rand::thread_rng();";
+        assert_eq!(ctx_diags("bench", "crates/bench/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn bl004_accepts_safety_comment_within_three_lines() {
+        let bad = "unsafe { core::hint::unreachable_unchecked() }";
+        let good = "// SAFETY: checked i < len above\nunsafe { x.get_unchecked(i) }";
+        let far = "// SAFETY: too far\n\n\n\n\nunsafe { x() }";
+        assert_eq!(ctx_diags("wfp", "crates/wfp/src/x.rs", bad).len(), 1);
+        assert!(ctx_diags("wfp", "crates/wfp/src/x.rs", good).is_empty());
+        assert_eq!(ctx_diags("wfp", "crates/wfp/src/x.rs", far).len(), 1);
+    }
+
+    #[test]
+    fn bl005_scopes_to_recovery_paths() {
+        let src = "let v = maybe.unwrap(); let w = maybe2.expect(\"why\");";
+        let hits = ctx_diags("tor-net", "crates/tor-net/src/retry.rs", src);
+        assert_eq!(hits.len(), 2);
+        assert!(ctx_diags("tor-net", "crates/tor-net/src/hs.rs", src).is_empty());
+        // `unwrap_or` is a different identifier and must not match.
+        let soft = "let v = maybe.unwrap_or(0);";
+        assert!(ctx_diags("tor-net", "crates/tor-net/src/retry.rs", soft).is_empty());
+    }
+
+    #[test]
+    fn bl006_checks_name_syntax() {
+        let bad = r#"static T: telemetry::Counter = telemetry::Counter::new("Tor Cells!");"#;
+        let good = r#"static T: telemetry::Counter = telemetry::Counter::new("tor.cells_in");"#;
+        assert_eq!(ctx_diags("relay", "crates/x/src/x.rs", bad).len(), 1);
+        assert!(ctx_diags("relay", "crates/x/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn bl006_ignores_non_literal_constructors() {
+        let src = "let c = Counter::new(name);";
+        let lexed = lex(src);
+        let ctx = FileCtx {
+            rel_path: "crates/telemetry/src/lib.rs",
+            crate_name: "telemetry",
+            toks: &lexed.toks,
+            comments: &lexed.comments,
+            test_cutoff: u32::MAX,
+        };
+        assert!(registrations(&ctx).is_empty());
+    }
+}

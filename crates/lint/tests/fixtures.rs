@@ -1,0 +1,115 @@
+//! Fixture-driven engine tests: for every rule, a seeded violation must be
+//! reported, the suppressed variant must pass (directive + reason), and the
+//! clean variant must pass outright. Fixtures live in `tests/fixtures/` as
+//! plain source text — they are lexed, never compiled.
+
+use lint::config::Config;
+use lint::{Analyzer, Report};
+use std::path::Path;
+
+/// Run the analyzer over named fixtures: `(rel_path, crate_name, fixture)`.
+fn analyze(files: &[(&str, &str, &str)]) -> Report {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut a = Analyzer::new(Config::default());
+    for (rel, krate, fixture) in files {
+        let src = std::fs::read_to_string(dir.join(fixture))
+            .unwrap_or_else(|e| panic!("fixture {fixture}: {e}"));
+        a.add_file(rel, krate, &src);
+    }
+    a.finish()
+}
+
+/// Codes of all deny-severity findings, in report order.
+fn deny_codes(r: &Report) -> Vec<&str> {
+    r.diags.iter().map(|d| d.code.as_str()).collect()
+}
+
+/// The common per-rule triad: the bad fixture fails with exactly `code`,
+/// the suppressed and clean fixtures produce no findings at all.
+fn assert_triad(code: &str, rel: &str, krate: &str) {
+    let stem = code.to_lowercase();
+    let bad = analyze(&[(rel, krate, &format!("{stem}_bad.rs"))]);
+    assert!(bad.failed(), "{code}: bad fixture must fail");
+    assert!(
+        deny_codes(&bad).iter().all(|c| *c == code),
+        "{code}: bad fixture reports only {code}, got {:?}",
+        bad.diags
+    );
+    let sup = analyze(&[(rel, krate, &format!("{stem}_suppressed.rs"))]);
+    assert!(
+        !sup.failed(),
+        "{code}: suppression with a reason must pass, got {:?}",
+        sup.diags
+    );
+    let clean = analyze(&[(rel, krate, &format!("{stem}_clean.rs"))]);
+    assert!(
+        !clean.failed(),
+        "{code}: clean fixture must pass, got {:?}",
+        clean.diags
+    );
+}
+
+#[test]
+fn bl001_hash_collections_triad() {
+    assert_triad("BL001", "crates/simnet/src/fixture.rs", "simnet");
+}
+
+#[test]
+fn bl002_wall_clock_triad() {
+    assert_triad("BL002", "crates/core/src/fixture.rs", "core");
+}
+
+#[test]
+fn bl003_ambient_randomness_triad() {
+    assert_triad("BL003", "crates/functions/src/fixture.rs", "functions");
+}
+
+#[test]
+fn bl004_safety_comment_triad() {
+    assert_triad("BL004", "crates/wfp/src/fixture.rs", "wfp");
+}
+
+#[test]
+fn bl005_recovery_unwrap_triad() {
+    // The rel_path must be one of the configured recovery paths.
+    assert_triad("BL005", "crates/tor-net/src/retry.rs", "tor-net");
+}
+
+#[test]
+fn bl006_duplicate_names_across_files() {
+    let a = ("crates/simnet/src/fix_a.rs", "simnet", "bl006_reg_a.rs");
+    // Duplicate + bad charset: both reported, at the *second* site.
+    let dup = analyze(&[
+        a,
+        ("crates/tor-net/src/fix_b.rs", "tor-net", "bl006_dup_b.rs"),
+    ]);
+    assert!(dup.failed());
+    assert_eq!(deny_codes(&dup), ["BL006", "BL006"], "{:?}", dup.diags);
+    assert!(
+        dup.diags.iter().all(|d| d.file.ends_with("fix_b.rs")),
+        "duplicates blamed on the re-registering site: {:?}",
+        dup.diags
+    );
+    // Suppressing the second site clears the duplicate.
+    let sup = analyze(&[
+        a,
+        (
+            "crates/tor-net/src/fix_b.rs",
+            "tor-net",
+            "bl006_suppressed_b.rs",
+        ),
+    ]);
+    assert!(!sup.failed(), "{:?}", sup.diags);
+    // Distinct names: nothing to report.
+    let clean = analyze(&[
+        a,
+        ("crates/tor-net/src/fix_b.rs", "tor-net", "bl006_clean_b.rs"),
+    ]);
+    assert!(!clean.failed(), "{:?}", clean.diags);
+}
+
+#[test]
+fn first_registration_alone_is_fine() {
+    let one = analyze(&[("crates/simnet/src/fix_a.rs", "simnet", "bl006_reg_a.rs")]);
+    assert!(!one.failed(), "{:?}", one.diags);
+}

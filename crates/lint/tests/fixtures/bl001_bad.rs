@@ -1,0 +1,6 @@
+// Fixture: BL001 positive — a hash collection in a deterministic crate.
+use std::collections::HashMap;
+
+pub struct Table {
+    entries: HashMap<u32, u64>,
+}

@@ -1,0 +1,7 @@
+// Fixture: BL001 clean — ordered collections only.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Table {
+    entries: BTreeMap<u32, u64>,
+    dead: BTreeSet<u64>,
+}

@@ -1,0 +1,8 @@
+// Fixture: BL001 suppressed with a reason on every use site.
+// bento-lint: allow(BL001) -- membership-only set, never iterated
+use std::collections::HashSet;
+
+pub struct Tombstones {
+    // bento-lint: allow(BL001) -- membership-only set, never iterated
+    dead: HashSet<u64>,
+}

@@ -1,0 +1,4 @@
+// Fixture: BL002 positive — wall clock in sim-visible code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

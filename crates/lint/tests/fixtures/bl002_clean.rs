@@ -1,0 +1,4 @@
+// Fixture: BL002 clean — time comes from the simulator.
+pub fn stamp(now: u64) -> u64 {
+    now + 5
+}

@@ -1,0 +1,6 @@
+// Fixture: BL002 suppressed.
+pub fn stamp() -> u64 {
+    // bento-lint: allow(BL002) -- host-side progress meter, never reaches the sim
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}

@@ -1,0 +1,5 @@
+// Fixture: BL003 positive — ambient (OS-seeded) randomness.
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}

@@ -1,0 +1,7 @@
+// Fixture: BL003 clean — explicitly seeded randomness.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn roll(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

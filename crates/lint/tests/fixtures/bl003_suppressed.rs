@@ -1,0 +1,6 @@
+// Fixture: BL003 suppressed.
+pub fn roll() -> u8 {
+    // bento-lint: allow(BL003) -- test-vector generator, output is discarded
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}

@@ -1,0 +1,4 @@
+// Fixture: BL004 positive — `unsafe` with no SAFETY comment anywhere near.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

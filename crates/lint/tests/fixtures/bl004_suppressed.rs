@@ -1,0 +1,5 @@
+// Fixture: BL004 suppressed (unusual, but the directive must work).
+pub fn read_first(v: &[u8]) -> u8 {
+    // bento-lint: allow(BL004) -- justification lives in the module docs
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+// Fixture: BL005 positive — panicking unwraps in a fault-recovery path
+// (the analyzer feeds this file in under a recovery_paths rel_path).
+pub fn rebuild(slot: Option<usize>, name: Option<&str>) -> usize {
+    let _ = name.expect("name");
+    slot.unwrap()
+}

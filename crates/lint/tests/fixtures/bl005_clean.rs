@@ -1,0 +1,7 @@
+// Fixture: BL005 clean — recovery code degrades instead of panicking.
+pub fn rebuild(slot: Option<usize>) -> usize {
+    match slot {
+        Some(s) => s,
+        None => 0,
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: BL005 suppressed with an invariant argument.
+pub fn rebuild(slot: Option<usize>) -> usize {
+    // bento-lint: allow(BL005) -- slot was inserted two lines up, cannot be None
+    slot.unwrap()
+}

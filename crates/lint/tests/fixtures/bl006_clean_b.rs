@@ -1,0 +1,3 @@
+// Fixture: BL006 clean — a distinct, well-formed instrument name.
+pub static DROPS: Counter = Counter::new("sim.cells_dropped");
+pub static SPAN: Span = Span::new("sim.relay_forward");

@@ -1,0 +1,4 @@
+// Fixture: BL006 positive — re-registers a name claimed in bl006_reg_a.rs,
+// plus a name that breaks the [a-z0-9_.]+ charset rule.
+pub static CELLS_AGAIN: Counter = Counter::new("sim.cells_relayed");
+pub static BAD_NAME: Gauge = Gauge::new("Sim-Cells Relayed");

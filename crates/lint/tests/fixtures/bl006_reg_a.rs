@@ -1,0 +1,3 @@
+// Fixture: BL006 — first registration of "sim.cells_relayed" (always fine
+// on its own; the duplicate lives in bl006_dup_b.rs).
+pub static CELLS: Counter = Counter::new("sim.cells_relayed");

@@ -1,0 +1,3 @@
+// Fixture: BL006 duplicate under suppression.
+// bento-lint: allow(BL006) -- same metric, re-exported behind a feature gate
+pub static CELLS_AGAIN: Counter = Counter::new("sim.cells_relayed");

@@ -1,0 +1,33 @@
+//! Self-test: the shipped workspace must lint clean under the shipped
+//! `lint.toml`. This is the same run CI performs via the `bento_lint`
+//! binary, held down as a plain test so `cargo test` alone catches a
+//! regression (a new HashMap in simnet, a reasonless suppression, a
+//! duplicated telemetry name) without the CI wiring.
+
+use lint::config::Config;
+use lint::scan_workspace;
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg_path = root.join("lint.toml");
+    let cfg = match std::fs::read_to_string(&cfg_path) {
+        Ok(text) => Config::parse(&text).expect("lint.toml parses"),
+        Err(_) => Config::default(),
+    };
+    let report = scan_workspace(&root, cfg).expect("workspace scan");
+    assert!(
+        !report.failed(),
+        "workspace must lint clean; findings:\n{}",
+        report
+            .diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -195,7 +195,7 @@ impl<'a> Ctx<'a> {
         // ever collect; when tombstones outnumber timers actually in the
         // queue by a margin, sweep out the dead ones.
         if self.core.cancelled_timers.len() > self.core.pending_timers + 64 {
-            let live: std::collections::HashSet<u64> = self.core.queue.live_timer_ids().collect();
+            let live: std::collections::BTreeSet<u64> = self.core.queue.live_timer_ids().collect();
             self.core.cancelled_timers.retain(|t| live.contains(t));
             self.core.timer_sweeps += 1;
         }

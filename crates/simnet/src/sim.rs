@@ -10,6 +10,7 @@ use crate::trace::{Direction, Sniffer, TraceEvent};
 use crate::transport::{Cwnd, TransportCfg};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+// bento-lint: allow(BL001) -- HashSet here is only `cancelled_timers` (see below)
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 // Telemetry is flushed once per `run_until` call, not per event: the hot
@@ -187,6 +188,9 @@ pub(crate) struct SimCore {
     pub(crate) queue: EventQueue,
     pub(crate) cfg: TransportCfg,
     pub(crate) next_timer_id: u64,
+    // bento-lint: allow(BL001) -- membership-only (insert/remove/contains/retain
+    // against an ordered id list); never iterated, so hash order cannot reach
+    // the event stream, and it sits on the per-cell hot path.
     pub(crate) cancelled_timers: HashSet<u64>,
     /// Timer events still sitting in the queue (fired or cancelled); lets
     /// [`Ctx::cancel_timer`] bound the tombstone set cheaply.
@@ -539,6 +543,7 @@ impl Simulator {
                 queue: EventQueue::new(),
                 cfg: cfg.transport,
                 next_timer_id: 0,
+                // bento-lint: allow(BL001) -- see field declaration: membership-only set
                 cancelled_timers: HashSet::new(),
                 pending_timers: 0,
                 pool: BufPool::default(),

@@ -25,7 +25,7 @@ use onion_crypto::x25519::StaticSecret;
 use rand::Rng;
 use simnet::node::TimerId;
 use simnet::{ConnId, Ctx, NodeId, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 // Recovery-path instruments: every one of these sits on a cold path (a
 // failure, a retry, a timeout), so inline registry access is fine.
@@ -164,7 +164,7 @@ struct ClientCircuit {
     building: Option<BuildState>,
     ready: bool,
     alive: bool,
-    streams: HashMap<u16, ClientStream>,
+    streams: BTreeMap<u16, ClientStream>,
     package_window: i32,
     delivered_since_sendme: i32,
     queued_data: VecDeque<(u16, Vec<u8>)>,
@@ -280,10 +280,10 @@ pub struct TorClient {
     excluded: Option<Fingerprint>,
     consensus: Option<Consensus>,
     dir_conn: Option<ConnId>,
-    links: HashMap<ConnId, LinkState>,
-    links_by_peer: HashMap<NodeId, ConnId>,
+    links: BTreeMap<ConnId, LinkState>,
+    links_by_peer: BTreeMap<NodeId, ConnId>,
     circuits: Vec<ClientCircuit>,
-    circ_lookup: HashMap<(ConnId, u32), usize>,
+    circ_lookup: BTreeMap<(ConnId, u32), usize>,
     hs_conns: Vec<HsConn>,
     next_stream_id: u16,
     events: VecDeque<TorEvent>,
@@ -297,7 +297,7 @@ pub struct TorClient {
     /// their entries decay.
     failures: FailureCache,
     /// Managed circuits waiting out a rebuild backoff, keyed by timer token.
-    pending_rebuilds: HashMap<u64, ManagedCirc>,
+    pending_rebuilds: BTreeMap<u64, ManagedCirc>,
     next_rebuild_token: u64,
 }
 
@@ -310,10 +310,10 @@ impl TorClient {
             excluded: None,
             consensus: None,
             dir_conn: None,
-            links: HashMap::new(),
-            links_by_peer: HashMap::new(),
+            links: BTreeMap::new(),
+            links_by_peer: BTreeMap::new(),
             circuits: Vec::new(),
-            circ_lookup: HashMap::new(),
+            circ_lookup: BTreeMap::new(),
             hs_conns: Vec::new(),
             next_stream_id: 1,
             events: VecDeque::new(),
@@ -321,7 +321,7 @@ impl TorClient {
             consensus_retries: 0,
             recovery: None,
             failures: FailureCache::new(SimDuration::from_secs(30)),
-            pending_rebuilds: HashMap::new(),
+            pending_rebuilds: BTreeMap::new(),
             next_rebuild_token: 0,
         }
     }
@@ -539,6 +539,7 @@ impl TorClient {
             }
         };
         let circ_id = {
+            // bento-lint: allow(BL005) -- the link was found or inserted in the match above
             let link = self.links.get_mut(&conn).expect("link exists");
             let id = link.next_circ_id;
             link.next_circ_id += 2;
@@ -555,7 +556,7 @@ impl TorClient {
             building: Some(BuildState { hop: 0, handshake }),
             ready: false,
             alive: true,
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             package_window: CIRC_WINDOW,
             delivered_since_sendme: 0,
             queued_data: VecDeque::new(),
@@ -882,8 +883,8 @@ impl TorClient {
                 .filter(|((c, _), _)| *c == conn)
                 .map(|(_, &s)| s)
                 .collect();
-            // HashMap iteration order is random per process; teardown order
-            // feeds the shared RNG, so sort to keep runs deterministic.
+            // Sorted by slot so teardown order (which feeds the shared RNG)
+            // is the circuit-allocation order, not the map's key order.
             slots.sort_unstable();
             for slot in slots {
                 if self.recovery.is_some() {
@@ -1488,15 +1489,17 @@ impl TorClient {
             return;
         }
         // 1. Request the descriptor once the HSDir circuit is up.
-        let hsdir_ready = self.hs_conns[idx]
-            .hsdir_circ
-            .map(|c| self.circuits[c].ready)
-            .unwrap_or(false);
-        if hsdir_ready && self.hs_conns[idx].desc.is_none() && !self.hs_conns[idx].desc_requested {
-            self.hs_conns[idx].desc_requested = true;
-            let hsdir = self.hs_conns[idx].hsdir_circ.unwrap();
-            let addr = self.hs_conns[idx].addr;
-            self.dir_request(ctx, CircuitHandle(hsdir), DirMsg::FetchHsDesc(addr));
+        let hsdir_circ = self.hs_conns[idx].hsdir_circ;
+        let hsdir_ready = hsdir_circ.map(|c| self.circuits[c].ready).unwrap_or(false);
+        if let Some(hsdir) = hsdir_circ {
+            if hsdir_ready
+                && self.hs_conns[idx].desc.is_none()
+                && !self.hs_conns[idx].desc_requested
+            {
+                self.hs_conns[idx].desc_requested = true;
+                let addr = self.hs_conns[idx].addr;
+                self.dir_request(ctx, CircuitHandle(hsdir), DirMsg::FetchHsDesc(addr));
+            }
         }
         // 2. Register the rendezvous cookie once that circuit is up.
         let rendezvous_circ = self.hs_conns[idx].rendezvous_circ;
@@ -1531,7 +1534,10 @@ impl TorClient {
                 // range as a retry-oblivious client's.
                 let intro_fp = {
                     let h = &self.hs_conns[idx];
-                    let desc = h.desc.as_ref().unwrap();
+                    let Some(desc) = h.desc.as_ref() else {
+                        self.hs_fail(ctx, idx, "descriptor missing");
+                        return;
+                    };
                     if desc.intro_points.is_empty() {
                         self.hs_fail(ctx, idx, "descriptor has no intro points");
                         return;
@@ -1573,13 +1579,15 @@ impl TorClient {
     fn send_introduce1(&mut self, ctx: &mut Ctx<'_>, idx: usize, intro_slot: usize) {
         let (addr, cookie, enc_key, rp_info) = {
             let h = &self.hs_conns[idx];
-            let desc = h.desc.as_ref().expect("descriptor present");
-            let rp = self.circuits[h.rendezvous_circ]
-                .path
-                .last()
-                .expect("rendezvous path")
-                .clone();
-            (h.addr, h.cookie, desc.enc_key, rp)
+            let Some(desc) = h.desc.as_ref() else {
+                self.hs_fail(ctx, idx, "descriptor missing");
+                return;
+            };
+            let Some(rp) = self.circuits[h.rendezvous_circ].path.last() else {
+                self.hs_fail(ctx, idx, "rendezvous circuit has no path");
+                return;
+            };
+            (h.addr, h.cookie, desc.enc_key, rp.clone())
         };
         // E2E ntor handshake toward the service's encryption key; the
         // service id for the handshake is the first 20 bytes of the onion

@@ -24,7 +24,7 @@ use onion_crypto::ntor;
 use onion_crypto::sha256::sha256;
 use onion_crypto::x25519::{PublicKey, StaticSecret};
 use simnet::Ctx;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub use crate::dir::OnionAddr as HsAddr;
 
@@ -111,7 +111,7 @@ pub struct HiddenServiceHost {
     /// Rendezvous cookies already answered (replay protection: a malicious
     /// intro point re-forwarding an INTRODUCE2 must not make the service
     /// build endless rendezvous circuits).
-    seen_cookies: std::collections::HashSet<[u8; 20]>,
+    seen_cookies: BTreeSet<[u8; 20]>,
     /// Introductions dropped as replays.
     pub replay_rejections: u64,
     onion_addr: OnionAddr,
@@ -119,9 +119,17 @@ pub struct HiddenServiceHost {
     /// Keyed by circuit handle; a `BTreeMap` so every iteration (notably
     /// the descriptor's intro point list) is deterministic.
     intro_circs: BTreeMap<usize, (Fingerprint, bool)>,
+    /// Intro relays whose circuits died; avoided when picking replacements
+    /// (failing open when the consensus offers nothing else).
+    intro_failures: Vec<Fingerprint>,
+    /// Intro circuits lost and rebuilt since `start()`.
+    pub intro_rebuilds: u64,
+    /// The published descriptor no longer matches the live intro set
+    /// (an intro circuit died); republish once all circuits re-establish.
+    desc_stale: bool,
     hsdir_circ: Option<CircuitHandle>,
     desc_bytes: Option<Vec<u8>>,
-    pending_rendezvous: HashMap<usize, PendingRendezvous>,
+    pending_rendezvous: BTreeMap<usize, PendingRendezvous>,
     client_circs: Vec<CircuitHandle>,
     published: bool,
     revision: u64,
@@ -142,13 +150,16 @@ impl HiddenServiceHost {
             auto_rendezvous,
             require_pow_bits: 0,
             pow_rejections: 0,
-            seen_cookies: std::collections::HashSet::new(),
+            seen_cookies: BTreeSet::new(),
             replay_rejections: 0,
             onion_addr,
             intro_circs: BTreeMap::new(),
+            intro_failures: Vec::new(),
+            intro_rebuilds: 0,
+            desc_stale: false,
             hsdir_circ: None,
             desc_bytes: None,
-            pending_rendezvous: HashMap::new(),
+            pending_rendezvous: BTreeMap::new(),
             client_circs: Vec::new(),
             published: false,
             revision: 0,
@@ -182,6 +193,17 @@ impl HiddenServiceHost {
     /// Rendezvous circuits currently serving clients.
     pub fn client_circuits(&self) -> &[CircuitHandle] {
         &self.client_circs
+    }
+
+    /// Fingerprints of the current intro relays (established or building),
+    /// in circuit-handle order.
+    pub fn intro_points(&self) -> Vec<Fingerprint> {
+        self.intro_circs.values().map(|(fp, _)| *fp).collect()
+    }
+
+    /// Number of intro circuits currently established.
+    pub fn intro_established(&self) -> usize {
+        self.intro_circs.values().filter(|(_, est)| *est).count()
     }
 
     /// Begin establishing introduction points (requires the client to have
@@ -332,13 +354,44 @@ impl HiddenServiceHost {
                 if let Some(entry) = self.intro_circs.get_mut(&h.0) {
                     entry.1 = true;
                 }
-                if !self.published
+                if (!self.published || self.desc_stale)
                     && !self.intro_circs.is_empty()
                     && self.intro_circs.values().all(|(_, est)| *est)
                 {
                     self.publish_descriptor(ctx, client);
                 }
                 None
+            }
+            TorEvent::CircuitClosed(h) => {
+                if let Some((dead_fp, _)) = self.intro_circs.remove(&h.0) {
+                    // An intro circuit died (relay crash, link loss): the
+                    // descriptor now advertises a dead intro point. Rebuild
+                    // on a fresh path and republish once re-established —
+                    // without this, a host that loses every intro point
+                    // stays unreachable until restart.
+                    self.intro_failures.push(dead_fp);
+                    self.intro_rebuilds += 1;
+                    self.desc_stale = true;
+                    self.rebuild_intro_circuits(ctx, client);
+                    return None;
+                }
+                if Some(h) == self.hsdir_circ {
+                    // The publish circuit died before DescAck: ship the
+                    // already-signed descriptor over a fresh circuit.
+                    self.hsdir_circ = None;
+                    self.ship_descriptor(ctx, client);
+                    return None;
+                }
+                if self.pending_rendezvous.remove(&h.0).is_some() {
+                    // The rendezvous circuit failed before RENDEZVOUS1; the
+                    // client's own retry machinery re-introduces.
+                    return None;
+                }
+                if let Some(pos) = self.client_circs.iter().position(|&c| c == h) {
+                    self.client_circs.remove(pos);
+                    return None;
+                }
+                Some(TorEvent::CircuitClosed(h))
             }
             TorEvent::ControlCell(h, RelayCmd::Introduce2, data) => {
                 if self.intro_circs.contains_key(&h.0) {
@@ -380,6 +433,16 @@ impl HiddenServiceHost {
             return;
         };
         self.desc_bytes = Some(bytes);
+        self.desc_stale = false;
+        self.ship_descriptor(ctx, client);
+    }
+
+    /// Build a circuit to the responsible HSDir carrying the already-signed
+    /// descriptor (the CircuitReady arm sends the publish request).
+    fn ship_descriptor(&mut self, ctx: &mut Ctx<'_>, client: &mut TorClient) {
+        if self.desc_bytes.is_none() || self.hsdir_circ.is_some() {
+            return;
+        }
         let Some(cons) = client.consensus() else {
             return;
         };
@@ -389,6 +452,43 @@ impl HiddenServiceHost {
         if let Some(path) = client.select_path(ctx, TerminalReq::Specific(hsdir_fp)) {
             if let Some(h) = client.build_circuit(ctx, path) {
                 self.hsdir_circ = Some(h);
+            }
+        }
+    }
+
+    /// Top the intro set back up to `n_intro` circuits after losses. Walks
+    /// the consensus FAST relays in order — the same deterministic policy
+    /// as [`HiddenServiceHost::start`] — skipping relays already serving as
+    /// intro points; relays whose circuits died on us are taken only as a
+    /// last resort (failing open, like the client's own failure cache).
+    fn rebuild_intro_circuits(&mut self, ctx: &mut Ctx<'_>, client: &mut TorClient) {
+        let Some(cons) = client.consensus() else {
+            return;
+        };
+        let candidates: Vec<Fingerprint> = cons
+            .with_flags(crate::dir::RelayFlags::FAST)
+            .iter()
+            .map(|r| r.fingerprint)
+            .collect();
+        let mut in_use: BTreeSet<Fingerprint> =
+            self.intro_circs.values().map(|(fp, _)| *fp).collect();
+        for avoid_failed in [true, false] {
+            for &fp in &candidates {
+                if self.intro_circs.len() >= self.n_intro {
+                    return;
+                }
+                if in_use.contains(&fp) {
+                    continue;
+                }
+                if avoid_failed && self.intro_failures.contains(&fp) {
+                    continue;
+                }
+                if let Some(path) = client.select_path(ctx, TerminalReq::Specific(fp)) {
+                    if let Some(h) = client.build_circuit(ctx, path) {
+                        self.intro_circs.insert(h.0, (fp, false));
+                        in_use.insert(fp);
+                    }
+                }
             }
         }
     }

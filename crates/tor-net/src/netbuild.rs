@@ -11,7 +11,7 @@ use crate::stream_frame::{encode_frame, FrameAssembler};
 use onion_crypto::hashsig::{MerkleSigner, MerkleVerifyKey};
 use simnet::{ConnId, Ctx, Iface, Node, NodeId, SimConfig, SimDuration, Simulator};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A built network: the simulator plus everything needed to attach clients.
@@ -412,8 +412,8 @@ impl Node for TestClientNode {
 /// A simple framed web server: maps a requested path to one or more
 /// response parts, each sent as its own frame (modeling HTML + assets).
 pub struct WebServerNode {
-    pages: HashMap<String, Vec<Vec<u8>>>,
-    assemblers: HashMap<ConnId, FrameAssembler>,
+    pages: BTreeMap<String, Vec<Vec<u8>>>,
+    assemblers: BTreeMap<ConnId, FrameAssembler>,
     /// Total requests served.
     pub requests: u64,
 }
@@ -423,7 +423,7 @@ impl WebServerNode {
     pub fn new(pages: Vec<(String, Vec<Vec<u8>>)>) -> WebServerNode {
         WebServerNode {
             pages: pages.into_iter().collect(),
-            assemblers: HashMap::new(),
+            assemblers: BTreeMap::new(),
             requests: 0,
         }
     }

@@ -19,7 +19,7 @@ use onion_crypto::ntor;
 use onion_crypto::sha256::sha256;
 use onion_crypto::x25519::StaticSecret;
 use simnet::{ConnId, Ctx, Node, NodeId, SimDuration};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 // Data-plane telemetry. The per-cell hot path bumps plain [`RelayStats`]
 // fields only; [`RelayCore::flush_telemetry`] (driven once per
@@ -135,7 +135,7 @@ struct RelayCircuit {
     crypto: LayerCrypto,
     /// Waiting for CREATED from the next hop (circ id allocated there).
     pending_extend: bool,
-    streams: HashMap<u16, ExitStream>,
+    streams: BTreeMap<u16, ExitStream>,
     /// Rendezvous splice partner (slot index).
     splice: Option<usize>,
     /// Set if this circuit registered as an introduction circuit.
@@ -158,7 +158,7 @@ impl RelayCircuit {
             next: None,
             crypto,
             pending_extend: false,
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             splice: None,
             intro_service: None,
             rendezvous_cookie: None,
@@ -200,23 +200,23 @@ pub struct RelayCore {
     fingerprint: Fingerprint,
     onion_secret: StaticSecret,
     my_addr: Option<NodeId>,
-    links: HashMap<ConnId, LinkState>,
-    links_by_peer: HashMap<NodeId, ConnId>,
-    dir_conns: HashMap<ConnId, ()>,
+    links: BTreeMap<ConnId, LinkState>,
+    links_by_peer: BTreeMap<NodeId, ConnId>,
+    dir_conns: BTreeSet<ConnId>,
     circuits: Vec<Option<RelayCircuit>>,
-    circ_lookup: HashMap<(ConnId, u32), usize>,
-    exit_conns: HashMap<ConnId, (usize, u16)>,
+    circ_lookup: BTreeMap<(ConnId, u32), usize>,
+    exit_conns: BTreeMap<ConnId, (usize, u16)>,
     /// Authority state: received descriptors and the signed consensus.
     received_descs: Vec<RelayInfo>,
     signed_consensus: Option<Vec<u8>>,
     /// HSDir storage.
-    hs_descs: HashMap<OnionAddr, (u64, Vec<u8>)>,
+    hs_descs: BTreeMap<OnionAddr, (u64, Vec<u8>)>,
     /// Intro-point registrations: onion addr -> circuit slot.
-    intro_points: HashMap<OnionAddr, usize>,
+    intro_points: BTreeMap<OnionAddr, usize>,
     /// Rendezvous registrations: cookie -> circuit slot.
-    rendezvous: HashMap<[u8; 20], usize>,
+    rendezvous: BTreeMap<[u8; 20], usize>,
     /// Local-service streams: id -> (slot, stream id).
-    local_streams: HashMap<u64, (usize, u16)>,
+    local_streams: BTreeMap<u64, (usize, u16)>,
     next_local_stream: u64,
     events: VecDeque<RelayEvent>,
     stats: RelayStats,
@@ -238,18 +238,18 @@ impl RelayCore {
             fingerprint,
             onion_secret,
             my_addr: None,
-            links: HashMap::new(),
-            links_by_peer: HashMap::new(),
-            dir_conns: HashMap::new(),
+            links: BTreeMap::new(),
+            links_by_peer: BTreeMap::new(),
+            dir_conns: BTreeSet::new(),
             circuits: Vec::new(),
-            circ_lookup: HashMap::new(),
-            exit_conns: HashMap::new(),
+            circ_lookup: BTreeMap::new(),
+            exit_conns: BTreeMap::new(),
             received_descs: Vec::new(),
             signed_consensus: None,
-            hs_descs: HashMap::new(),
-            intro_points: HashMap::new(),
-            rendezvous: HashMap::new(),
-            local_streams: HashMap::new(),
+            hs_descs: BTreeMap::new(),
+            intro_points: BTreeMap::new(),
+            rendezvous: BTreeMap::new(),
+            local_streams: BTreeMap::new(),
             next_local_stream: 1,
             events: VecDeque::new(),
             stats: RelayStats::default(),
@@ -368,7 +368,7 @@ impl RelayCore {
                 true
             }
             DIR_PORT => {
-                self.dir_conns.insert(conn, ());
+                self.dir_conns.insert(conn);
                 true
             }
             _ => false,
@@ -432,7 +432,7 @@ impl RelayCore {
             }
             return true;
         }
-        if self.dir_conns.contains_key(&conn) {
+        if self.dir_conns.contains(&conn) {
             if let Ok(dm) = DirMsg::decode(&msg) {
                 ctx.recycle_buf(msg);
                 if let Some(resp) = self.handle_dir_msg(dm) {
@@ -463,17 +463,18 @@ impl RelayCore {
                 .filter(|((c, _), _)| *c == conn)
                 .map(|(_, &s)| s)
                 .collect();
-            // Sorted so teardown order (which feeds events and the RNG)
-            // doesn't depend on HashMap iteration order. notify=true so the
-            // circuit's *other* side hears a Destroy and can start
-            // recovering; the send toward the dead link itself no-ops.
+            // Sorted by slot so teardown order (which feeds events and the
+            // RNG) is the circuit-allocation order, not the key order the
+            // ordered map happens to yield. notify=true so the circuit's
+            // *other* side hears a Destroy and can start recovering; the
+            // send toward the dead link itself no-ops.
             slots.sort_unstable();
             for slot in slots {
                 self.teardown_circuit(ctx, slot, true);
             }
             return true;
         }
-        if self.dir_conns.remove(&conn).is_some() {
+        if self.dir_conns.remove(&conn) {
             return true;
         }
         if let Some((slot, stream_id)) = self.exit_conns.remove(&conn) {

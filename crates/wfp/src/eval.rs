@@ -6,7 +6,7 @@ use crate::features::extract;
 use crate::knn::Knn;
 use crate::mlp::{Mlp, MlpConfig};
 use crate::trace::Trace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which attacker to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,16 +34,13 @@ pub struct EvalReport {
 
 /// Split per label: the first `ceil(frac * n)` visits of each site train.
 fn split(traces: &[Trace], train_frac: f64) -> (Vec<&Trace>, Vec<&Trace>) {
-    let mut by_label: HashMap<usize, Vec<&Trace>> = HashMap::new();
+    let mut by_label: BTreeMap<usize, Vec<&Trace>> = BTreeMap::new();
     for t in traces {
         by_label.entry(t.label).or_default().push(t);
     }
     let mut train = Vec::new();
     let mut test = Vec::new();
-    let mut labels: Vec<usize> = by_label.keys().copied().collect();
-    labels.sort_unstable();
-    for l in labels {
-        let group = &by_label[&l];
+    for (_l, group) in by_label.iter() {
         let n_train = ((group.len() as f64 * train_frac).ceil() as usize)
             .min(group.len().saturating_sub(1))
             .max(1);

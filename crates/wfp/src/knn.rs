@@ -35,7 +35,7 @@ impl Knn {
             })
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut votes: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut votes: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for (d, l) in dists.iter().take(self.k) {
             *votes.entry(*l).or_insert(0.0) += 1.0 / (d.sqrt() + 1e-9);
         }

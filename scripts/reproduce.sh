@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 echo "== building (release) =="
 cargo build --release -p bench
 
+echo "== static analysis: bento_lint determinism & safety rules =="
+cargo run --release -p lint
+
+echo "== dynamic determinism check: artifacts byte-identical across perturbations =="
+cargo run --release -p bench --bin determinism_check
+
 echo "== Table 1: WF attack accuracy (longest step, ~10-15 min) =="
 cargo run --release -p bench --bin table1
 
