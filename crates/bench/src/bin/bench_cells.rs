@@ -18,14 +18,29 @@ use std::time::Instant;
 use tor_net::cell::{RelayCell, RelayCmd};
 use tor_net::relay_crypto::{CircuitCrypto, LayerCrypto};
 
-/// The benchmark names, in report order.
-const NAMES: [&str; 5] = [
+/// The benchmark names, in report order. The `*_batch_N` rows report
+/// **cells per second** (one op = one cell) so they compare directly with
+/// the cell-at-a-time `relay_unseal` row at every batch size.
+const NAMES: [&str; 15] = [
     "chacha20_apply_16384",
     "seal_3hops",
     "relay_unseal",
     "aead_roundtrip",
     "sha256_16384",
+    "relay_unseal_batch_1",
+    "relay_unseal_batch_4",
+    "relay_unseal_batch_8",
+    "relay_unseal_batch_16",
+    "relay_unseal_batch_32",
+    "relay_seal_batch_1",
+    "relay_seal_batch_4",
+    "relay_seal_batch_8",
+    "relay_seal_batch_16",
+    "relay_seal_batch_32",
 ];
+
+/// The batch sizes behind the `*_batch_N` rows, aligned with `NAMES`.
+const BATCH_SIZES: [usize; 5] = [1, 4, 8, 16, 32];
 
 fn keys(tag: u8) -> CircuitKeys {
     CircuitKeys {
@@ -118,6 +133,40 @@ fn run_all() -> Vec<(&'static str, f64)> {
             std::hint::black_box(sha256(&data));
         }),
     ));
+
+    // Batched relay unseal: one run of N same-circuit cells per op, with
+    // the keystream prefetch the batch data plane enables. Reported as
+    // cells/sec (ops_per_sec × N) so every row shares the unit of
+    // `relay_unseal`.
+    for (bi, &n) in BATCH_SIZES.iter().enumerate() {
+        let mut relay = LayerCrypto::relay_side(&keys(8));
+        relay.enable_batch();
+        let mut cells = vec![template; n];
+        let mut flags = vec![false; n];
+        let per_batch = ops_per_sec(|| {
+            for c in cells.iter_mut() {
+                *c = template;
+            }
+            let mut refs: Vec<&mut [u8; 509]> = cells.iter_mut().collect();
+            relay.unseal_batch(&mut refs, &mut flags);
+        });
+        results.push((NAMES[5 + bi], per_batch * n as f64));
+    }
+
+    // Batched relay seal (exit/backward direction), same reporting unit.
+    for (bi, &n) in BATCH_SIZES.iter().enumerate() {
+        let mut relay = LayerCrypto::relay_side(&keys(9));
+        relay.enable_batch();
+        let mut cells = vec![template; n];
+        let per_batch = ops_per_sec(|| {
+            for c in cells.iter_mut() {
+                *c = template;
+            }
+            let mut refs: Vec<&mut [u8; 509]> = cells.iter_mut().collect();
+            relay.seal_batch(&mut refs);
+        });
+        results.push((NAMES[10 + bi], per_batch * n as f64));
+    }
 
     results
 }
@@ -216,7 +265,7 @@ fn main() {
             "chacha20_apply_16384" | "sha256_16384" => {
                 format!("  ({:.1} MiB/s)", v * 16384.0 / (1024.0 * 1024.0))
             }
-            "seal_3hops" | "relay_unseal" => {
+            n if n == "seal_3hops" || n == "relay_unseal" || n.contains("_batch_") => {
                 format!("  ({:.1} MiB/s of cells)", v * 509.0 / (1024.0 * 1024.0))
             }
             _ => String::new(),

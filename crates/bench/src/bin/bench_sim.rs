@@ -28,9 +28,15 @@
 //! (`--label baseline|optimized`); when both labels are present the file
 //! also carries speedups, like `BENCH_cells.json`.
 //!
+//! Every invocation also runs a **batch A/B**: the same fetch with the
+//! batched relay data plane off vs on (`relay_events_per_sec_batch_off` /
+//! `_on`, `batch_speedup`), asserting both arms produce identical
+//! `SimStats`. `--batch on|off` (default on) selects the arm the headline
+//! numbers and the sweep use.
+//!
 //! `cargo run -p bench --release --bin bench_sim -- [--label L] [--mb N]
-//!  [--threads N] [--smoke] [--telemetry off|summary|full] [--quiet]
-//!  [--json <path>]`
+//!  [--threads N] [--smoke] [--batch on|off] [--telemetry off|summary|full]
+//!  [--quiet] [--json <path>]`
 
 use bench::runner::{
     available_threads, export_telemetry, run_trials_traced, threads_for, SweepOpts,
@@ -64,13 +70,16 @@ fn fast_iface() -> Iface {
 
 /// Fetch `mb` MiB through a fresh 3-hop circuit; returns the run's SimStats
 /// fields (for determinism checks) and the wall seconds spent simulating.
-fn relay_fetch(seed: u64, mb: u64) -> ((u64, u64, u64, u64), f64) {
+/// `batch` selects the relay data plane arm (batched vs cell-at-a-time);
+/// both arms produce identical stats and traffic by construction.
+fn relay_fetch(seed: u64, mb: u64, batch: bool) -> ((u64, u64, u64, u64), f64) {
     let file_len = (mb << 20) as usize;
     let mut net = NetworkBuilder::new()
         .seed(seed)
         .middles(4)
         .exits(2)
         .relay_iface(fast_iface())
+        .batch(batch)
         .build();
     let page = vec![vec![0x5Au8; file_len]];
     let server = net.add_web_server("web", vec![("/big".to_string(), page)]);
@@ -194,6 +203,7 @@ fn parse_run(json: &str, label: &str) -> Vec<(String, f64)> {
 fn main() {
     let opts = SweepOpts::from_args();
     let label = arg_str("--label", "optimized");
+    let batch = arg_str("--batch", "on") != "off";
     let smoke = arg_flag("--smoke");
     let mb = arg_u64("--mb", if smoke { 1 } else { 16 });
     let sweep_mb = arg_u64("--sweep-mb", if smoke { 1 } else { 4 });
@@ -210,12 +220,16 @@ fn main() {
     // stay comparable with checked-in baselines regardless of --telemetry.
     telemetry::set_mode(Mode::Off);
     if !opts.quiet {
-        println!("single-run relay fetch: {mb} MiB over a 3-hop circuit ({samples} samples)");
+        println!(
+            "single-run relay fetch: {mb} MiB over a 3-hop circuit ({samples} samples, \
+             batch {})",
+            if batch { "on" } else { "off" }
+        );
     }
     let mut relay_samples = Vec::new();
     let mut stats = (0, 0, 0, 0);
     for _ in 0..samples {
-        let (s, wall) = relay_fetch(7, mb);
+        let (s, wall) = relay_fetch(7, mb, batch);
         stats = s;
         relay_samples.push(s.0 as f64 / wall.max(1e-9));
     }
@@ -250,10 +264,10 @@ fn main() {
     let mut full_eps = Vec::new();
     for _ in 0..ab {
         telemetry::set_mode(Mode::Off);
-        let (s, wall) = relay_fetch(7, mb);
+        let (s, wall) = relay_fetch(7, mb, batch);
         off_eps.push(s.0 as f64 / wall.max(1e-9));
         telemetry::set_mode(Mode::Full);
-        let (s, wall) = relay_fetch(7, mb);
+        let (s, wall) = relay_fetch(7, mb, batch);
         full_eps.push(s.0 as f64 / wall.max(1e-9));
     }
     let relay_eps_full = best(&full_eps);
@@ -266,6 +280,33 @@ fn main() {
         );
     }
 
+    // ---- batch A/B: the same fetch with the batched data plane off vs on.
+    // Both arms run in every invocation (including --smoke), interleaved
+    // like the telemetry A/B, and must produce identical SimStats — the
+    // batched plane is a pure wall-clock optimization.
+    telemetry::set_mode(Mode::Off);
+    let mut batch_off_eps = Vec::new();
+    let mut batch_on_eps = Vec::new();
+    for _ in 0..ab {
+        let (s_off, wall) = relay_fetch(7, mb, false);
+        batch_off_eps.push(s_off.0 as f64 / wall.max(1e-9));
+        let (s_on, wall) = relay_fetch(7, mb, true);
+        batch_on_eps.push(s_on.0 as f64 / wall.max(1e-9));
+        assert_eq!(
+            s_off, s_on,
+            "batch arms must produce identical simulation outcomes"
+        );
+    }
+    let relay_eps_batch_off = best(&batch_off_eps);
+    let relay_eps_batch_on = best(&batch_on_eps);
+    let batch_speedup = relay_eps_batch_on / relay_eps_batch_off.max(1e-9);
+    if !opts.quiet {
+        println!(
+            "batch A/B (best of {ab}): off {relay_eps_batch_off:.0} events/s, \
+             on {relay_eps_batch_on:.0} events/s  ->  {batch_speedup:.2}x"
+        );
+    }
+
     // The sweep (and its export) runs at the requested --telemetry mode,
     // starting from a clean registry.
     telemetry::set_mode(opts.telemetry);
@@ -275,7 +316,7 @@ fn main() {
     if !opts.quiet {
         println!("sweep: {n_trials} independent {sweep_mb} MiB fetch trials");
     }
-    let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb).0;
+    let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb, batch).0;
     let mk_jobs = || -> Vec<bench::runner::Trial<(u64, u64, u64, u64)>> {
         (0..n_trials as u64)
             .map(|i| Box::new(trial(i)) as bench::runner::Trial<_>)
@@ -318,6 +359,10 @@ fn main() {
         ("relay_events_per_sec", relay_eps),
         ("relay_events_per_sec_full", relay_eps_full),
         ("telemetry_overhead_pct", telemetry_overhead_pct),
+        ("relay_events_per_sec_batch_off", relay_eps_batch_off),
+        ("relay_events_per_sec_batch_on", relay_eps_batch_on),
+        ("batch_speedup", batch_speedup),
+        ("batch", if batch { 1.0 } else { 0.0 }),
         ("storm_events_per_sec", storm_eps),
         ("sweep_trials", n_trials as f64),
         ("sweep_seq_s", seq_wall),

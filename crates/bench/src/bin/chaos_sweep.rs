@@ -6,18 +6,21 @@
 //! circuit rebuilt after the crash) before its row is written.
 //!
 //! `cargo run -p bench --release --bin chaos_sweep`
-//! `--smoke` runs a single short trial (CI); `--seed N` reseeds the sweep.
+//! `--smoke` runs a single short trial (CI); `--seed N` reseeds the sweep;
+//! `--batch on|off` (default on) selects the relay data plane arm — the
+//! determinism gate byte-compares the two arms' artifacts.
 //! Artifacts: `results/chaos.csv`, `results/BENCH_chaos.json`, and
 //! `results/TELEMETRY_chaos_sweep.json`.
 
 use bench::chaos::{assert_recovered, run_chaos_trial, ChaosConfig, ChaosOutcome};
 use bench::runner::{run_sweep, SweepOpts, Trial};
-use bench::{arg_flag, arg_u64, write_csv, write_json_table};
+use bench::{arg_flag, arg_str, arg_u64, write_csv, write_json_table};
 
 fn main() {
     let opts = SweepOpts::from_args();
     let seed = arg_u64("--seed", 11);
     let smoke = arg_flag("--smoke");
+    let batch = arg_str("--batch", "on") != "off";
     let loss_axis: Vec<f64> = if smoke {
         vec![5.0]
     } else {
@@ -29,6 +32,7 @@ fn main() {
         .enumerate()
         .map(|(i, &loss)| {
             let mut cfg = ChaosConfig::default_mix(seed.wrapping_add(i as u64), loss);
+            cfg.batch = batch;
             if smoke {
                 cfg.clients = 3;
                 cfg.horizon_s = 30;

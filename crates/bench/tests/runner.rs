@@ -125,9 +125,11 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
     assert_eq!(sequential, parallel);
 
     // Sanity: the trials did real work and differ across seeds, so the
-    // equality above isn't vacuous.
+    // equality above isn't vacuous. (Chunk packing coalesces many messages
+    // into one serialization quantum, so the event count sits well below the
+    // one-chunk-per-message era — ~300 events per fetch.)
     for rec in &sequential {
-        assert!(rec.stats.0 > 500, "trial processed events: {:?}", rec.stats);
+        assert!(rec.stats.0 > 200, "trial processed events: {:?}", rec.stats);
         assert!(!rec.trace.is_empty(), "sniffer saw traffic");
     }
     assert!(
@@ -162,7 +164,7 @@ fn telemetry_snapshots_are_byte_identical_across_thread_counts() {
         sb.write_json(&mut jb, 0);
         assert_eq!(ja, jb, "trial {i} snapshot bytes match");
         assert!(
-            sa.counters.get("simnet.events").copied().unwrap_or(0) > 500,
+            sa.counters.get("simnet.events").copied().unwrap_or(0) > 200,
             "trial {i} recorded real telemetry (not a vacuous equality)"
         );
         assert!(

@@ -415,6 +415,19 @@ impl ChaCha20 {
         self.apply(&mut out);
         out
     }
+
+    /// Write `out.len()` bytes of raw keystream into `out`, advancing the
+    /// stream position exactly as [`ChaCha20::apply`] would.
+    ///
+    /// Implemented as XOR-into-zeros: zeroing `out` and running the normal
+    /// `apply` path produces the keystream itself while reusing every wide
+    /// fast path and the buffered-partial-block continuity logic, so a
+    /// prefetch consumer stays bit-compatible with direct `apply` calls at
+    /// any interleaving.
+    pub fn keystream_into(&mut self, out: &mut [u8]) {
+        out.fill(0);
+        self.apply(out);
+    }
 }
 
 #[cfg(test)]
@@ -537,5 +550,31 @@ mod tests {
         let a = ChaCha20::new(&key, &[0u8; 12]).apply_copy(&[0u8; 64]);
         let b = ChaCha20::new(&key, &[1u8; 12]).apply_copy(&[0u8; 64]);
         assert_ne!(a, b);
+    }
+
+    /// `keystream_into` produces exactly the bytes `apply` would XOR, at any
+    /// length, and stays position-continuous when interleaved with `apply`.
+    #[test]
+    fn keystream_into_matches_apply() {
+        let key = [6u8; 32];
+        let nonce = [7u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 509, 512, 1024, 4096 + 17] {
+            let mut direct = ChaCha20::new(&key, &nonce);
+            let expected = direct.apply_copy(&vec![0u8; len]);
+            let mut ks = vec![0xFFu8; len];
+            ChaCha20::new(&key, &nonce).keystream_into(&mut ks);
+            assert_eq!(ks, expected, "len {len}");
+        }
+        // Interleave: apply 100 bytes, fetch 200 bytes of keystream, apply
+        // 50 more — must equal one sequential 350-byte application.
+        let whole = ChaCha20::new(&key, &nonce).apply_copy(&vec![0u8; 350]);
+        let mut c = ChaCha20::new(&key, &nonce);
+        let mut got = Vec::new();
+        got.extend_from_slice(&c.apply_copy(&[0u8; 100]));
+        let mut mid = [0u8; 200];
+        c.keystream_into(&mut mid);
+        got.extend_from_slice(&mid);
+        got.extend_from_slice(&c.apply_copy(&[0u8; 50]));
+        assert_eq!(got, whole);
     }
 }

@@ -128,6 +128,22 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// True if the earliest pending event is a `MsgArrive` on `conn`/`dir`
+    /// at exactly `time` — the precondition for coalescing it into the
+    /// delivery batch the event loop is forming. Only *adjacent* events are
+    /// ever coalesced, so relative order with any interleaved event is
+    /// preserved.
+    pub fn peek_is_arrival(&self, time: SimTime, conn: ConnId, dir: FlowDir) -> bool {
+        match self.heap.peek() {
+            Some(e) => {
+                e.time == time
+                    && matches!(e.kind,
+                        EventKind::MsgArrive { conn: c, dir: d, .. } if c == conn && d == dir)
+            }
+            None => false,
+        }
+    }
+
     /// Number of pending events.
     #[allow(dead_code)]
     pub fn len(&self) -> usize {

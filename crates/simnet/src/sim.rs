@@ -418,10 +418,22 @@ impl SimCore {
             if !d.ready || d.busy || d.queue.is_empty() {
                 return;
             }
-            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0)
-                + self.cfg.per_msg_overhead as u64;
-            let remaining = front_total.saturating_sub(d.front_sent);
-            chunk = remaining.min(self.cfg.chunk as u64) as u32;
+            // Pack the serialization quantum: the front message's remainder,
+            // then as many *whole* queued messages as still fit. Small
+            // messages (relay cells) thus finish serializing together and
+            // arrive together — the same-instant delivery batches the
+            // batched relay data plane drains per dispatch.
+            let overhead = self.cfg.per_msg_overhead as u64;
+            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0) + overhead;
+            let mut total = front_total.saturating_sub(d.front_sent);
+            for m in d.queue.iter().skip(1) {
+                let need = m.len() as u64 + overhead;
+                if total + need > self.cfg.chunk as u64 {
+                    break;
+                }
+                total += need;
+            }
+            chunk = total.min(self.cfg.chunk as u64) as u32;
             d.busy = true;
             d.inflight_chunk = chunk;
         }
@@ -450,7 +462,11 @@ impl SimCore {
     /// message, keep the pipeline moving.
     fn on_chunk_done(&mut self, conn: ConnId, dir: FlowDir) {
         let (sender, receiver, loopback);
-        let mut completed_msg: Option<Vec<u8>> = None;
+        // The common chunk covers exactly one message; keep that case
+        // allocation-free and only spill to a Vec when packing completed
+        // several at once.
+        let mut first_done: Option<Vec<u8>> = None;
+        let mut rest_done: Vec<Vec<u8>> = Vec::new();
         {
             let c = &mut self.conns[conn.0 as usize];
             sender = c.sender(dir);
@@ -462,10 +478,27 @@ impl SimCore {
             d.inflight_chunk = 0;
             d.cwnd.on_acked(chunk);
             d.front_sent += chunk as u64;
-            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0)
-                + self.cfg.per_msg_overhead as u64;
-            if d.front_sent >= front_total && !d.queue.is_empty() {
-                completed_msg = d.queue.pop_front();
+            // Drain every message the packed chunk covered, in queue order.
+            // Messages queued after the chunk was sized stay for the next
+            // kick; a large message spanning chunks completes when its last
+            // chunk lands.
+            while let Some(front_total) = d
+                .queue
+                .front()
+                .map(|m| m.len() as u64 + self.cfg.per_msg_overhead as u64)
+            {
+                if d.front_sent < front_total {
+                    break;
+                }
+                d.front_sent -= front_total;
+                let m = d.queue.pop_front().expect("front exists");
+                if first_done.is_none() {
+                    first_done = Some(m);
+                } else {
+                    rest_done.push(m);
+                }
+            }
+            if d.queue.is_empty() {
                 d.front_sent = 0;
             }
         }
@@ -475,9 +508,11 @@ impl SimCore {
             let rd = &mut self.active_down[receiver.0 as usize];
             *rd = rd.saturating_sub(1);
         }
-        if let Some(mut msg) = completed_msg {
+        for mut msg in first_done.into_iter().chain(rest_done) {
             // The whole message is on the wire: the sender-side sniffer sees
-            // it now; it arrives one propagation delay later.
+            // it now; it arrives one propagation delay later. Messages that
+            // shared a chunk arrive at the same instant, back to back in the
+            // event queue — the coalesced delivery path picks them up.
             if let Some(s) = self.sniffers[sender.0 as usize].as_mut() {
                 s.record(TraceEvent {
                     time: self.now,
@@ -724,7 +759,27 @@ impl Simulator {
             self.core.now = ev.time;
             self.core.stats.events += 1;
             processed += 1;
-            self.handle(ev.kind);
+            match ev.kind {
+                // Coalesce an adjacent run of same-instant arrivals on one
+                // connection and direction into a single delivery batch (see
+                // [`Node::on_msgs`]). The guard keeps the common solitary
+                // arrival on the plain path with just one extra heap peek.
+                EventKind::MsgArrive { conn, dir, msg }
+                    if self.core.queue.peek_is_arrival(ev.time, conn, dir) =>
+                {
+                    let mut batch = vec![msg];
+                    while self.core.queue.peek_is_arrival(ev.time, conn, dir) {
+                        let next = self.core.queue.pop().expect("peeked event vanished");
+                        self.core.stats.events += 1;
+                        processed += 1;
+                        if let EventKind::MsgArrive { msg, .. } = next.kind {
+                            batch.push(msg);
+                        }
+                    }
+                    self.handle_msg_batch(conn, dir, batch);
+                }
+                kind => self.handle(kind),
+            }
         }
         if self.core.now < limit {
             self.core.now = limit;
@@ -763,6 +818,48 @@ impl Simulator {
     /// Run until no events remain (the simulation quiesces).
     pub fn run_to_quiescence(&mut self) -> u64 {
         self.run_until(SimTime::MAX)
+    }
+
+    /// Deliver a coalesced run (≥ 2) of same-instant messages on one
+    /// connection and direction. Per-message accounting matches the
+    /// sequential path exactly. The dead/fault checks run once for the
+    /// whole run, which is equivalent: every message in the run had been
+    /// popped before any receiver code ran, so no dispatch could have
+    /// changed connection or fault state between them.
+    fn handle_msg_batch(&mut self, conn: ConnId, dir: FlowDir, msgs: Vec<Vec<u8>>) {
+        let (dead, receiver, sender) = {
+            let c = &self.core.conns[conn.0 as usize];
+            (c.dead, c.receiver(dir), c.sender(dir))
+        };
+        if dead {
+            return;
+        }
+        if self.core.faults_active && self.core.path_blocked(sender, receiver) {
+            // In flight when the cut (or crash, or link kill) happened: the
+            // whole run dies on the wire.
+            self.core.fault_stats.msgs_dropped += msgs.len() as u64;
+            for msg in msgs {
+                self.core.pool.put(msg);
+            }
+            return;
+        }
+        self.core.stats.msgs_delivered += msgs.len() as u64;
+        for msg in &msgs {
+            self.core.stats.bytes_delivered += msg.len() as u64;
+            if self.core.hist_full {
+                self.core.msg_bytes.record(msg.len() as u64);
+            }
+            if let Some(s) = self.core.sniffers[receiver.0 as usize].as_mut() {
+                s.record(TraceEvent {
+                    time: self.core.now,
+                    dir: Direction::Incoming,
+                    bytes: msg.len() as u32,
+                    conn,
+                    peer: sender,
+                });
+            }
+        }
+        self.dispatch(receiver, |n, ctx| n.on_msgs(ctx, conn, msgs));
     }
 
     fn handle(&mut self, kind: EventKind) {

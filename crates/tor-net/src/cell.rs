@@ -209,6 +209,21 @@ impl Cell {
         out.extend_from_slice(&self.payload);
     }
 
+    /// Append the wire form of a cell given as parts, skipping the
+    /// intermediate [`Cell`] value — the relay's sealed-send path writes an
+    /// already-encrypted payload straight into a pooled wire buffer.
+    pub fn encode_parts_into(
+        circ_id: u32,
+        cmd: CellCmd,
+        payload: &[u8; PAYLOAD_LEN],
+        out: &mut Vec<u8>,
+    ) {
+        out.reserve(CELL_LEN);
+        out.extend_from_slice(&circ_id.to_be_bytes());
+        out.push(cmd.to_byte());
+        out.extend_from_slice(payload);
+    }
+
     /// Decode from the wire; `None` for wrong length or unknown command.
     pub fn decode(buf: &[u8]) -> Option<Cell> {
         if buf.len() != CELL_LEN {

@@ -59,6 +59,7 @@ pub struct NetworkBuilder {
     relay_iface: Iface,
     relay_bandwidth: u64,
     consensus_delay: SimDuration,
+    batch: bool,
 }
 
 impl Default for NetworkBuilder {
@@ -72,6 +73,7 @@ impl Default for NetworkBuilder {
             relay_iface: Iface::tor_relay(),
             relay_bandwidth: 2_000_000,
             consensus_delay: SimDuration::from_millis(500),
+            batch: true,
         }
     }
 }
@@ -124,6 +126,13 @@ impl NetworkBuilder {
         self
     }
 
+    /// Toggle the batched relay data plane (on by default). The off arm is
+    /// byte-identical and exists for A/B benchmarks and determinism checks.
+    pub fn batch(mut self, on: bool) -> Self {
+        self.batch = on;
+        self
+    }
+
     /// Build the simulator, authority, and relays.
     pub fn build(self) -> TorNetwork {
         let mut sim = Simulator::new(SimConfig {
@@ -143,6 +152,7 @@ impl NetworkBuilder {
         auth_cfg.bandwidth = self.relay_bandwidth;
         auth_cfg.authority_signer = Some(signer);
         auth_cfg.consensus_delay = self.consensus_delay;
+        auth_cfg.batch = self.batch;
         let auth_node = RelayNode::new(auth_cfg);
         let auth_fp = auth_node.relay.fingerprint();
         let authority = sim.add_node("authority", self.relay_iface, Box::new(auth_node));
@@ -159,6 +169,7 @@ impl NetworkBuilder {
             cfg.exit_policy = policy;
             cfg.bandwidth = self.relay_bandwidth;
             cfg.authority_addr = Some(authority);
+            cfg.batch = self.batch;
             if bento {
                 cfg.bento_port = Some(BENTO_PORT);
             }

@@ -31,6 +31,9 @@ static T_CELLS_FWD: telemetry::Counter = telemetry::Counter::new("tor.cells_forw
 static T_CRYPTO_BYTES: telemetry::Counter = telemetry::Counter::new("tor.crypto_bytes");
 static T_CIRCUITS: telemetry::Counter = telemetry::Counter::new("tor.circuits_built");
 static T_EXIT_STREAMS: telemetry::Counter = telemetry::Counter::new("tor.exit_streams_opened");
+/// Distribution of relay-cell run lengths the batched data plane processed
+/// per delivery (full-telemetry runs only; merged at flush like the rest).
+static T_BATCH_CELLS: telemetry::Histo = telemetry::Histo::new("relay.batch_cells");
 
 /// Timer-tag namespace reserved by the relay component.
 pub const RELAY_TAG_BASE: u64 = 0x0100_0000_0000_0000;
@@ -64,6 +67,11 @@ pub struct RelayConfig {
     /// How long after start the authority waits before building the
     /// consensus (letting descriptors arrive).
     pub consensus_delay: SimDuration,
+    /// Batch the relay data plane: coalesced same-tick link deliveries are
+    /// unsealed/encrypted as per-circuit runs with prefetched wide-lane
+    /// keystream. Byte-identical to the sequential path; off is kept only
+    /// as an A/B arm for benchmarks and determinism checks.
+    pub batch: bool,
 }
 
 impl RelayConfig {
@@ -79,6 +87,7 @@ impl RelayConfig {
             authority_addr: None,
             authority_signer: None,
             consensus_delay: SimDuration::from_millis(500),
+            batch: true,
         }
     }
 }
@@ -222,6 +231,9 @@ pub struct RelayCore {
     stats: RelayStats,
     /// Stats already folded into the telemetry statics (see `flush_telemetry`).
     flushed: RelayStats,
+    /// Relay-cell run lengths seen by the batched data plane, folded into
+    /// [`T_BATCH_CELLS`] at flush time (full-telemetry runs only).
+    batch_hist: telemetry::hist::LogHistogram,
 }
 
 impl RelayCore {
@@ -254,6 +266,7 @@ impl RelayCore {
             events: VecDeque::new(),
             stats: RelayStats::default(),
             flushed: RelayStats::default(),
+            batch_hist: telemetry::hist::LogHistogram::new(),
         }
     }
 
@@ -293,6 +306,9 @@ impl RelayCore {
         delta(&T_CIRCUITS, now.circuits, then.circuits);
         delta(&T_EXIT_STREAMS, now.exit_streams, then.exit_streams);
         self.flushed = now;
+        if !self.batch_hist.is_empty() {
+            T_BATCH_CELLS.merge_from(&std::mem::take(&mut self.batch_hist));
+        }
     }
 
     /// The descriptor this relay advertises.
@@ -452,6 +468,57 @@ impl RelayCore {
         false
     }
 
+    /// Delegate of [`Node::on_msgs`]: the batched counterpart of
+    /// [`RelayCore::on_msg`]. On a link connection with batching enabled,
+    /// consecutive relay cells of one circuit are grouped into runs and
+    /// unsealed/encrypted with the batch crypto APIs; every other message
+    /// (and the whole batch, when batching is off) takes the per-message
+    /// path at its original position, so behavior is identical either way.
+    pub fn on_msgs(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msgs: Vec<Vec<u8>>) -> bool {
+        if !self.cfg.batch || !self.links.contains_key(&conn) {
+            let mut claimed = false;
+            for msg in msgs {
+                claimed |= self.on_msg(ctx, conn, msg);
+            }
+            return claimed;
+        }
+        let mut iter = msgs.into_iter().peekable();
+        while let Some(msg) = iter.next() {
+            let circ_id = match (Cell::peek_cmd(&msg), Cell::peek_circ_id(&msg)) {
+                (Some(CellCmd::Relay), Some(id)) => id,
+                _ => {
+                    // Non-relay (or malformed) cell: the single-message path,
+                    // at its position in the delivery order.
+                    self.on_msg(ctx, conn, msg);
+                    continue;
+                }
+            };
+            // Gather the maximal run of consecutive relay cells on the same
+            // circuit. Only non-relay cells (e.g. Destroy) can change circuit
+            // routing state, and they break runs by construction, so the
+            // whole run resolves to one (slot, direction).
+            let mut run = vec![msg];
+            while let Some(next) = iter.peek() {
+                if Cell::peek_cmd(next) == Some(CellCmd::Relay)
+                    && Cell::peek_circ_id(next) == Some(circ_id)
+                {
+                    run.push(iter.next().expect("peeked message vanished"));
+                } else {
+                    break;
+                }
+            }
+            self.stats.cells_in += run.len() as u64;
+            self.batch_hist.record(run.len() as u64);
+            if run.len() == 1 {
+                let msg = run.pop().expect("run of one");
+                self.handle_relay_wire(ctx, conn, msg);
+            } else {
+                self.handle_relay_run(ctx, conn, circ_id, run);
+            }
+        }
+        true
+    }
+
     /// Delegate of [`Node::on_conn_closed`].
     pub fn on_conn_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) -> bool {
         if let Some(link) = self.links.remove(&conn) {
@@ -590,10 +657,11 @@ impl RelayCore {
             self.send_cell(ctx, conn, destroy);
             return;
         };
-        let slot = self.alloc_circuit(RelayCircuit::new(
-            (conn, cell.circ_id),
-            LayerCrypto::relay_side(&keys),
-        ));
+        let mut crypto = LayerCrypto::relay_side(&keys);
+        if self.cfg.batch {
+            crypto.enable_batch();
+        }
+        let slot = self.alloc_circuit(RelayCircuit::new((conn, cell.circ_id), crypto));
         self.circ_lookup.insert((conn, cell.circ_id), slot);
         self.stats.circuits += 1;
         let created = Cell::with_payload(cell.circ_id, CellCmd::Created, &reply);
@@ -705,6 +773,101 @@ impl RelayCore {
         }
     }
 
+    /// Switch a run (≥ 2 cells) of relay cells sharing one circuit that
+    /// arrived in one coalesced delivery. Phase 1 strips (forward) or adds
+    /// (backward) this hop's layer across the whole run with the batch
+    /// crypto APIs — one prefetched wide-lane keystream pass — and phase 2
+    /// dispatches each cell in arrival order exactly as the sequential path
+    /// would. The phases commute because per-cell dispatch never touches
+    /// the run's receive-direction crypto or tears the circuit down, so
+    /// wire order, telemetry and per-cell outcomes stay byte-identical.
+    fn handle_relay_run(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        circ_id: u32,
+        mut run: Vec<Vec<u8>>,
+    ) {
+        let slot = match self.circ_lookup.get(&(conn, circ_id)) {
+            Some(&slot) if self.circuits[slot].is_some() => slot,
+            _ => {
+                for msg in run {
+                    ctx.recycle_buf(msg);
+                }
+                return;
+            }
+        };
+        if run.iter().any(|m| m.len() != CELL_LEN) {
+            // A malformed cell in the run must not consume keystream; the
+            // sequential path per cell gets every edge case right.
+            for msg in run {
+                self.handle_relay_wire(ctx, conn, msg);
+            }
+            return;
+        }
+        let from_prev =
+            self.circuits[slot].as_ref().expect("checked above").prev == (conn, circ_id);
+        self.stats.crypto_bytes += (PAYLOAD_LEN * run.len()) as u64;
+        if from_prev {
+            // Forward direction: strip our layer across the run, then
+            // dispatch per cell (recognized cells to the relay proper,
+            // the rest onward in the buffers they arrived in).
+            let recognized = {
+                let c = self.circuits[slot].as_mut().expect("checked above");
+                let mut payloads: Vec<&mut [u8; PAYLOAD_LEN]> = run
+                    .iter_mut()
+                    .map(|m| Cell::wire_payload_mut(m).expect("length checked"))
+                    .collect();
+                let mut flags = vec![false; payloads.len()];
+                c.crypto.unseal_batch(&mut payloads, &mut flags);
+                flags
+            };
+            for (mut msg, rec) in run.into_iter().zip(recognized) {
+                if rec {
+                    let rc = Cell::wire_payload(&msg).and_then(RelayCell::parse_payload);
+                    ctx.recycle_buf(msg);
+                    if let Some(rc) = rc {
+                        self.handle_recognized(ctx, slot, rc);
+                    }
+                    continue;
+                }
+                // Routing state is re-read per cell: an earlier cell in the
+                // run may have extended or spliced the circuit.
+                let next = self.circuits[slot].as_ref().and_then(|c| c.next);
+                if let Some((nconn, ncirc)) = next {
+                    Cell::set_wire_circ_id(&mut msg, ncirc);
+                    self.stats.cells_forwarded += 1;
+                    self.send_wire(ctx, nconn, msg);
+                    continue;
+                }
+                let splice = self.circuits[slot].as_ref().and_then(|c| c.splice);
+                if let Some(other) = splice {
+                    self.stats.cells_forwarded += 1;
+                    self.send_spliced_wire(ctx, other, msg);
+                    continue;
+                }
+                ctx.recycle_buf(msg);
+            }
+        } else {
+            // Backward direction: add our layer across the run, forward
+            // every cell toward the origin in order.
+            let prev = {
+                let c = self.circuits[slot].as_mut().expect("checked above");
+                let mut payloads: Vec<&mut [u8; PAYLOAD_LEN]> = run
+                    .iter_mut()
+                    .map(|m| Cell::wire_payload_mut(m).expect("length checked"))
+                    .collect();
+                c.crypto.encrypt_layer_batch(&mut payloads);
+                c.prev
+            };
+            for mut msg in run {
+                Cell::set_wire_circ_id(&mut msg, prev.1);
+                self.stats.cells_forwarded += 1;
+                self.send_wire(ctx, prev.0, msg);
+            }
+        }
+    }
+
     /// Inject an encoded relay cell into a spliced circuit, re-encrypting in
     /// place so it travels toward that circuit's originator.
     fn send_spliced_wire(&mut self, ctx: &mut Ctx<'_>, slot: usize, mut msg: Vec<u8>) {
@@ -802,12 +965,11 @@ impl RelayCore {
             self.stats.crypto_bytes += PAYLOAD_LEN as u64;
             c.prev
         };
-        let cell = Cell {
-            circ_id: prev.1,
-            cmd: CellCmd::Relay,
-            payload,
-        };
-        self.send_cell(ctx, prev.0, cell);
+        // Encode straight into a pooled wire buffer: no intermediate
+        // `Cell` value, no second 509-byte payload copy.
+        let mut wire = ctx.take_buf(CELL_LEN);
+        Cell::encode_parts_into(prev.1, CellCmd::Relay, &payload, &mut wire);
+        self.send_wire(ctx, prev.0, wire);
     }
 
     fn flush_queued_to_origin(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
@@ -1316,6 +1478,14 @@ impl Node for RelayNode {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
         self.relay.on_msg(ctx, conn, msg);
         // A bare relay has no local service: close anything that opens.
+        for ev in self.relay.drain_events() {
+            if let RelayEvent::LocalStreamOpened { stream, .. } = ev {
+                self.relay.local_close(ctx, stream);
+            }
+        }
+    }
+    fn on_msgs(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msgs: Vec<Vec<u8>>) {
+        self.relay.on_msgs(ctx, conn, msgs);
         for ev in self.relay.drain_events() {
             if let RelayEvent::LocalStreamOpened { stream, .. } = ev {
                 self.relay.local_close(ctx, stream);

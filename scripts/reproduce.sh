@@ -42,8 +42,8 @@ cargo run --release -p bench --bin padding_sweep
 echo "== per-cell crypto data plane baseline =="
 cargo run --release -p bench --bin bench_cells -- --label optimized
 
-echo "== simulator throughput + parallel sweep harness =="
-cargo run --release -p bench --bin bench_sim -- --label optimized --telemetry full
+echo "== simulator throughput + parallel sweep harness (batched data plane) =="
+cargo run --release -p bench --bin bench_sim -- --label optimized --batch on --telemetry full
 
 echo "== chaos sweep: fault injection vs goodput + recovery assertions =="
 cargo run --release -p bench --bin chaos_sweep
