@@ -34,9 +34,15 @@
 //! `SimStats`. `--batch on|off` (default on) selects the arm the headline
 //! numbers and the sweep use.
 //!
+//! And a **sharded A/B**: the same fetch on the sharded conservative-PDES
+//! engine at 1 shard/1 worker vs `--shards N` (default: one per core) with
+//! all cores (`shard_events_per_sec_s1` / `_sn`, `shard_speedup`),
+//! asserting both arms produce identical `SimStats`. Serial-engine numbers
+//! are a different cost model and are never compared against these.
+//!
 //! `cargo run -p bench --release --bin bench_sim -- [--label L] [--mb N]
-//!  [--threads N] [--smoke] [--batch on|off] [--telemetry off|summary|full]
-//!  [--quiet] [--json <path>]`
+//!  [--threads N] [--shards N] [--smoke] [--batch on|off]
+//!  [--telemetry off|summary|full] [--quiet] [--json <path>]`
 
 use bench::runner::{
     available_threads, export_telemetry, run_trials_traced, threads_for, SweepOpts,
@@ -72,7 +78,15 @@ fn fast_iface() -> Iface {
 /// fields (for determinism checks) and the wall seconds spent simulating.
 /// `batch` selects the relay data plane arm (batched vs cell-at-a-time);
 /// both arms produce identical stats and traffic by construction.
-fn relay_fetch(seed: u64, mb: u64, batch: bool) -> ((u64, u64, u64, u64), f64) {
+/// `shards == 0` runs the serial engine; `shards >= 1` the sharded engine
+/// with `shard_threads` workers (0 = one per core).
+fn relay_fetch(
+    seed: u64,
+    mb: u64,
+    batch: bool,
+    shards: usize,
+    shard_threads: usize,
+) -> ((u64, u64, u64, u64), f64) {
     let file_len = (mb << 20) as usize;
     let mut net = NetworkBuilder::new()
         .seed(seed)
@@ -80,6 +94,8 @@ fn relay_fetch(seed: u64, mb: u64, batch: bool) -> ((u64, u64, u64, u64), f64) {
         .exits(2)
         .relay_iface(fast_iface())
         .batch(batch)
+        .shards(shards)
+        .shard_threads(shard_threads)
         .build();
     let page = vec![vec![0x5Au8; file_len]];
     let server = net.add_web_server("web", vec![("/big".to_string(), page)]);
@@ -229,7 +245,7 @@ fn main() {
     let mut relay_samples = Vec::new();
     let mut stats = (0, 0, 0, 0);
     for _ in 0..samples {
-        let (s, wall) = relay_fetch(7, mb, batch);
+        let (s, wall) = relay_fetch(7, mb, batch, 0, 0);
         stats = s;
         relay_samples.push(s.0 as f64 / wall.max(1e-9));
     }
@@ -264,10 +280,10 @@ fn main() {
     let mut full_eps = Vec::new();
     for _ in 0..ab {
         telemetry::set_mode(Mode::Off);
-        let (s, wall) = relay_fetch(7, mb, batch);
+        let (s, wall) = relay_fetch(7, mb, batch, 0, 0);
         off_eps.push(s.0 as f64 / wall.max(1e-9));
         telemetry::set_mode(Mode::Full);
-        let (s, wall) = relay_fetch(7, mb, batch);
+        let (s, wall) = relay_fetch(7, mb, batch, 0, 0);
         full_eps.push(s.0 as f64 / wall.max(1e-9));
     }
     let relay_eps_full = best(&full_eps);
@@ -288,9 +304,9 @@ fn main() {
     let mut batch_off_eps = Vec::new();
     let mut batch_on_eps = Vec::new();
     for _ in 0..ab {
-        let (s_off, wall) = relay_fetch(7, mb, false);
+        let (s_off, wall) = relay_fetch(7, mb, false, 0, 0);
         batch_off_eps.push(s_off.0 as f64 / wall.max(1e-9));
-        let (s_on, wall) = relay_fetch(7, mb, true);
+        let (s_on, wall) = relay_fetch(7, mb, true, 0, 0);
         batch_on_eps.push(s_on.0 as f64 / wall.max(1e-9));
         assert_eq!(
             s_off, s_on,
@@ -307,6 +323,47 @@ fn main() {
         );
     }
 
+    // ---- sharded A/B: the same fetch on the conservative-PDES engine,
+    // 1 shard / 1 worker vs --shards N / one worker per core. The engine is
+    // shard- and thread-count invariant, so both arms must produce identical
+    // SimStats; the speedup is the tentpole number. (The serial engine above
+    // is a *different* cost model — its events/s are not comparable here.)
+    // NB: on a 1-core bench box the speedup will sit at ~1.0 or below
+    // (barrier overhead with nothing to overlap); that is expected, not a
+    // regression — same caveat as sweep_speedup in ROADMAP operational notes.
+    let shards = arg_u64(
+        "--shards",
+        if smoke {
+            2
+        } else {
+            (available_threads() as u64).max(2)
+        },
+    ) as usize;
+    let mut shard_s1_eps = Vec::new();
+    let mut shard_sn_eps = Vec::new();
+    for _ in 0..ab {
+        let (a, wall) = relay_fetch(7, mb, batch, 1, 1);
+        shard_s1_eps.push(a.0 as f64 / wall.max(1e-9));
+        let (b, wall) = relay_fetch(7, mb, batch, shards, 0);
+        shard_sn_eps.push(b.0 as f64 / wall.max(1e-9));
+        assert_eq!(
+            a, b,
+            "sharded arms must produce identical simulation outcomes \
+             (shards 1 vs {shards})"
+        );
+    }
+    let shard_eps_s1 = best(&shard_s1_eps);
+    let shard_eps_sn = best(&shard_sn_eps);
+    let shard_speedup = shard_eps_sn / shard_eps_s1.max(1e-9);
+    if !opts.quiet {
+        println!(
+            "sharded A/B (best of {ab}): 1 shard {shard_eps_s1:.0} events/s, \
+             {shards} shards {shard_eps_sn:.0} events/s  ->  {shard_speedup:.2}x \
+             ({} cores)",
+            available_threads()
+        );
+    }
+
     // The sweep (and its export) runs at the requested --telemetry mode,
     // starting from a clean registry.
     telemetry::set_mode(opts.telemetry);
@@ -316,7 +373,7 @@ fn main() {
     if !opts.quiet {
         println!("sweep: {n_trials} independent {sweep_mb} MiB fetch trials");
     }
-    let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb, batch).0;
+    let trial = |i: u64| move || relay_fetch(100 + i, sweep_mb, batch, 0, 0).0;
     let mk_jobs = || -> Vec<bench::runner::Trial<(u64, u64, u64, u64)>> {
         (0..n_trials as u64)
             .map(|i| Box::new(trial(i)) as bench::runner::Trial<_>)
@@ -363,6 +420,10 @@ fn main() {
         ("relay_events_per_sec_batch_on", relay_eps_batch_on),
         ("batch_speedup", batch_speedup),
         ("batch", if batch { 1.0 } else { 0.0 }),
+        ("shard_events_per_sec_s1", shard_eps_s1),
+        ("shard_events_per_sec_sn", shard_eps_sn),
+        ("shard_speedup", shard_speedup),
+        ("shards", shards as f64),
         ("storm_events_per_sec", storm_eps),
         ("sweep_trials", n_trials as f64),
         ("sweep_seq_s", seq_wall),

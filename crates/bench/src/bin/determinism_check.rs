@@ -13,6 +13,9 @@
 //!   test's in-process trials.
 //! * **`--batch on` vs `--batch off`** — the batched relay data plane must
 //!   reproduce the cell-at-a-time plane's artifacts byte for byte.
+//! * **`--shards 1` vs `--shards 4` (and 1 vs 4 worker threads)** — the
+//!   sharded conservative-PDES engine's shard-count/thread-count invariance
+//!   contract, checked through `scalability_sweep --det` in fresh processes.
 //!
 //! Workloads: the chaos smoke sweep (`chaos_sweep --smoke`, the fault-plane
 //! recovery path) and one Table 2 trial (`table2 --domains 1`, the download
@@ -191,6 +194,81 @@ fn main() {
                 eprintln!("  scratch kept for inspection: {}", scratch.display());
                 failures += 1;
             }
+        }
+    }
+    // Sharded-engine arms: the conservative-PDES engine must produce the
+    // same simulation outcome at any shard count and any worker-thread
+    // count. `scalability_sweep --det` writes an artifact with only
+    // sim-deterministic fields (no shard/thread/wall columns), so three
+    // fresh-process runs — serial-equivalent (1 shard), 4 shards on one
+    // worker, and 4 shards on 4 workers — must agree to the byte.
+    {
+        let bin = sibling("scalability_sweep");
+        let arms: [(&str, &[&str]); 3] = [
+            (
+                "s1_t1",
+                &[
+                    "--smoke",
+                    "--det",
+                    "--quiet",
+                    "--shards",
+                    "1",
+                    "--threads",
+                    "1",
+                ],
+            ),
+            (
+                "s4_t1",
+                &[
+                    "--smoke",
+                    "--det",
+                    "--quiet",
+                    "--shards",
+                    "4",
+                    "--threads",
+                    "1",
+                ],
+            ),
+            (
+                "s4_t4",
+                &[
+                    "--smoke",
+                    "--det",
+                    "--quiet",
+                    "--shards",
+                    "4",
+                    "--threads",
+                    "4",
+                ],
+            ),
+        ];
+        let dirs: Vec<PathBuf> = arms
+            .iter()
+            .map(|(tag, args)| {
+                let dir = scratch.join(format!("shard_arms_{tag}"));
+                println!("determinism_check: shard_arms: scalability_sweep {args:?}");
+                run_child(&bin, args, &dir);
+                dir
+            })
+            .collect();
+        let mut ok = true;
+        for (i, dir) in dirs.iter().enumerate().skip(1) {
+            if let Some(diff) = diff_runs(&dirs[0], dir) {
+                eprintln!(
+                    "determinism_check: shard_arms: SHARD-COUNT DIVERGENCE ({} vs {})\n  {diff}",
+                    arms[0].0, arms[i].0
+                );
+                eprintln!("  scratch kept for inspection: {}", scratch.display());
+                failures += 1;
+                ok = false;
+            }
+        }
+        if ok {
+            let n = artifact_list(&dirs[0].join("results")).len();
+            println!(
+                "determinism_check: shard_arms: {n} artifact(s) byte-identical across \
+                 shards 1/4 and 1/4 worker threads"
+            );
         }
     }
     if failures > 0 {

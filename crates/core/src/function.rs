@@ -336,7 +336,11 @@ impl<'a> FunctionApi<'a> {
 /// implementations ignore events a function does not care about, so simple
 /// functions are only a few lines — mirroring the paper's "about four lines
 /// of Python" Browser.
-pub trait Function {
+///
+/// Functions must be [`Send`]: the host node (and everything inside it) may
+/// migrate across worker threads between windows of the sharded simulator
+/// engine. Functions are never called concurrently.
+pub trait Function: Send {
     /// The function was installed (once, after upload).
     fn on_install(&mut self, _api: &mut FunctionApi<'_>) {}
     /// The client invoked the function with `input`.

@@ -24,9 +24,8 @@ use sandbox::cgroup::{CGroup, ResourceLimits};
 use sandbox::container::Container;
 use sandbox::netrules::{NetRule, NetRules};
 use simnet::{ConnId, Ctx};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tor_net::client::{CircuitHandle, TerminalReq, TorClient, TorEvent};
 use tor_net::dir::ExitPolicy;
 use tor_net::hs::{HiddenServiceHost, HsEvent};
@@ -153,7 +152,7 @@ pub struct BentoServer {
     /// Aggregate cgroup capping all functions together (§6.2).
     aggregate: CGroup,
     epc: Epc,
-    ias: Rc<RefCell<Ias>>,
+    ias: Arc<Mutex<Ias>>,
     platform: Platform,
     enclave_image: Vec<u8>,
     /// The relay's exit policy, compiled into per-container net rules.
@@ -189,7 +188,7 @@ impl BentoServer {
         registry: FunctionRegistry,
         exit_policy: ExitPolicy,
         enclave_image: Vec<u8>,
-        ias: Rc<RefCell<Ias>>,
+        ias: Arc<Mutex<Ias>>,
         platform: Platform,
         seed: u64,
     ) -> BentoServer {
@@ -454,7 +453,20 @@ impl BentoServer {
                     return;
                 }
                 self.epc.touch(id);
-                let mut ias = self.ias.borrow_mut();
+                // Lock poisoning can't happen in practice (the simulator never
+                // panics while holding the lock), but this is a recovery path:
+                // degrade to a rejection rather than unwrap.
+                let Ok(mut ias) = self.ias.lock() else {
+                    self.epc.unregister(id);
+                    self.reply(
+                        deps,
+                        stream,
+                        &BentoMsg::Rejected {
+                            reason: "attestation service unavailable".into(),
+                        },
+                    );
+                    return;
+                };
                 match AttestedChannel::server_respond(
                     &mut self.rng,
                     &enclave,

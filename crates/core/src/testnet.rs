@@ -10,8 +10,7 @@ use conclave::attest::Ias;
 use conclave::enclave::Enclave;
 use onion_crypto::hashsig::MerkleVerifyKey;
 use simnet::{Iface, NodeId};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tor_net::client::TorClient;
 use tor_net::dir::{ExitPolicy, RelayFlags};
 use tor_net::netbuild::{NetworkBuilder, TorNetwork};
@@ -34,7 +33,7 @@ pub struct BentoNetwork {
     /// Addresses of the Bento boxes.
     pub boxes: Vec<NodeId>,
     /// The shared (simulated) Intel Attestation Service.
-    pub ias: Rc<RefCell<Ias>>,
+    pub ias: Arc<Mutex<Ias>>,
     /// The IAS verification key clients pin.
     pub ias_key: MerkleVerifyKey,
 }
@@ -81,15 +80,41 @@ impl BentoNetwork {
         relay_iface: Iface,
         box_iface: Iface,
     ) -> BentoNetwork {
+        Self::build_full_opts(
+            seed,
+            n_boxes,
+            policy,
+            make_registry,
+            relay_iface,
+            box_iface,
+            0,
+        )
+    }
+
+    /// Like [`BentoNetwork::build_full`], plus the simulator engine choice:
+    /// `shards == 0` is the default serial engine, `shards >= 1` runs on the
+    /// sharded conservative-PDES engine (a distinct, internally
+    /// shard-count-invariant baseline).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_full_opts(
+        seed: u64,
+        n_boxes: usize,
+        policy: MiddleboxPolicy,
+        make_registry: fn() -> FunctionRegistry,
+        relay_iface: Iface,
+        box_iface: Iface,
+        shards: usize,
+    ) -> BentoNetwork {
         let mut net = NetworkBuilder::new()
             .seed(seed)
             .middles(6)
             .exits(2)
             .hsdirs(2)
             .relay_iface(relay_iface)
+            .shards(shards)
             .build();
-        let ias = Rc::new(RefCell::new(Ias::new([0xC0; 32], 5)));
-        let ias_key = ias.borrow().verify_key();
+        let ias = Arc::new(Mutex::new(Ias::new([0xC0; 32], 5)));
+        let ias_key = ias.lock().expect("ias lock").verify_key();
 
         let mut boxes = Vec::new();
         for i in 0..n_boxes {
@@ -103,7 +128,7 @@ impl BentoNetwork {
             let fp = relay.fingerprint();
             let tor = TorClient::new(net.authority, net.authority_key);
             let platform = {
-                let mut ias_mut = ias.borrow_mut();
+                let mut ias_mut = ias.lock().expect("ias lock");
                 // Deterministic per-box platform keys via a seeded RNG.
                 let mut rng: rand::rngs::StdRng =
                     rand::SeedableRng::seed_from_u64(seed ^ (i as u64) << 8 | 0xF00D);

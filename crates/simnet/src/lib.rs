@@ -25,7 +25,11 @@
 //!
 //! The crate deliberately avoids an async runtime: a discrete-event core is
 //! smaller, fully deterministic and trivially replayable, which matters more
-//! for reproducing published experiments than wall-clock concurrency.
+//! for reproducing published experiments than wall-clock concurrency. When a
+//! single topology outgrows one core, the [`shard`] module provides a second
+//! engine — conservative parallel discrete-event simulation over node shards
+//! with a deterministic barrier exchange — whose results are byte-identical
+//! at any shard count and any worker-thread count (`SimConfig::shards`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod event;
 pub mod fault;
 pub mod iface;
 pub mod node;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -44,6 +49,7 @@ pub mod wire;
 pub use fault::{FaultAction, FaultPlan, FaultStats, LinkFault};
 pub use iface::Iface;
 pub use node::{ConnId, Ctx, Node, NodeId};
+pub use shard::shard_of;
 pub use sim::{SimConfig, Simulator};
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

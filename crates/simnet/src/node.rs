@@ -4,8 +4,10 @@
 //! A node is a state machine driven by callbacks: connection lifecycle
 //! events, message arrivals and timers. All side effects (connecting,
 //! sending, scheduling timers) go through [`Ctx`], which borrows the
-//! simulator core; this keeps nodes pure state and the event loop the single
-//! owner of time.
+//! engine core; this keeps nodes pure state and the event loop the single
+//! owner of time. `Ctx` is engine-agnostic: the same node code runs on the
+//! classic serial engine and on the sharded conservative-PDES engine
+//! (`crate::shard`) without change.
 
 use crate::event::EventKind;
 use crate::sim::SimCore;
@@ -31,6 +33,10 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies a connection between two nodes.
+///
+/// The value is opaque to nodes: the serial engine hands out sequential ids,
+/// the sharded engine packs `(initiator, per-initiator counter)` so ids are
+/// partition-independent. Only equality/ordering may be relied on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u64);
 
@@ -66,7 +72,12 @@ impl<T: Any> AsAny for T {
 ///
 /// All methods have no-op defaults except [`Node::on_msg`]; most nodes only
 /// care about messages and timers.
-pub trait Node: AsAny {
+///
+/// Nodes must be [`Send`]: the sharded engine moves whole shards (and the
+/// nodes inside them) across worker threads between barrier windows. Nodes
+/// are still never called concurrently with themselves — each lives in
+/// exactly one shard, and a shard is driven by one thread per window.
+pub trait Node: AsAny + Send {
     /// Called once when the simulation starts (time zero, insertion order).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -122,11 +133,20 @@ pub trait Node: AsAny {
     fn flush_telemetry(&mut self) {}
 }
 
+/// Which engine a [`Ctx`] is borrowing. Nodes never see this: every public
+/// `Ctx` method dispatches on it, so node code is engine-agnostic.
+pub(crate) enum CtxInner<'a> {
+    /// The classic single-event-loop engine.
+    Serial(&'a mut SimCore),
+    /// One shard of the conservative-PDES engine.
+    Shard(crate::shard::ShardCtx<'a>),
+}
+
 /// The handle through which a node (or the experiment harness) acts on the
 /// simulated world: connect, send, close, set timers, read the clock, draw
 /// randomness.
 pub struct Ctx<'a> {
-    pub(crate) core: &'a mut SimCore,
+    pub(crate) inner: CtxInner<'a>,
     pub(crate) me: NodeId,
 }
 
@@ -138,19 +158,34 @@ impl<'a> Ctx<'a> {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match &self.inner {
+            CtxInner::Serial(core) => core.now,
+            CtxInner::Shard(sc) => sc.shard.now,
+        }
     }
 
-    /// The simulation's deterministic random number generator.
+    /// A deterministic random number generator.
+    ///
+    /// The serial engine has one run-global stream; the sharded engine gives
+    /// each node its own stream seeded from `(run seed, node id)` so draws
+    /// are independent of the partition and of dispatch interleaving.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.core.rng
+        let me = self.me;
+        match &mut self.inner {
+            CtxInner::Serial(core) => &mut core.rng,
+            CtxInner::Shard(sc) => sc.shard.rng_for(sc.shared, me),
+        }
     }
 
     /// Open a connection to `dst`'s `port`. The returned [`ConnId`] is usable
     /// for [`Ctx::send`] immediately — messages queue until the handshake
     /// completes one RTT later ([`Node::on_conn_established`]).
     pub fn connect(&mut self, dst: NodeId, port: u16) -> ConnId {
-        self.core.connect(self.me, dst, port)
+        let me = self.me;
+        match &mut self.inner {
+            CtxInner::Serial(core) => core.connect(me, dst, port),
+            CtxInner::Shard(sc) => sc.shard.connect(sc.shared, me, dst, port),
+        }
     }
 
     /// Queue `msg` for reliable, ordered delivery on `conn`.
@@ -159,63 +194,93 @@ impl<'a> Ctx<'a> {
     /// unknown, or if this node is not an endpoint — a node can never write
     /// to another node's connection.
     pub fn send(&mut self, conn: ConnId, msg: Vec<u8>) -> bool {
-        self.core.send(self.me, conn, msg)
+        let me = self.me;
+        match &mut self.inner {
+            CtxInner::Serial(core) => core.send(me, conn, msg),
+            CtxInner::Shard(sc) => sc.shard.send(sc.shared, me, conn, msg),
+        }
     }
 
-    /// Take a cleared buffer with at least `cap` capacity from the run's
-    /// shared pool, allocating only when the pool is empty. Pair with
-    /// [`Ctx::recycle_buf`] to keep per-message sends allocation-free in
-    /// steady state.
+    /// Take a cleared buffer with at least `cap` capacity from the engine's
+    /// buffer pool (per shard on the sharded engine), allocating only when
+    /// the pool is empty. Pair with [`Ctx::recycle_buf`] to keep per-message
+    /// sends allocation-free in steady state.
     pub fn take_buf(&mut self, cap: usize) -> Vec<u8> {
-        self.core.pool.take(cap)
+        match &mut self.inner {
+            CtxInner::Serial(core) => core.pool.take(cap),
+            CtxInner::Shard(sc) => sc.shard.pool.take(cap),
+        }
     }
 
     /// Return a buffer (typically a consumed `on_msg` payload) to the pool
     /// for reuse by later [`Ctx::take_buf`] calls.
     pub fn recycle_buf(&mut self, buf: Vec<u8>) {
-        self.core.pool.put(buf);
+        match &mut self.inner {
+            CtxInner::Serial(core) => core.pool.put(buf),
+            CtxInner::Shard(sc) => sc.shard.pool.put(buf),
+        }
     }
 
     /// Gracefully close `conn`: queued messages drain, then the peer sees
     /// [`Node::on_conn_closed`].
     pub fn close(&mut self, conn: ConnId) {
-        self.core.close(self.me, conn);
+        let me = self.me;
+        match &mut self.inner {
+            CtxInner::Serial(core) => core.close(me, conn),
+            CtxInner::Shard(sc) => sc.shard.close(sc.shared, me, conn),
+        }
     }
 
     /// Schedule [`Node::on_timer`] with `tag` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = self.core.next_timer_id;
-        self.core.next_timer_id += 1;
-        self.core.pending_timers += 1;
-        let at = self.core.now + delay;
-        let inc = self.core.incarnation_of(self.me);
-        self.core.queue.push(
-            at,
-            EventKind::Timer {
-                node: self.me,
-                id,
-                tag,
-                inc,
-            },
-        );
-        TimerId(id)
+        let me = self.me;
+        match &mut self.inner {
+            CtxInner::Serial(core) => {
+                let id = core.next_timer_id;
+                core.next_timer_id += 1;
+                core.pending_timers += 1;
+                let at = core.now + delay;
+                let inc = core.incarnation_of(me);
+                core.queue.push(
+                    at,
+                    EventKind::Timer {
+                        node: me,
+                        id,
+                        tag,
+                        inc,
+                    },
+                );
+                TimerId(id)
+            }
+            CtxInner::Shard(sc) => sc.shard.set_timer(me, delay, tag),
+        }
     }
 
     /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled_timers.insert(id.0);
-        // Cancelling an already-popped timer leaves a tombstone nothing will
-        // ever collect; when tombstones outnumber timers actually in the
-        // queue by a margin, sweep out the dead ones.
-        if self.core.cancelled_timers.len() > self.core.pending_timers + 64 {
-            let live: std::collections::BTreeSet<u64> = self.core.queue.live_timer_ids().collect();
-            self.core.cancelled_timers.retain(|t| live.contains(t));
-            self.core.timer_sweeps += 1;
+        match &mut self.inner {
+            CtxInner::Serial(core) => {
+                core.cancelled_timers.insert(id.0);
+                // Cancelling an already-popped timer leaves a tombstone nothing
+                // will ever collect; when tombstones outnumber timers actually
+                // in the queue by a margin, sweep out the dead ones.
+                if core.cancelled_timers.len() > core.pending_timers + 64 {
+                    let live: std::collections::BTreeSet<u64> =
+                        core.queue.live_timer_ids().collect();
+                    core.cancelled_timers.retain(|t| live.contains(t));
+                    core.timer_sweeps += 1;
+                }
+            }
+            CtxInner::Shard(sc) => sc.shard.cancel_timer(id),
         }
     }
 
     /// The remote endpoint of `conn`, if this node is an endpoint of it.
     pub fn peer_of(&self, conn: ConnId) -> Option<NodeId> {
-        self.core.peer_of(self.me, conn)
+        let me = self.me;
+        match &self.inner {
+            CtxInner::Serial(core) => core.peer_of(me, conn),
+            CtxInner::Shard(sc) => sc.shard.peer_of(me, conn),
+        }
     }
 }

@@ -1,0 +1,1522 @@
+//! Sharded conservative parallel discrete-event engine.
+//!
+//! Nodes are partitioned into `N` shards by node id (`id % N`); each shard
+//! owns its nodes, their connection halves, a private event queue and its own
+//! clock. Shards advance in lockstep *windows*: every window runs each shard
+//! from the global minimum pending-event time `gn` up to an exclusive horizon
+//! `gn + λ`, where the lookahead `λ` is the minimum possible cross-shard
+//! one-way latency. Cross-shard traffic never travels faster than `λ`, so no
+//! event generated inside a window can land inside the same window on another
+//! shard — shards are free to run their windows in parallel. At the barrier
+//! between windows, cross-shard envelopes are exchanged and inserted in
+//! `(time, src, seq)`-sorted order.
+//!
+//! **Determinism.** Every event is keyed `(time, src node, per-src sequence)`
+//! instead of the serial engine's global insertion order; connection and
+//! timer ids pack `(owner node, per-owner counter)`; each node draws from its
+//! own RNG stream seeded by `(run seed, node id)`; and all per-flow transport
+//! state lives on exactly one shard (sender-side congestion/uplink sharing, a
+//! receiver-side ingress pipe for downlink serialization). Nothing observable
+//! depends on the partition, so runs are byte-identical across any shard
+//! count and any worker-thread count — `determinism_check` gates this.
+//!
+//! The serial engine in [`crate::sim`] remains the default and is untouched;
+//! see `DESIGN.md` §12 for the lookahead derivation, the barrier protocol and
+//! the model deltas between the two engines.
+
+use crate::iface::Iface;
+// NB: `AsAny` is deliberately NOT imported: with the blanket `impl<T: Any>
+// AsAny for T` in scope, `Box<dyn Node>::as_any()` would resolve on the Box
+// itself instead of deref'ing to the node, breaking every downcast.
+use crate::node::{ConnId, Ctx, CtxInner, Node, NodeId, TimerId};
+use crate::sim::{BufPool, DirState, RunFlush, SimConfig, SimStats};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Direction, Sniffer, TraceEvent};
+use crate::transport::TransportCfg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+// bento-lint: allow(BL001) -- HashSet is only the membership-only cancelled-timer
+// tombstone set (never iterated), same contract as the serial engine's.
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtOrd};
+use std::sync::{Barrier, Mutex};
+
+/// The shard that owns `node` when the run is split into `shards` shards.
+///
+/// A pure, total function of the node id alone: `id % shards`. Every engine
+/// instance, at any shard count and on any thread, places a node the same
+/// way, which is what lets connection/timer ids and event keys stay
+/// partition-independent.
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    (node.0 as usize) % shards.max(1)
+}
+
+const ROLE_INIT: u8 = 0;
+const ROLE_ACCEPT: u8 = 1;
+
+/// The role `me` plays on `conn` (initiator halves are role 0).
+fn role_of(me: NodeId, conn: ConnId) -> u8 {
+    if (conn.0 >> 32) as u32 == me.0 {
+        ROLE_INIT
+    } else {
+        ROLE_ACCEPT
+    }
+}
+
+/// Shard-engine events. Unlike the serial engine, whole chunk payloads travel
+/// as one `WireBatch` (they arrive at the same instant anyway), and each event
+/// carries its partition-independent ordering key explicitly.
+#[derive(Debug)]
+enum SKind {
+    /// Connect handshake reached the acceptor; creates the accept half.
+    SynArrive {
+        conn: ConnId,
+        from: NodeId,
+        to: NodeId,
+        port: u16,
+    },
+    /// Connect handshake completed at the initiator.
+    Established { conn: ConnId },
+    /// A chunk finished serializing on the sender's uplink.
+    ChunkDone { conn: ConnId, role: u8 },
+    /// A chunk's worth of whole messages crossed the wire to the receiver.
+    WireBatch {
+        conn: ConnId,
+        sender_role: u8,
+        msgs: Vec<Vec<u8>>,
+    },
+    /// Ingress-pipe serialization finished; deliver to the node.
+    Deliver {
+        conn: ConnId,
+        sender_role: u8,
+        msgs: Vec<Vec<u8>>,
+    },
+    /// A graceful close reached the receiving half.
+    CloseArrive { conn: ConnId, sender_role: u8 },
+    /// A close finished trailing the receiver's ingress pipe; the half dies
+    /// and the node hears `on_conn_closed`.
+    CloseDone { conn: ConnId, recv_role: u8 },
+    /// The closing side's own half goes dead (scheduled alongside the
+    /// `CloseArrive`, so both ends die at the same simulated instant).
+    HalfDead { conn: ConnId, role: u8 },
+    /// A node timer fired.
+    Timer { node: NodeId, id: u64, tag: u64 },
+}
+
+/// An event with its total-order key: `(time, src node, per-src seq)`.
+#[derive(Debug)]
+struct SEvent {
+    time: SimTime,
+    src: u32,
+    seq: u64,
+    kind: SKind,
+}
+
+impl SEvent {
+    fn key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.src, self.seq)
+    }
+}
+
+impl PartialEq for SEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for SEvent {}
+impl PartialOrd for SEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the least key pops first. Keys
+        // are unique (per-src seqs never repeat), so pop order is a total
+        // order independent of insertion order.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A cross-shard message: an event plus the node it must reach. Routed to
+/// `shard_of(dst)` at the next barrier.
+struct Envelope {
+    dst: NodeId,
+    ev: SEvent,
+}
+
+/// Per-shard event queue: same pre-sizing and timer-tombstone support as the
+/// serial [`crate::event::EventQueue`], but keyed by `(time, src, seq)`.
+struct ShardQueue {
+    heap: BinaryHeap<SEvent>,
+}
+
+impl ShardQueue {
+    /// Matches the serial queue's pre-size so `--shards 1` keeps the PR 2
+    /// zero-realloc property.
+    const INITIAL_CAPACITY: usize = 1024;
+
+    fn new() -> Self {
+        ShardQueue {
+            heap: BinaryHeap::with_capacity(Self::INITIAL_CAPACITY),
+        }
+    }
+
+    fn push(&mut self, ev: SEvent) {
+        self.heap.push(ev);
+    }
+
+    fn pop(&mut self) -> Option<SEvent> {
+        self.heap.pop()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Ids of every timer event still queued — the tombstone-prune contract,
+    /// per shard.
+    fn live_timer_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.heap.iter().filter_map(|e| match e.kind {
+            SKind::Timer { id, .. } => Some(id),
+            _ => None,
+        })
+    }
+}
+
+/// One endpoint of a connection. The initiator owns the `ROLE_INIT` half on
+/// its shard; the acceptor owns the `ROLE_ACCEPT` half on its own — each half
+/// holds only the transmit state of its owner, so no event ever needs to
+/// mutate two shards.
+struct Half {
+    owner: NodeId,
+    peer: NodeId,
+    dir: DirState,
+    dead: bool,
+}
+
+impl Half {
+    fn new(cfg: &TransportCfg, owner: NodeId, peer: NodeId) -> Self {
+        Half {
+            owner,
+            peer,
+            dir: DirState::new(cfg),
+            dead: false,
+        }
+    }
+}
+
+/// Per-node engine-side state, stored dense by local index (`id / N`).
+struct NodeLocal {
+    /// Lazily seeded from `(run seed, node id)`: identical draws at any
+    /// shard count, and untouched cost for nodes that never draw.
+    rng: Option<StdRng>,
+    /// Per-node event sequence; the third component of every key this node
+    /// emits.
+    seq: u64,
+    conn_ctr: u32,
+    timer_ctr: u32,
+    /// When this node's downlink ingress pipe next frees up.
+    ingress_free: SimTime,
+    /// Concurrently serializing chunks on this node's uplink (fair share).
+    active_up: u32,
+    sniffer: Option<Sniffer>,
+}
+
+impl NodeLocal {
+    fn new() -> Self {
+        NodeLocal {
+            rng: None,
+            seq: 0,
+            conn_ctr: 0,
+            timer_ctr: 0,
+            ingress_free: SimTime::ZERO,
+            active_up: 0,
+            sniffer: None,
+        }
+    }
+}
+
+/// State shared read-only by every shard during a window: the partition
+/// arity, transport model, and the global iface/name tables.
+pub(crate) struct ShardShared {
+    seed: u64,
+    cfg: TransportCfg,
+    nshards: usize,
+    ifaces: Vec<Iface>,
+    names: Vec<String>,
+}
+
+/// What a [`Ctx`] borrows while a shard dispatches one of its nodes.
+pub(crate) struct ShardCtx<'a> {
+    pub(crate) shard: &'a mut ShardCore,
+    pub(crate) shared: &'a ShardShared,
+}
+
+/// One shard: its nodes, their halves, its queue and clock.
+pub(crate) struct ShardCore {
+    idx: u32,
+    nshards: u32,
+    pub(crate) now: SimTime,
+    queue: ShardQueue,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    locals: Vec<NodeLocal>,
+    /// Keyed `(conn id, role)`; never removed, so lookups are infallible
+    /// after creation. BTreeMap for deterministic debug iteration.
+    conns: BTreeMap<(u64, u8), Half>,
+    /// Cross-shard emissions accumulated during a window; drained at the
+    /// barrier (or immediately by the main thread between runs).
+    outbox: Vec<Envelope>,
+    pub(crate) pool: BufPool,
+    stats: SimStats,
+    // bento-lint: allow(BL001) -- membership-only tombstone set; never iterated.
+    cancelled_timers: HashSet<u64>,
+    pending_timers: usize,
+    timer_sweeps: u64,
+    /// Telemetry baselines: cumulative values already flushed to the process
+    /// registry, so each run reports only its delta.
+    flushed_stats: SimStats,
+    flushed_pool: (u64, u64, u64),
+    flushed_sweeps: u64,
+    msg_bytes: telemetry::hist::LogHistogram,
+    hist_full: bool,
+    max_depth: usize,
+}
+
+impl ShardCore {
+    fn new(idx: u32, nshards: u32) -> Self {
+        ShardCore {
+            idx,
+            nshards,
+            now: SimTime::ZERO,
+            queue: ShardQueue::new(),
+            nodes: Vec::new(),
+            locals: Vec::new(),
+            conns: BTreeMap::new(),
+            outbox: Vec::new(),
+            pool: BufPool::default(),
+            stats: SimStats::default(),
+            // bento-lint: allow(BL001) -- see field declaration.
+            cancelled_timers: HashSet::new(),
+            pending_timers: 0,
+            timer_sweeps: 0,
+            flushed_stats: SimStats::default(),
+            flushed_pool: (0, 0, 0),
+            flushed_sweeps: 0,
+            msg_bytes: telemetry::hist::LogHistogram::new(),
+            hist_full: false,
+            max_depth: 0,
+        }
+    }
+
+    fn local_index(&self, id: NodeId) -> usize {
+        debug_assert_eq!(id.0 % self.nshards, self.idx, "node routed to wrong shard");
+        (id.0 / self.nshards) as usize
+    }
+
+    fn local_mut(&mut self, id: NodeId) -> &mut NodeLocal {
+        let li = self.local_index(id);
+        &mut self.locals[li]
+    }
+
+    /// Next event-ordering sequence for an emission owned by `src`.
+    fn next_seq(&mut self, src: NodeId) -> u64 {
+        let l = self.local_mut(src);
+        let s = l.seq;
+        l.seq += 1;
+        s
+    }
+
+    pub(crate) fn rng_for(&mut self, shared: &ShardShared, me: NodeId) -> &mut StdRng {
+        let seed = shared.seed;
+        let l = self.local_mut(me);
+        l.rng.get_or_insert_with(|| {
+            // Distinct, partition-independent stream per node.
+            StdRng::seed_from_u64(seed ^ (me.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+    }
+
+    fn one_way(&self, shared: &ShardShared, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            shared.cfg.loopback_rtt / 2
+        } else {
+            shared.ifaces[a.0 as usize].latency + shared.ifaces[b.0 as usize].latency
+        }
+    }
+
+    fn rtt(&self, shared: &ShardShared, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            shared.cfg.loopback_rtt
+        } else {
+            self.one_way(shared, a, b) * 2
+        }
+    }
+
+    /// Route an event to `dst`: same shard goes straight into the queue,
+    /// cross-shard into the outbox for the next barrier exchange.
+    fn emit(&mut self, dst: NodeId, ev: SEvent) {
+        if shard_of(dst, self.nshards as usize) == self.idx as usize {
+            self.queue.push(ev);
+        } else {
+            self.outbox.push(Envelope { dst, ev });
+        }
+    }
+
+    pub(crate) fn connect(
+        &mut self,
+        shared: &ShardShared,
+        me: NodeId,
+        dst: NodeId,
+        port: u16,
+    ) -> ConnId {
+        let l = self.local_mut(me);
+        let ctr = l.conn_ctr;
+        l.conn_ctr += 1;
+        let conn = ConnId(((me.0 as u64) << 32) | ctr as u64);
+        self.conns
+            .insert((conn.0, ROLE_INIT), Half::new(&shared.cfg, me, dst));
+        self.stats.conns_opened += 1;
+        let one_way = self.one_way(shared, me, dst);
+        let rtt = self.rtt(shared, me, dst);
+        let t_syn = self.now + one_way;
+        let t_est = self.now + rtt;
+        let s1 = self.next_seq(me);
+        self.emit(
+            dst,
+            SEvent {
+                time: t_syn,
+                src: me.0,
+                seq: s1,
+                kind: SKind::SynArrive {
+                    conn,
+                    from: me,
+                    to: dst,
+                    port,
+                },
+            },
+        );
+        let s2 = self.next_seq(me);
+        self.emit(
+            me,
+            SEvent {
+                time: t_est,
+                src: me.0,
+                seq: s2,
+                kind: SKind::Established { conn },
+            },
+        );
+        conn
+    }
+
+    pub(crate) fn peer_of(&self, me: NodeId, conn: ConnId) -> Option<NodeId> {
+        let h = self.conns.get(&(conn.0, role_of(me, conn)))?;
+        (h.owner == me).then_some(h.peer)
+    }
+
+    pub(crate) fn send(
+        &mut self,
+        shared: &ShardShared,
+        me: NodeId,
+        conn: ConnId,
+        msg: Vec<u8>,
+    ) -> bool {
+        let role = role_of(me, conn);
+        let Some(h) = self.conns.get_mut(&(conn.0, role)) else {
+            return false;
+        };
+        if h.owner != me || h.dead || h.dir.closing {
+            return false;
+        }
+        h.dir.queue.push_back(msg);
+        self.kick(shared, conn, role);
+        true
+    }
+
+    pub(crate) fn close(&mut self, shared: &ShardShared, me: NodeId, conn: ConnId) {
+        let role = role_of(me, conn);
+        let Some(h) = self.conns.get_mut(&(conn.0, role)) else {
+            return;
+        };
+        if h.owner != me || h.dead {
+            return;
+        }
+        h.dir.closing = true;
+        self.maybe_send_close(shared, conn, role);
+    }
+
+    fn maybe_send_close(&mut self, shared: &ShardShared, conn: ConnId, role: u8) {
+        let (me, peer);
+        {
+            let h = self.conns.get_mut(&(conn.0, role)).expect("half exists");
+            let d = &mut h.dir;
+            if !d.closing || d.close_sent || d.busy || !d.queue.is_empty() || !d.ready {
+                return;
+            }
+            d.close_sent = true;
+            me = h.owner;
+            peer = h.peer;
+        }
+        let t = self.now + self.one_way(shared, me, peer);
+        let s1 = self.next_seq(me);
+        self.emit(
+            peer,
+            SEvent {
+                time: t,
+                src: me.0,
+                seq: s1,
+                kind: SKind::CloseArrive {
+                    conn,
+                    sender_role: role,
+                },
+            },
+        );
+        // Our own half dies at the same instant the peer learns of the close,
+        // mirroring the serial engine's single conn-wide dead flag.
+        let s2 = self.next_seq(me);
+        self.emit(
+            me,
+            SEvent {
+                time: t,
+                src: me.0,
+                seq: s2,
+                kind: SKind::HalfDead { conn, role },
+            },
+        );
+    }
+
+    pub(crate) fn set_timer(&mut self, me: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        let at = self.now + delay;
+        let l = self.local_mut(me);
+        let id = ((me.0 as u64) << 32) | l.timer_ctr as u64;
+        l.timer_ctr += 1;
+        self.pending_timers += 1;
+        let seq = self.next_seq(me);
+        self.queue.push(SEvent {
+            time: at,
+            src: me.0,
+            seq,
+            kind: SKind::Timer { node: me, id, tag },
+        });
+        TimerId(id)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+        // Same tombstone-prune policy as the serial engine, applied per shard:
+        // when tombstones outnumber timers actually queued here by a margin,
+        // sweep out the dead ones.
+        if self.cancelled_timers.len() > self.pending_timers + 64 {
+            let live: std::collections::BTreeSet<u64> = self.queue.live_timer_ids().collect();
+            self.cancelled_timers.retain(|t| live.contains(t));
+            self.timer_sweeps += 1;
+        }
+    }
+
+    /// Start serializing the next chunk on `role`'s half of `conn` — the
+    /// serial engine's packing rules, with the receiver `down_share` term
+    /// replaced by the receiver-side ingress pipe (see module docs).
+    fn kick(&mut self, shared: &ShardShared, conn: ConnId, role: u8) {
+        let (me, peer, chunk, cw_rate);
+        {
+            let Some(h) = self.conns.get(&(conn.0, role)) else {
+                return;
+            };
+            if h.dead {
+                return;
+            }
+            let d = &h.dir;
+            if !d.ready || d.busy || d.queue.is_empty() {
+                return;
+            }
+            me = h.owner;
+            peer = h.peer;
+            let overhead = shared.cfg.per_msg_overhead as u64;
+            let front_total = d.queue.front().map(|m| m.len() as u64).unwrap_or(0) + overhead;
+            let mut total = front_total.saturating_sub(d.front_sent);
+            for m in d.queue.iter().skip(1) {
+                let need = m.len() as u64 + overhead;
+                if total + need > shared.cfg.chunk as u64 {
+                    break;
+                }
+                total += need;
+            }
+            chunk = total.min(shared.cfg.chunk as u64) as u32;
+            cw_rate = d.cwnd.rate(self.rtt(shared, me, peer));
+        }
+        let rate = if me == peer {
+            cw_rate.min(shared.cfg.loopback_bps)
+        } else {
+            let au = {
+                let l = self.local_mut(me);
+                l.active_up += 1;
+                l.active_up
+            };
+            cw_rate.min(shared.ifaces[me.0 as usize].up_share(au as usize))
+        };
+        {
+            let h = self.conns.get_mut(&(conn.0, role)).expect("half exists");
+            h.dir.busy = true;
+            h.dir.inflight_chunk = chunk;
+        }
+        let t = self.now + SimDuration::for_bytes(chunk as u64, rate);
+        let seq = self.next_seq(me);
+        self.queue.push(SEvent {
+            time: t,
+            src: me.0,
+            seq,
+            kind: SKind::ChunkDone { conn, role },
+        });
+    }
+
+    fn on_chunk_done(&mut self, shared: &ShardShared, conn: ConnId, role: u8) {
+        let (me, peer);
+        let mut done: Vec<Vec<u8>> = Vec::new();
+        {
+            let h = self.conns.get_mut(&(conn.0, role)).expect("half exists");
+            me = h.owner;
+            peer = h.peer;
+            let d = &mut h.dir;
+            let chunk = d.inflight_chunk;
+            d.busy = false;
+            d.inflight_chunk = 0;
+            d.cwnd.on_acked(chunk);
+            d.front_sent += chunk as u64;
+            while let Some(front_total) = d
+                .queue
+                .front()
+                .map(|m| m.len() as u64 + shared.cfg.per_msg_overhead as u64)
+            {
+                if d.front_sent < front_total {
+                    break;
+                }
+                d.front_sent -= front_total;
+                done.push(d.queue.pop_front().expect("front exists"));
+            }
+            if d.queue.is_empty() {
+                d.front_sent = 0;
+            }
+        }
+        if me != peer {
+            let l = self.local_mut(me);
+            l.active_up = l.active_up.saturating_sub(1);
+        }
+        if !done.is_empty() {
+            let now = self.now;
+            if let Some(s) = self.local_mut(me).sniffer.as_mut() {
+                for m in &done {
+                    s.record(TraceEvent {
+                        time: now,
+                        dir: Direction::Outgoing,
+                        bytes: m.len() as u32,
+                        conn,
+                        peer,
+                    });
+                }
+            }
+            // One envelope per chunk: every whole message the chunk covered
+            // crosses the wire together and arrives at the same instant
+            // (preserving the serial engine's same-instant delivery batches).
+            let t = self.now + self.one_way(shared, me, peer);
+            let seq = self.next_seq(me);
+            self.emit(
+                peer,
+                SEvent {
+                    time: t,
+                    src: me.0,
+                    seq,
+                    kind: SKind::WireBatch {
+                        conn,
+                        sender_role: role,
+                        msgs: done,
+                    },
+                },
+            );
+        }
+        self.kick(shared, conn, role);
+        self.maybe_send_close(shared, conn, role);
+    }
+
+    /// A chunk's messages reached this node's access link: serialize them
+    /// through the downlink ingress pipe, then deliver.
+    fn on_wire_batch(
+        &mut self,
+        shared: &ShardShared,
+        conn: ConnId,
+        sender_role: u8,
+        msgs: Vec<Vec<u8>>,
+    ) {
+        let recv_role = 1 - sender_role;
+        let me = {
+            let Some(h) = self.conns.get(&(conn.0, recv_role)) else {
+                return;
+            };
+            if h.dead {
+                return;
+            }
+            h.owner
+        };
+        let down = shared.ifaces[me.0 as usize].down_bps;
+        if down == 0 {
+            self.deliver(shared, conn, recv_role, msgs);
+            return;
+        }
+        let wire: u64 = msgs
+            .iter()
+            .map(|m| m.len() as u64 + shared.cfg.per_msg_overhead as u64)
+            .sum();
+        let now = self.now;
+        let l = self.local_mut(me);
+        let start = now.max(l.ingress_free);
+        let done_at = start + SimDuration::for_bytes(wire, down);
+        l.ingress_free = done_at;
+        if done_at == now {
+            self.deliver(shared, conn, recv_role, msgs);
+        } else {
+            let seq = self.next_seq(me);
+            self.queue.push(SEvent {
+                time: done_at,
+                src: me.0,
+                seq,
+                kind: SKind::Deliver {
+                    conn,
+                    sender_role,
+                    msgs,
+                },
+            });
+        }
+    }
+
+    fn deliver(&mut self, shared: &ShardShared, conn: ConnId, recv_role: u8, msgs: Vec<Vec<u8>>) {
+        let (me, peer) = {
+            let Some(h) = self.conns.get(&(conn.0, recv_role)) else {
+                return;
+            };
+            if h.dead {
+                return;
+            }
+            (h.owner, h.peer)
+        };
+        self.stats.msgs_delivered += msgs.len() as u64;
+        let now = self.now;
+        let hist_full = self.hist_full;
+        let mut bytes = 0u64;
+        for m in &msgs {
+            bytes += m.len() as u64;
+            if hist_full {
+                self.msg_bytes.record(m.len() as u64);
+            }
+        }
+        self.stats.bytes_delivered += bytes;
+        if let Some(s) = self.local_mut(me).sniffer.as_mut() {
+            for m in &msgs {
+                s.record(TraceEvent {
+                    time: now,
+                    dir: Direction::Incoming,
+                    bytes: m.len() as u32,
+                    conn,
+                    peer,
+                });
+            }
+        }
+        if msgs.len() == 1 {
+            let msg = msgs.into_iter().next().expect("one msg");
+            self.dispatch(shared, me, |n, ctx| n.on_msg(ctx, conn, msg));
+        } else {
+            self.dispatch(shared, me, |n, ctx| n.on_msgs(ctx, conn, msgs));
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        shared: &ShardShared,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+    ) {
+        let li = self.local_index(id);
+        let mut node = self.nodes[li]
+            .take()
+            .expect("node reentrancy during dispatch");
+        let mut ctx = Ctx {
+            inner: CtxInner::Shard(ShardCtx {
+                shard: self,
+                shared,
+            }),
+            me: id,
+        };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[li] = Some(node);
+    }
+
+    /// A graceful close takes effect on the receiving half.
+    fn close_done(&mut self, shared: &ShardShared, conn: ConnId, recv_role: u8) {
+        let me = {
+            let Some(h) = self.conns.get_mut(&(conn.0, recv_role)) else {
+                return;
+            };
+            if h.dead {
+                return;
+            }
+            h.dead = true;
+            h.owner
+        };
+        self.dispatch(shared, me, |n, ctx| n.on_conn_closed(ctx, conn));
+    }
+
+    fn handle(&mut self, shared: &ShardShared, kind: SKind) {
+        match kind {
+            SKind::SynArrive {
+                conn,
+                from,
+                to,
+                port,
+            } => {
+                let mut h = Half::new(&shared.cfg, to, from);
+                h.dir.ready = true;
+                self.conns.insert((conn.0, ROLE_ACCEPT), h);
+                // No kick/close check needed: the half was born this instant,
+                // so its queue is empty and it cannot be closing.
+                self.dispatch(shared, to, |n, ctx| n.on_conn_open(ctx, conn, from, port));
+            }
+            SKind::Established { conn } => {
+                let (me, peer) = {
+                    let h = self
+                        .conns
+                        .get_mut(&(conn.0, ROLE_INIT))
+                        .expect("init half exists");
+                    if h.dead {
+                        return;
+                    }
+                    h.dir.ready = true;
+                    (h.owner, h.peer)
+                };
+                self.kick(shared, conn, ROLE_INIT);
+                self.maybe_send_close(shared, conn, ROLE_INIT);
+                self.dispatch(shared, me, |n, ctx| n.on_conn_established(ctx, conn, peer));
+            }
+            SKind::ChunkDone { conn, role } => self.on_chunk_done(shared, conn, role),
+            SKind::WireBatch {
+                conn,
+                sender_role,
+                msgs,
+            } => self.on_wire_batch(shared, conn, sender_role, msgs),
+            SKind::Deliver {
+                conn,
+                sender_role,
+                msgs,
+            } => self.deliver(shared, conn, 1 - sender_role, msgs),
+            SKind::CloseArrive { conn, sender_role } => {
+                let recv_role = 1 - sender_role;
+                let me = {
+                    let Some(h) = self.conns.get(&(conn.0, recv_role)) else {
+                        return;
+                    };
+                    if h.dead {
+                        return;
+                    }
+                    h.owner
+                };
+                // The close trails anything still serializing through this
+                // node's ingress pipe: the sender emitted it after its last
+                // data chunk, so it must not overtake deferred `Deliver`
+                // events and kill the half before they land (the serial
+                // engine pays downlink cost at the sender, where this
+                // ordering is structural).
+                let free = self.local_mut(me).ingress_free;
+                if free <= self.now {
+                    self.close_done(shared, conn, recv_role);
+                } else {
+                    let seq = self.next_seq(me);
+                    self.queue.push(SEvent {
+                        time: free,
+                        src: me.0,
+                        seq,
+                        kind: SKind::CloseDone { conn, recv_role },
+                    });
+                }
+            }
+            SKind::CloseDone { conn, recv_role } => self.close_done(shared, conn, recv_role),
+            SKind::HalfDead { conn, role } => {
+                if let Some(h) = self.conns.get_mut(&(conn.0, role)) {
+                    h.dead = true;
+                }
+            }
+            SKind::Timer { node, id, tag } => {
+                self.pending_timers = self.pending_timers.saturating_sub(1);
+                if self.cancelled_timers.remove(&id) {
+                    return;
+                }
+                self.dispatch(shared, node, |n, ctx| n.on_timer(ctx, tag));
+            }
+        }
+    }
+
+    /// Run this shard's events strictly before `horizon`. Returns events
+    /// processed.
+    fn run_window(&mut self, shared: &ShardShared, horizon: SimTime) -> u64 {
+        let mut processed = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let depth = self.queue.len();
+            if depth > self.max_depth {
+                self.max_depth = depth;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.time;
+            self.stats.events += 1;
+            processed += 1;
+            self.handle(shared, ev.kind);
+        }
+        processed
+    }
+
+    /// This run's telemetry delta, advancing the flush baselines.
+    fn flush_delta(&mut self) -> RunFlush {
+        let s = self.stats;
+        let f = self.flushed_stats;
+        let pool = self.pool.counters();
+        let d = RunFlush {
+            events: s.events - f.events,
+            msgs: s.msgs_delivered - f.msgs_delivered,
+            bytes: s.bytes_delivered - f.bytes_delivered,
+            conns: s.conns_opened - f.conns_opened,
+            pool_hits: pool.0 - self.flushed_pool.0,
+            pool_misses: pool.1 - self.flushed_pool.1,
+            pool_recycled: pool.2 - self.flushed_pool.2,
+            timer_sweeps: self.timer_sweeps - self.flushed_sweeps,
+            queue_depth: self.max_depth as u64,
+            ..RunFlush::default()
+        };
+        self.flushed_stats = s;
+        self.flushed_pool = pool;
+        self.flushed_sweeps = self.timer_sweeps;
+        d
+    }
+}
+
+/// The sharded engine behind [`crate::sim::Simulator`] when
+/// `SimConfig::shards >= 1`.
+pub(crate) struct ShardedSim {
+    shared: ShardShared,
+    shards: Vec<ShardCore>,
+    threads: usize,
+    total_nodes: usize,
+    started_upto: usize,
+}
+
+impl ShardedSim {
+    pub(crate) fn new(cfg: &SimConfig) -> Self {
+        let n = cfg.shards.max(1);
+        ShardedSim {
+            shared: ShardShared {
+                seed: cfg.seed,
+                cfg: cfg.transport,
+                nshards: n,
+                ifaces: Vec::new(),
+                names: Vec::new(),
+            },
+            shards: (0..n).map(|i| ShardCore::new(i as u32, n as u32)).collect(),
+            threads: cfg.shard_threads,
+            total_nodes: 0,
+            started_upto: 0,
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn locate(&self, id: NodeId) -> (usize, usize) {
+        let s = shard_of(id, self.shared.nshards);
+        (s, (id.0 as usize) / self.shared.nshards)
+    }
+
+    pub(crate) fn add_node(&mut self, name: String, iface: Iface, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.total_nodes as u32);
+        self.total_nodes += 1;
+        let (s, _) = self.locate(id);
+        self.shards[s].nodes.push(Some(node));
+        self.shards[s].locals.push(NodeLocal::new());
+        self.shared.ifaces.push(iface);
+        self.shared.names.push(name);
+        id
+    }
+
+    pub(crate) fn enable_sniffer(&mut self, id: NodeId) {
+        let (s, li) = self.locate(id);
+        self.shards[s].locals[li].sniffer = Some(Sniffer::new());
+    }
+
+    pub(crate) fn sniffer(&self, id: NodeId) -> &Sniffer {
+        let (s, li) = self.locate(id);
+        self.shards[s].locals[li]
+            .sniffer
+            .as_ref()
+            .expect("sniffer not enabled on this node")
+    }
+
+    pub(crate) fn sniffer_mut(&mut self, id: NodeId) -> &mut Sniffer {
+        let (s, li) = self.locate(id);
+        self.shards[s].locals[li]
+            .sniffer
+            .as_mut()
+            .expect("sniffer not enabled on this node")
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn stats(&self) -> SimStats {
+        let mut out = SimStats::default();
+        for s in &self.shards {
+            out.events += s.stats.events;
+            out.msgs_delivered += s.stats.msgs_delivered;
+            out.bytes_delivered += s.stats.bytes_delivered;
+            out.conns_opened += s.stats.conns_opened;
+        }
+        out
+    }
+
+    pub(crate) fn node_name(&self, id: NodeId) -> &str {
+        &self.shared.names[id.0 as usize]
+    }
+
+    pub(crate) fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let (s, li) = self.locate(id);
+        self.shards[s].nodes[li]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    pub(crate) fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let (s, li) = self.locate(id);
+        let mut node = self.shards[s].nodes[li]
+            .take()
+            .expect("node is being dispatched");
+        let r = {
+            let mut ctx = Ctx {
+                inner: CtxInner::Shard(ShardCtx {
+                    shard: &mut self.shards[s],
+                    shared: &self.shared,
+                }),
+                me: id,
+            };
+            f(
+                node.as_any_mut()
+                    .downcast_mut::<T>()
+                    .expect("node type mismatch"),
+                &mut ctx,
+            )
+        };
+        self.shards[s].nodes[li] = Some(node);
+        self.route_outboxes();
+        r
+    }
+
+    pub(crate) fn active_link_slots(&self, id: NodeId) -> (u32, u32) {
+        let (s, li) = self.locate(id);
+        // The sharded model has no receiver-side slot count (the ingress pipe
+        // replaces downlink fair sharing); report 0 for the downlink.
+        (self.shards[s].locals[li].active_up, 0)
+    }
+
+    fn ensure_started(&mut self) {
+        while self.started_upto < self.total_nodes {
+            let id = NodeId(self.started_upto as u32);
+            self.started_upto += 1;
+            let (s, _) = self.locate(id);
+            let shared = &self.shared;
+            self.shards[s].dispatch(shared, id, |n, ctx| n.on_start(ctx));
+        }
+        self.route_outboxes();
+    }
+
+    /// Drain every shard's outbox into the destination queues, in
+    /// `(time, src, seq)`-sorted order (main-thread path, used between runs
+    /// and by the sequential window loop).
+    fn route_outboxes(&mut self) {
+        let mut pending: Vec<Envelope> = Vec::new();
+        for s in &mut self.shards {
+            pending.append(&mut s.outbox);
+        }
+        if pending.is_empty() {
+            return;
+        }
+        pending.sort_by_key(|e| e.ev.key());
+        for env in pending {
+            let s = shard_of(env.dst, self.shared.nshards);
+            self.shards[s].queue.push(env.ev);
+        }
+    }
+
+    /// The conservative lookahead: the minimum one-way latency any message
+    /// can incur between two distinct shards — the sum of the two smallest
+    /// per-shard minimum access latencies. `None` when fewer than two shards
+    /// hold nodes (no cross-shard traffic is possible, lookahead ∞).
+    fn lookahead(&self) -> Option<SimDuration> {
+        let n = self.shared.nshards;
+        let mut per_shard: Vec<Option<u64>> = vec![None; n];
+        for (i, iface) in self.shared.ifaces.iter().enumerate() {
+            let s = shard_of(NodeId(i as u32), n);
+            let lat = iface.latency.0;
+            per_shard[s] = Some(per_shard[s].map_or(lat, |m: u64| m.min(lat)));
+        }
+        let mut mins: Vec<u64> = per_shard.into_iter().flatten().collect();
+        if mins.len() < 2 {
+            return None;
+        }
+        mins.sort_unstable();
+        let lambda = mins[0] + mins[1];
+        assert!(
+            lambda > 0,
+            "sharded engine requires positive cross-shard lookahead: at least two \
+             shards contain nodes with zero access-link latency, so the minimum \
+             cross-shard delay is zero. Give nodes nonzero latency or run with \
+             shards = 1."
+        );
+        Some(SimDuration(lambda))
+    }
+
+    fn effective_threads(&self) -> usize {
+        let n = self.shards.len();
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, n)
+    }
+
+    pub(crate) fn run_until(&mut self, limit: SimTime) -> u64 {
+        self.ensure_started();
+        let hist_full = telemetry::mode() >= telemetry::Mode::Full;
+        for s in &mut self.shards {
+            s.hist_full = hist_full;
+            s.max_depth = s.queue.len();
+        }
+        let enter_ns = self.now().as_nanos();
+        let lookahead = self.lookahead();
+        let threads = self.effective_threads();
+        let processed = if threads <= 1 || self.shards.len() == 1 {
+            self.run_sequential(limit, lookahead)
+        } else {
+            self.run_parallel(limit, lookahead.expect("multi-shard lookahead"), threads)
+        };
+        // Settle every shard clock on the common end time, as the serial
+        // engine does for its single clock.
+        let end = if limit < SimTime::MAX {
+            limit
+        } else {
+            self.now()
+        };
+        for s in &mut self.shards {
+            if s.now < end {
+                s.now = end;
+            }
+        }
+        self.flush_run(enter_ns, processed);
+        processed
+    }
+
+    fn window_horizon(gn: SimTime, lookahead: Option<SimDuration>, limit: SimTime) -> SimTime {
+        let cap = SimTime(limit.0.saturating_add(1));
+        match lookahead {
+            None => cap,
+            Some(l) => SimTime(gn.0.saturating_add(l.0)).min(cap),
+        }
+    }
+
+    fn run_sequential(&mut self, limit: SimTime, lookahead: Option<SimDuration>) -> u64 {
+        let mut processed = 0u64;
+        while let Some(gn) = self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            if gn > limit {
+                break;
+            }
+            let horizon = Self::window_horizon(gn, lookahead, limit);
+            for s in &mut self.shards {
+                processed += s.run_window(&self.shared, horizon);
+            }
+            self.route_outboxes();
+        }
+        processed
+    }
+
+    fn run_parallel(&mut self, limit: SimTime, lookahead: SimDuration, threads: usize) -> u64 {
+        let n = self.shards.len();
+        let per_worker = n.div_ceil(threads);
+        let nworkers = n.div_ceil(per_worker);
+        let barrier = Barrier::new(nworkers);
+        let stop = AtomicBool::new(false);
+        let horizon = AtomicU64::new(0);
+        let mins: Vec<AtomicU64> = (0..nworkers).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let counts: Vec<AtomicU64> = (0..nworkers).map(|_| AtomicU64::new(0)).collect();
+        let inboxes: Vec<Mutex<Vec<Envelope>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for (w, chunk) in self.shards.chunks_mut(per_worker).enumerate() {
+                let barrier = &barrier;
+                let stop = &stop;
+                let horizon = &horizon;
+                let mins = &mins;
+                let counts = &counts;
+                let inboxes = &inboxes;
+                scope.spawn(move || {
+                    let mut per_dst: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+                    let mut processed = 0u64;
+                    loop {
+                        // Barrier 1: publish this worker's minimum pending
+                        // time; the leader derives the window horizon.
+                        let my_min = chunk
+                            .iter()
+                            .filter_map(|s| s.queue.peek_time())
+                            .map(|t| t.0)
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        mins[w].store(my_min, AtOrd::SeqCst);
+                        if barrier.wait().is_leader() {
+                            let gn = mins
+                                .iter()
+                                .map(|m| m.load(AtOrd::SeqCst))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            if gn == u64::MAX || gn > limit.0 {
+                                stop.store(true, AtOrd::SeqCst);
+                            } else {
+                                let h = Self::window_horizon(SimTime(gn), Some(lookahead), limit);
+                                horizon.store(h.0, AtOrd::SeqCst);
+                            }
+                        }
+                        // Barrier 2: everyone sees the horizon (or the stop
+                        // flag) before any shard advances.
+                        barrier.wait();
+                        if stop.load(AtOrd::SeqCst) {
+                            break;
+                        }
+                        let h = SimTime(horizon.load(AtOrd::SeqCst));
+                        for s in chunk.iter_mut() {
+                            processed += s.run_window(shared, h);
+                            for env in s.outbox.drain(..) {
+                                per_dst[shard_of(env.dst, n)].push(env);
+                            }
+                        }
+                        for (ds, v) in per_dst.iter_mut().enumerate() {
+                            if !v.is_empty() {
+                                inboxes[ds].lock().expect("inbox lock").append(v);
+                            }
+                        }
+                        // Barrier 3: all outboxes are posted; each worker
+                        // drains its own shards' inboxes in sorted order.
+                        barrier.wait();
+                        for s in chunk.iter_mut() {
+                            let mut inb = std::mem::take(
+                                &mut *inboxes[s.idx as usize].lock().expect("inbox lock"),
+                            );
+                            inb.sort_by_key(|e| e.ev.key());
+                            for env in inb {
+                                s.queue.push(env.ev);
+                            }
+                        }
+                    }
+                    counts[w].store(processed, AtOrd::SeqCst);
+                });
+            }
+        });
+        counts.iter().map(|c| c.load(AtOrd::SeqCst)).sum()
+    }
+
+    /// Post-run telemetry epilogue, all from the main thread: node-local
+    /// counters flush in global id order, then per-shard engine deltas merge
+    /// in shard-index order.
+    fn flush_run(&mut self, enter_ns: u64, processed: u64) {
+        for id in 0..self.total_nodes {
+            let (s, li) = self.locate(NodeId(id as u32));
+            if let Some(node) = self.shards[s].nodes[li].as_mut() {
+                node.flush_telemetry();
+            }
+        }
+        let mut total = RunFlush::default();
+        let mut hist = telemetry::hist::LogHistogram::new();
+        for s in &mut self.shards {
+            let d = s.flush_delta();
+            total.events += d.events;
+            total.msgs += d.msgs;
+            total.bytes += d.bytes;
+            total.conns += d.conns;
+            total.pool_hits += d.pool_hits;
+            total.pool_misses += d.pool_misses;
+            total.pool_recycled += d.pool_recycled;
+            total.timer_sweeps += d.timer_sweeps;
+            total.queue_depth = total.queue_depth.max(d.queue_depth);
+            if !s.msg_bytes.is_empty() {
+                hist.merge(&std::mem::take(&mut s.msg_bytes));
+            }
+        }
+        total.enter_ns = enter_ns;
+        total.exit_ns = self.now().as_nanos();
+        total.processed = processed;
+        crate::sim::flush_run_telemetry(&total, &mut hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::time::SimTime;
+
+    /// Echoes every message back on the same connection.
+    struct Echo;
+    impl Node for Echo {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Vec<u8>) {
+            ctx.send(conn, msg);
+        }
+    }
+
+    /// Connects at start, sends one message, records the echo time.
+    struct Pinger {
+        target: NodeId,
+        payload: usize,
+        reply_at: Option<SimTime>,
+        replies: u32,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let c = ctx.connect(self.target, 80);
+            ctx.send(c, vec![0u8; self.payload]);
+        }
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, _conn: ConnId, _msg: Vec<u8>) {
+            self.reply_at = Some(ctx.now());
+            self.replies += 1;
+        }
+    }
+
+    fn sharded(seed: u64, shards: usize, threads: usize) -> Simulator {
+        Simulator::new(SimConfig {
+            seed,
+            shards,
+            shard_threads: threads,
+            ..SimConfig::default()
+        })
+    }
+
+    /// Build a ring of pingers+echoes and run to quiescence, returning
+    /// (stats, per-pinger reply times) — the invariance fingerprint.
+    fn ring_run(shards: usize, threads: usize, n: usize) -> (crate::sim::SimStats, Vec<u64>) {
+        let mut sim = sharded(7, shards, threads);
+        let iface = Iface::symmetric(SimDuration::from_millis(10), 1_000_000);
+        let mut ids = Vec::new();
+        for i in 0..n {
+            if i % 2 == 0 {
+                ids.push(sim.add_node(format!("echo{i}"), iface, Box::new(Echo)));
+            } else {
+                // Target the previous echo node.
+                let target = ids[i - 1];
+                ids.push(sim.add_node(
+                    format!("ping{i}"),
+                    iface,
+                    Box::new(Pinger {
+                        target,
+                        payload: 2000 + i * 37,
+                        reply_at: None,
+                        replies: 0,
+                    }),
+                ));
+            }
+        }
+        sim.run_to_quiescence();
+        let mut replies = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                let p: &Pinger = sim.node_ref(*id);
+                assert_eq!(p.replies, 1, "pinger {i} got exactly one echo");
+                replies.push(p.reply_at.expect("reply").as_nanos());
+            }
+        }
+        (sim.stats(), replies)
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable() {
+        for shards in 1..=8usize {
+            for id in 0..1000u32 {
+                let s = shard_of(NodeId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(NodeId(id), shards));
+            }
+        }
+        // shards == 0 is clamped, not a panic.
+        assert_eq!(shard_of(NodeId(3), 0), 0);
+    }
+
+    #[test]
+    fn echo_rtt_matches_across_shard_counts() {
+        let (s1, r1) = ring_run(1, 1, 8);
+        for shards in [2, 3, 4, 7] {
+            let (s, r) = ring_run(shards, 1, 8);
+            assert_eq!(r, r1, "reply times differ at shards={shards}");
+            assert_eq!(s, s1, "stats differ at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn results_invariant_under_worker_threads() {
+        let (s1, r1) = ring_run(4, 1, 10);
+        for threads in [2, 3, 4, 8] {
+            let (s, r) = ring_run(4, threads, 10);
+            assert_eq!(r, r1, "reply times differ at threads={threads}");
+            assert_eq!(s, s1, "stats differ at threads={threads}");
+        }
+    }
+
+    /// Timers fire at the right instants and cancellation works, on a
+    /// node placed in a non-zero shard.
+    struct TimerNode {
+        fired: Vec<(u64, SimTime)>,
+        cancel_me: Option<TimerId>,
+    }
+    impl Node for TimerNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            let t = ctx.set_timer(SimDuration::from_millis(7), 2);
+            ctx.set_timer(SimDuration::from_millis(9), 3);
+            self.cancel_me = Some(t);
+        }
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _msg: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            if tag == 1 {
+                if let Some(t) = self.cancel_me.take() {
+                    ctx.cancel_timer(t);
+                }
+            }
+            self.fired.push((tag, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel_in_any_shard() {
+        // 1 ms access latency: zero-latency ifaces on 2+ shards would make
+        // the lookahead zero, which the engine rejects by design.
+        let iface = Iface::symmetric(SimDuration::from_millis(1), 0);
+        for shards in [1usize, 3] {
+            let mut sim = sharded(3, shards, 1);
+            // Pad so the timer node lands in shard 1 of 3.
+            sim.add_node("pad0", iface, Box::new(Echo));
+            let t = sim.add_node(
+                "timers",
+                iface,
+                Box::new(TimerNode {
+                    fired: Vec::new(),
+                    cancel_me: None,
+                }),
+            );
+            sim.add_node("pad2", iface, Box::new(Echo));
+            sim.run_to_quiescence();
+            let node: &TimerNode = sim.node_ref(t);
+            let tags: Vec<u64> = node.fired.iter().map(|(t, _)| *t).collect();
+            assert_eq!(tags, vec![1, 3], "timer 2 was cancelled (shards={shards})");
+            assert_eq!(node.fired[0].1, SimTime::ZERO + SimDuration::from_millis(5));
+            assert_eq!(node.fired[1].1, SimTime::ZERO + SimDuration::from_millis(9));
+        }
+    }
+
+    #[test]
+    fn loopback_connection_works_in_shard_engine() {
+        // A node pinging itself exercises the loopback path (no cross-shard
+        // traffic, rate capped by loopback_bps).
+        let mut sim = sharded(5, 2, 1);
+        let a = sim.add_node(
+            "self",
+            Iface::residential(),
+            Box::new(Pinger {
+                target: NodeId(1),
+                payload: 512,
+                reply_at: None,
+                replies: 0,
+            }),
+        );
+        let b = sim.add_node("echo", Iface::residential(), Box::new(Echo));
+        assert_eq!(b, NodeId(1));
+        sim.run_to_quiescence();
+        let p: &Pinger = sim.node_ref(a);
+        assert_eq!(p.replies, 1);
+    }
+
+    #[test]
+    fn close_notifies_peer_in_other_shard() {
+        struct Closer {
+            target: NodeId,
+        }
+        impl Node for Closer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let c = ctx.connect(self.target, 80);
+                ctx.send(c, vec![1, 2, 3]);
+                ctx.close(c);
+            }
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _msg: Vec<u8>) {}
+        }
+        struct Sink {
+            msgs: u32,
+            closed: u32,
+        }
+        impl Node for Sink {
+            fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _msg: Vec<u8>) {
+                self.msgs += 1;
+            }
+            fn on_conn_closed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+                self.closed += 1;
+            }
+        }
+        let iface = Iface::symmetric(SimDuration::from_millis(1), 0);
+        let mut sim = sharded(9, 2, 1);
+        let sink = sim.add_node("sink", iface, Box::new(Sink { msgs: 0, closed: 0 }));
+        sim.add_node("closer", iface, Box::new(Closer { target: sink }));
+        sim.run_to_quiescence();
+        let s: &Sink = sim.node_ref(sink);
+        assert_eq!(s.msgs, 1, "queued message drains before close");
+        assert_eq!(s.closed, 1, "peer sees on_conn_closed");
+    }
+
+    #[test]
+    fn window_horizon_respects_limit_and_lookahead() {
+        let gn = SimTime::ZERO + SimDuration::from_millis(10);
+        let la = Some(SimDuration::from_millis(4));
+        let far = SimTime::ZERO + SimDuration::from_secs(1);
+        // horizon = gn + lookahead when the limit is far away
+        assert_eq!(
+            ShardedSim::window_horizon(gn, la, far),
+            SimTime::ZERO + SimDuration::from_millis(14)
+        );
+        // exclusive cap at limit+1 so events AT the limit still run
+        let near = SimTime::ZERO + SimDuration::from_millis(12);
+        assert_eq!(
+            ShardedSim::window_horizon(gn, la, near),
+            SimTime(near.as_nanos() + 1)
+        );
+        // single shard / no cross-shard links: unbounded window to the cap
+        assert_eq!(
+            ShardedSim::window_horizon(gn, None, near),
+            SimTime(near.as_nanos() + 1)
+        );
+    }
+}

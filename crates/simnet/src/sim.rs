@@ -4,7 +4,8 @@
 use crate::event::{EventKind, EventQueue, FlowDir};
 use crate::fault::{FaultAction, FaultPlan, FaultStats, LinkFault};
 use crate::iface::Iface;
-use crate::node::{ConnId, Ctx, Node, NodeId};
+use crate::node::{ConnId, Ctx, CtxInner, Node, NodeId};
+use crate::shard::ShardedSim;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Direction, Sniffer, TraceEvent};
 use crate::transport::{Cwnd, TransportCfg};
@@ -43,6 +44,16 @@ pub struct SimConfig {
     pub seed: u64,
     /// Transport cost-model parameters.
     pub transport: TransportCfg,
+    /// `0` (default) selects the classic serial engine. `N >= 1` selects the
+    /// sharded conservative-PDES engine ([`crate::shard`]) with `N` shards;
+    /// sharded results are byte-identical for every `N >= 1` but use a
+    /// slightly different (partition-independent) transport model than the
+    /// serial engine, so `0` and `N >= 1` are distinct baselines.
+    pub shards: usize,
+    /// Worker threads for the sharded engine's window loop: `0` (default)
+    /// means one per available core, capped at the shard count. Thread count
+    /// never affects results.
+    pub shard_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -50,12 +61,14 @@ impl Default for SimConfig {
         SimConfig {
             seed: 0xB3_0770,
             transport: TransportCfg::default(),
+            shards: 0,
+            shard_threads: 0,
         }
     }
 }
 
 /// Aggregate counters, useful for sanity checks and benches.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SimStats {
     /// Events processed by the main loop.
     pub events: u64,
@@ -67,23 +80,26 @@ pub struct SimStats {
     pub conns_opened: u64,
 }
 
+/// One direction's transmit state: the send queue, chunk-serialization
+/// progress, handshake/close flags and the congestion window. Shared with
+/// the sharded engine, where each connection *half* owns one of these.
 #[derive(Debug)]
-struct DirState {
-    queue: VecDeque<Vec<u8>>,
+pub(crate) struct DirState {
+    pub(crate) queue: VecDeque<Vec<u8>>,
     /// Bytes of the front message (payload + overhead) already serialized.
-    front_sent: u64,
+    pub(crate) front_sent: u64,
     /// Size of the chunk currently serializing, if `busy`.
-    inflight_chunk: u32,
-    busy: bool,
+    pub(crate) inflight_chunk: u32,
+    pub(crate) busy: bool,
     /// True once this direction may transmit (handshake progress).
-    ready: bool,
-    closing: bool,
-    close_sent: bool,
-    cwnd: Cwnd,
+    pub(crate) ready: bool,
+    pub(crate) closing: bool,
+    pub(crate) close_sent: bool,
+    pub(crate) cwnd: Cwnd,
 }
 
 impl DirState {
-    fn new(cfg: &TransportCfg) -> Self {
+    pub(crate) fn new(cfg: &TransportCfg) -> Self {
         DirState {
             queue: VecDeque::new(),
             front_sent: 0,
@@ -177,6 +193,48 @@ impl BufPool {
         self.bufs.push(buf);
         self.recycled += 1;
     }
+
+    /// `(hits, misses, recycled)` so other engines can flush pool telemetry.
+    pub(crate) fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.recycled)
+    }
+}
+
+/// One run's worth of engine telemetry deltas, flushed to the process
+/// registry in a single shot by [`flush_run_telemetry`]. The serial engine
+/// inlines the equivalent in `run_until`; the sharded engine sums per-shard
+/// deltas in shard-index order and flushes here, so both engines report
+/// through the same instruments (names are registered once, in this module).
+#[derive(Default)]
+pub(crate) struct RunFlush {
+    pub(crate) events: u64,
+    pub(crate) msgs: u64,
+    pub(crate) bytes: u64,
+    pub(crate) conns: u64,
+    pub(crate) pool_hits: u64,
+    pub(crate) pool_misses: u64,
+    pub(crate) pool_recycled: u64,
+    pub(crate) timer_sweeps: u64,
+    pub(crate) queue_depth: u64,
+    pub(crate) enter_ns: u64,
+    pub(crate) exit_ns: u64,
+    pub(crate) processed: u64,
+}
+
+pub(crate) fn flush_run_telemetry(f: &RunFlush, hist: &mut telemetry::hist::LogHistogram) {
+    if !hist.is_empty() {
+        T_MSG_BYTES.merge_from(&std::mem::take(hist));
+    }
+    T_EVENTS.add(f.events);
+    T_MSGS.add(f.msgs);
+    T_BYTES.add(f.bytes);
+    T_CONNS.add(f.conns);
+    T_POOL_HITS.add(f.pool_hits);
+    T_POOL_MISSES.add(f.pool_misses);
+    T_POOL_RECYCLED.add(f.pool_recycled);
+    T_TIMER_SWEEPS.add(f.timer_sweeps);
+    T_QUEUE_DEPTH.set(f.queue_depth);
+    T_RUN.record_events(f.enter_ns, f.exit_ns, f.processed);
 }
 
 /// Everything in the simulator except the node objects themselves; nodes are
@@ -559,8 +617,8 @@ impl SimCore {
     }
 }
 
-/// The discrete-event simulator. See the crate docs for the model.
-pub struct Simulator {
+/// The classic serial discrete-event engine: one queue, one clock, one RNG.
+pub(crate) struct SerialSim {
     core: SimCore,
     nodes: Vec<Option<Box<dyn Node>>>,
     /// Nodes with index < started_upto have had on_start called. Nodes
@@ -568,10 +626,10 @@ pub struct Simulator {
     started_upto: usize,
 }
 
-impl Simulator {
-    /// Create a simulator with the given configuration.
-    pub fn new(cfg: SimConfig) -> Self {
-        Simulator {
+impl SerialSim {
+    /// Create a serial engine with the given configuration.
+    fn new(cfg: SimConfig) -> Self {
+        SerialSim {
             core: SimCore {
                 now: SimTime::ZERO,
                 rng: StdRng::seed_from_u64(cfg.seed),
@@ -603,14 +661,6 @@ impl Simulator {
             nodes: Vec::new(),
             started_upto: 0,
         }
-    }
-
-    /// Create a simulator with default config and the given seed.
-    pub fn with_seed(seed: u64) -> Self {
-        Simulator::new(SimConfig {
-            seed,
-            ..SimConfig::default()
-        })
     }
 
     /// Add a node with the given access interface. Nodes cannot be removed.
@@ -693,7 +743,7 @@ impl Simulator {
             .take()
             .expect("node is being dispatched");
         let mut ctx = Ctx {
-            core: &mut self.core,
+            inner: CtxInner::Serial(&mut self.core),
             me: id,
         };
         let r = f(
@@ -715,7 +765,7 @@ impl Simulator {
             .take()
             .expect("node reentrancy during dispatch");
         let mut ctx = Ctx {
-            core: &mut self.core,
+            inner: CtxInner::Serial(&mut self.core),
             me: id,
         };
         f(node.as_mut(), &mut ctx);
@@ -813,11 +863,6 @@ impl Simulator {
         T_QUEUE_DEPTH.set(max_depth as u64);
         T_RUN.record_events(enter_ns, self.core.now.as_nanos(), processed);
         processed
-    }
-
-    /// Run until no events remain (the simulation quiesces).
-    pub fn run_to_quiescence(&mut self) -> u64 {
-        self.run_until(SimTime::MAX)
     }
 
     /// Deliver a coalesced run (≥ 2) of same-instant messages on one
@@ -1078,6 +1123,239 @@ impl Simulator {
             self.core.active_up[node.0 as usize],
             self.core.active_down[node.0 as usize],
         )
+    }
+}
+
+/// Which engine a [`Simulator`] runs on. The serial engine is boxed: it is
+/// an order of magnitude larger than the sharded handle, and one allocation
+/// per simulator keeps the facade thin for both.
+enum Engine {
+    Serial(Box<SerialSim>),
+    Sharded(ShardedSim),
+}
+
+/// The discrete-event simulator. See the crate docs for the model.
+///
+/// A facade over two engines sharing the same [`Node`]/[`Ctx`] contract:
+///
+/// * the **serial** engine (default, `SimConfig::shards == 0`) — one event
+///   loop, one clock, one RNG; byte-compatible with every artifact produced
+///   before the sharded engine existed;
+/// * the **sharded** engine (`SimConfig::shards >= 1`, [`crate::shard`]) —
+///   conservative parallel discrete-event simulation whose results are
+///   byte-identical at any shard count and any worker-thread count.
+///
+/// The fault plane ([`Simulator::install_faults`] etc.) is serial-only for
+/// now; chaos workloads keep running on the serial engine.
+pub struct Simulator {
+    engine: Engine,
+}
+
+impl Simulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let engine = if cfg.shards >= 1 {
+            Engine::Sharded(ShardedSim::new(&cfg))
+        } else {
+            Engine::Serial(Box::new(SerialSim::new(cfg)))
+        };
+        Simulator { engine }
+    }
+
+    /// Create a serial-engine simulator with default config and the given
+    /// seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Simulator::new(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    /// Create a sharded-engine simulator with default config, the given seed
+    /// and shard count (`shards >= 1`; worker threads default to one per
+    /// core).
+    pub fn with_seed_shards(seed: u64, shards: usize) -> Self {
+        Simulator::new(SimConfig {
+            seed,
+            shards: shards.max(1),
+            ..SimConfig::default()
+        })
+    }
+
+    /// Number of shards the engine partitions nodes into (1 for the serial
+    /// engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            Engine::Serial(_) => 1,
+            Engine::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Add a node with the given access interface. Nodes cannot be removed.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        iface: Iface,
+        node: Box<dyn Node>,
+    ) -> NodeId {
+        match &mut self.engine {
+            Engine::Serial(s) => s.add_node(name, iface, node),
+            Engine::Sharded(s) => s.add_node(name.into(), iface, node),
+        }
+    }
+
+    /// Begin recording a directional trace of `node`'s access link.
+    pub fn enable_sniffer(&mut self, node: NodeId) {
+        match &mut self.engine {
+            Engine::Serial(s) => s.enable_sniffer(node),
+            Engine::Sharded(s) => s.enable_sniffer(node),
+        }
+    }
+
+    /// The trace recorded so far on `node`'s link (panics if no sniffer).
+    pub fn sniffer(&self, node: NodeId) -> &Sniffer {
+        match &self.engine {
+            Engine::Serial(s) => s.sniffer(node),
+            Engine::Sharded(s) => s.sniffer(node),
+        }
+    }
+
+    /// Mutable access to `node`'s sniffer, e.g. to clear it between trials.
+    pub fn sniffer_mut(&mut self, node: NodeId) -> &mut Sniffer {
+        match &mut self.engine {
+            Engine::Serial(s) => s.sniffer_mut(node),
+            Engine::Sharded(s) => s.sniffer_mut(node),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match &self.engine {
+            Engine::Serial(s) => s.now(),
+            Engine::Sharded(s) => s.now(),
+        }
+    }
+
+    /// Aggregate run statistics (summed over shards in shard-index order on
+    /// the sharded engine).
+    pub fn stats(&self) -> SimStats {
+        match &self.engine {
+            Engine::Serial(s) => s.stats(),
+            Engine::Sharded(s) => s.stats(),
+        }
+    }
+
+    /// The display name a node was registered with.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        match &self.engine {
+            Engine::Serial(s) => s.node_name(id),
+            Engine::Sharded(s) => s.node_name(id),
+        }
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// If `id` does not refer to a `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        match &self.engine {
+            Engine::Serial(s) => s.node_ref(id),
+            Engine::Sharded(s) => s.node_ref(id),
+        }
+    }
+
+    /// Run a closure against a node with a [`Ctx`], e.g. to start a workload
+    /// from the experiment harness.
+    ///
+    /// # Panics
+    /// If `id` does not refer to a `T`.
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        match &mut self.engine {
+            Engine::Serial(s) => s.with_node(id, f),
+            Engine::Sharded(s) => s.with_node(id, f),
+        }
+    }
+
+    /// Process events until the queue is empty or `limit` is reached; the
+    /// clock ends at `min(limit, time of last event)`. Returns the number of
+    /// events processed.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        match &mut self.engine {
+            Engine::Serial(s) => s.run_until(limit),
+            Engine::Sharded(s) => s.run_until(limit),
+        }
+    }
+
+    /// Run until no events remain (the simulation quiesces).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Install a fault plan: each action is scheduled into the event queue at
+    /// its absolute time, interleaved deterministically with regular traffic.
+    /// Installing any (non-empty) plan switches the fault plane on for the
+    /// rest of the run.
+    ///
+    /// # Panics
+    /// On the sharded engine — the fault plane is serial-only for now.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if plan.entries.is_empty() {
+            return;
+        }
+        match &mut self.engine {
+            Engine::Serial(s) => s.install_faults(plan),
+            Engine::Sharded(_) => panic!(
+                "the fault plane is not supported on the sharded engine yet; \
+                 run chaos workloads with shards = 0 (see DESIGN.md §12)"
+            ),
+        }
+    }
+
+    /// Schedule a single fault action at an absolute time (same effect as a
+    /// one-entry [`FaultPlan`]).
+    ///
+    /// # Panics
+    /// On the sharded engine — the fault plane is serial-only for now.
+    pub fn inject_fault(&mut self, at: SimTime, action: FaultAction) {
+        match &mut self.engine {
+            Engine::Serial(s) => s.inject_fault(at, action),
+            Engine::Sharded(_) => panic!(
+                "the fault plane is not supported on the sharded engine yet; \
+                 run chaos workloads with shards = 0 (see DESIGN.md §12)"
+            ),
+        }
+    }
+
+    /// Is `node` currently crashed? (Always `false` on the sharded engine,
+    /// which has no fault plane.)
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        match &self.engine {
+            Engine::Serial(s) => s.is_crashed(node),
+            Engine::Sharded(_) => false,
+        }
+    }
+
+    /// Counters of faults applied so far this run.
+    pub fn fault_stats(&self) -> FaultStats {
+        match &self.engine {
+            Engine::Serial(s) => s.fault_stats(),
+            Engine::Sharded(_) => FaultStats::default(),
+        }
+    }
+
+    /// The node's current (uplink, downlink) active-flow slot counts — test
+    /// hook for asserting crash cleanup leaves no dangling fair-share slots.
+    /// The sharded engine has no downlink slot (its ingress pipe replaces
+    /// receiver fair sharing) and reports 0 there.
+    pub fn active_link_slots(&self, node: NodeId) -> (u32, u32) {
+        match &self.engine {
+            Engine::Serial(s) => s.active_link_slots(node),
+            Engine::Sharded(s) => s.active_link_slots(node),
+        }
     }
 }
 

@@ -10,9 +10,8 @@ use crate::relay::{RelayConfig, RelayNode};
 use crate::stream_frame::{encode_frame, FrameAssembler};
 use onion_crypto::hashsig::{MerkleSigner, MerkleVerifyKey};
 use simnet::{ConnId, Ctx, Iface, Node, NodeId, SimConfig, SimDuration, Simulator};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A built network: the simulator plus everything needed to attach clients.
 pub struct TorNetwork {
@@ -60,6 +59,8 @@ pub struct NetworkBuilder {
     relay_bandwidth: u64,
     consensus_delay: SimDuration,
     batch: bool,
+    shards: usize,
+    shard_threads: usize,
 }
 
 impl Default for NetworkBuilder {
@@ -74,6 +75,8 @@ impl Default for NetworkBuilder {
             relay_bandwidth: 2_000_000,
             consensus_delay: SimDuration::from_millis(500),
             batch: true,
+            shards: 0,
+            shard_threads: 0,
         }
     }
 }
@@ -133,16 +136,33 @@ impl NetworkBuilder {
         self
     }
 
+    /// Run on the sharded conservative-PDES engine with `n` shards
+    /// (0 = the default serial engine). Results are byte-identical across
+    /// shard counts ≥ 1, but the sharded engine is a distinct baseline from
+    /// serial — compare like with like.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Worker threads for the sharded engine (0 = one per core).
+    pub fn shard_threads(mut self, n: usize) -> Self {
+        self.shard_threads = n;
+        self
+    }
+
     /// Build the simulator, authority, and relays.
     pub fn build(self) -> TorNetwork {
         let mut sim = Simulator::new(SimConfig {
             seed: self.seed,
+            shards: self.shards,
+            shard_threads: self.shard_threads,
             ..SimConfig::default()
         });
-        let signer = Rc::new(RefCell::new(MerkleSigner::generate(
+        let signer = Arc::new(Mutex::new(MerkleSigner::generate(
             [0xA0; 32], 4, // 16 consensus signatures available
         )));
-        let authority_key = signer.borrow().verify_key();
+        let authority_key = signer.lock().expect("signer lock").verify_key();
 
         let mut relays = Vec::new();
         // The authority is itself a guard+hsdir relay.

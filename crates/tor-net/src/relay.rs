@@ -62,8 +62,10 @@ pub struct RelayConfig {
     /// Directory authority to publish the descriptor to (None for the
     /// authority itself).
     pub authority_addr: Option<NodeId>,
-    /// If this relay *is* the authority: its consensus signer.
-    pub authority_signer: Option<std::rc::Rc<std::cell::RefCell<MerkleSigner>>>,
+    /// If this relay *is* the authority: its consensus signer. Shared with
+    /// the test harness via `Arc<Mutex>` so `RelayNode` stays `Send` (the
+    /// sharded engine moves nodes across worker threads).
+    pub authority_signer: Option<std::sync::Arc<std::sync::Mutex<MerkleSigner>>>,
     /// How long after start the authority waits before building the
     /// consensus (letting descriptors arrive).
     pub consensus_delay: SimDuration,
@@ -1384,7 +1386,8 @@ impl RelayCore {
         let consensus = Consensus { epoch: 1, relays };
         let body = consensus.encode();
         let signature = signer
-            .borrow_mut()
+            .lock()
+            .expect("authority signer lock poisoned")
             .sign(&body)
             .expect("authority signer exhausted");
         let signed = SignedConsensus { body, signature };

@@ -45,6 +45,9 @@ cargo run --release -p bench --bin bench_cells -- --label optimized
 echo "== simulator throughput + parallel sweep harness (batched data plane) =="
 cargo run --release -p bench --bin bench_sim -- --label optimized --batch on --telemetry full
 
+echo "== sharded engine: scalability sweep (10^4 clients, shards 1/2/4/8) =="
+cargo run --release -p bench --bin scalability_sweep
+
 echo "== chaos sweep: fault injection vs goodput + recovery assertions =="
 cargo run --release -p bench --bin chaos_sweep
 
@@ -58,6 +61,7 @@ cargo run --release -p bench --bin telemetry_check -- \
   --file results/TELEMETRY_multipath_sweep.json \
   --file results/TELEMETRY_padding_sweep.json \
   --file results/TELEMETRY_chaos_sweep.json \
+  --file results/TELEMETRY_scalability_sweep.json \
   --overhead-gate 2.0
 
 echo "== criterion microbenches =="

@@ -167,7 +167,7 @@ fn stale_tcb_box_fails_attestation() {
     let mut bn = BentoNetwork::build(303, 1, MiddleboxPolicy::permissive(), registry);
     // A vulnerability is published: IAS raises the minimum TCB above what
     // the (already provisioned) box platform runs.
-    bn.ias.borrow_mut().set_min_tcb(99);
+    bn.ias.lock().expect("ias lock").set_min_tcb(99);
     let client = bn.add_bento_client("cautious");
     bn.net.sim.run_until(secs(2));
     let conn = bn
